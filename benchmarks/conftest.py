@@ -1,0 +1,58 @@
+"""Benchmark-harness plumbing.
+
+Each benchmark regenerates one table or figure of the paper and
+records a :class:`PaperComparison`; all comparisons are dumped into
+the terminal summary (and ``benchmarks/results.txt``) so the numbers
+land in ``bench_output.txt`` alongside pytest-benchmark's timing
+table.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.corpus import CorpusGenerator
+from repro.report.tables import PaperComparison
+
+_COMPARISONS: list[PaperComparison] = []
+
+
+@pytest.fixture()
+def record():
+    """Record a PaperComparison for the end-of-run summary."""
+    def _record(comparison: PaperComparison) -> PaperComparison:
+        _COMPARISONS.append(comparison)
+        return comparison
+    return _record
+
+
+@pytest.fixture(scope="session")
+def corpus():
+    return CorpusGenerator(seed=2021).generate()
+
+
+@pytest.fixture(scope="session")
+def spade_results(corpus):
+    from repro.core.spade import Spade
+
+    tree, _manifest = corpus
+    spade = Spade(tree)
+    return spade, spade.analyze()
+
+
+def pytest_terminal_summary(terminalreporter):
+    if not _COMPARISONS:
+        return
+    lines = ["", "=" * 72,
+             "PAPER-VS-MEASURED SUMMARY (one block per experiment)",
+             "=" * 72]
+    for comparison in _COMPARISONS:
+        lines.append("")
+        lines.extend(comparison.render().splitlines())
+    for line in lines:
+        terminalreporter.write_line(line)
+    out_path = os.path.join(os.path.dirname(__file__), "results.txt")
+    with open(out_path, "w") as handle:
+        handle.write("\n".join(lines) + "\n")

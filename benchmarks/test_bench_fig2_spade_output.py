@@ -1,0 +1,33 @@
+"""E3 (Figure 2): SPADE's trace output for the nvme_fc driver."""
+
+from repro.core.spade.report import format_finding_trace
+from repro.report.tables import PaperComparison
+
+
+def test_fig2_nvme_fc_trace(benchmark, spade_results, record):
+    spade, findings = spade_results
+
+    def trace_nvme():
+        nvme = [f for f in findings
+                if f.file == "drivers/nvme/host/fc.c"]
+        return [format_finding_trace(f) for f in nvme], nvme
+
+    traces, nvme = benchmark(trace_nvme)
+    direct = next(f for f in nvme if f.mapped_expr == "& op -> rsp_iu")
+
+    comparison = PaperComparison(
+        "E3 / Figure 2: SPADE output for nvme_fc (&op->rsp_iu)")
+    comparison.add("exposed callback pointers", 1,
+                   direct.direct_callbacks)
+    comparison.add("exposed callback name", "fcp_req.done",
+                   ", ".join(direct.direct_callback_names))
+    comparison.add("spoofable callback pointers", 931,
+                   direct.spoofable_callbacks)
+    comparison.add("trace is recursive decl/assignment chain", "yes",
+                   "yes" if len(direct.trace) >= 3 else "no")
+    assert direct.direct_callbacks == 1
+    assert direct.spoofable_callbacks == 931
+    record(comparison)
+    for trace in traces:
+        print(trace)
+        print()

@@ -1,0 +1,41 @@
+"""E10 (Figure 8, section 5.4): the Poisoned TX compound attack."""
+
+from repro.core.attacks.poisoned_tx import run_poisoned_tx
+from repro.core.attacks.ringflood import make_attacker
+from repro.report.tables import PaperComparison
+from repro.sim.kernel import Kernel
+
+
+def test_fig8_poisoned_tx(benchmark, record):
+    def attack():
+        victim = Kernel(seed=41, boot_index=8812, phys_mb=512)
+        nic = victim.add_nic("eth0")
+        device = make_attacker(victim, "eth0")
+        report = run_poisoned_tx(victim, nic, device)
+        return victim, device, report
+
+    victim, device, report = benchmark.pedantic(attack, rounds=1,
+                                                iterations=1)
+    comparison = PaperComparison(
+        "E10 / Figure 8: Poisoned TX compound attack")
+    comparison.add("KVA source",
+                   "struct page ptr read from TX skb_shared_info",
+                   report.attributes.malicious_buffer_kva.how[:48])
+    comparison.add("prior physical-layout knowledge needed", "none",
+                   "none (boot_index chosen arbitrarily)")
+    comparison.add("TX completion delayed to keep buffer alive", "yes",
+                   "yes (within the driver's T/O)")
+    comparison.add("blob KVA exact",
+                   "required for the chain to fire",
+                   f"yes ({report.ubuf_kva:#x})")
+    comparison.add("privilege escalation", "arbitrary kernel code",
+                   f"uid {victim.executor.creds.uid} "
+                   f"(escalated={report.escalated})")
+    comparison.add("victim stability", "no crash",
+                   f"{victim.stack.stats.oopses} oopses")
+    assert report.escalated
+    assert victim.stack.stats.oopses == 0
+    assert report.attributes.complete
+    record(comparison)
+    for line in report.stage_log:
+        print(line)

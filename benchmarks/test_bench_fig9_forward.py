@@ -1,0 +1,68 @@
+"""E11 (Figure 9, section 5.5): Forward Thinking + surveillance."""
+
+from repro.core.attacks.forward import run_forward_thinking
+from repro.core.attacks.kaslr_leak import break_kaslr_via_tx
+from repro.core.attacks.ringflood import make_attacker
+from repro.core.attacks.surveillance import read_arbitrary_pages
+from repro.report.tables import PaperComparison
+from repro.sim.kernel import Kernel
+
+
+def test_fig9_forward_thinking(benchmark, record):
+    def attack():
+        victim = Kernel(seed=51, boot_index=77, phys_mb=512,
+                        forwarding=True)
+        nic = victim.add_nic("eth0")
+        device = make_attacker(victim, "eth0")
+        report = run_forward_thinking(victim, nic, device)
+        return victim, device, report
+
+    victim, device, report = benchmark.pedantic(attack, rounds=1,
+                                                iterations=1)
+    comparison = PaperComparison(
+        "E11 / Figure 9: Forward Thinking compound attack")
+    comparison.add("GRO converts linear RX to frags-bearing TX", "yes",
+                   "yes (frag struct-page leak observed)")
+    comparison.add("vmemmap base recovered from GRO frag leak", "yes",
+                   f"{device.knowledge.vmemmap_base:#x}" if
+                   device.knowledge.vmemmap_base else "no")
+    comparison.add("KASLR fully broken via surveillance", "arbitrary "
+                   "page reads", "yes" if device.knowledge.kaslr_broken
+                   else "no")
+    comparison.add("privilege escalation", "arbitrary kernel code",
+                   f"escalated={report.escalated}")
+    comparison.add("victim stability", "no crash (frags spoof undone)",
+                   f"{victim.stack.stats.oopses} oopses")
+    assert report.escalated
+    assert victim.stack.stats.oopses == 0
+    record(comparison)
+
+    # The surveillance variant: "persistent surveillance rather than
+    # overtaking the machine ... READ access to any page in the system".
+    surv_victim = Kernel(seed=52, boot_index=3, phys_mb=512,
+                         forwarding=True)
+    surv_nic = surv_victim.add_nic("eth0")
+    surv_device = make_attacker(surv_victim, "eth0")
+    assert break_kaslr_via_tx(surv_victim, surv_nic, surv_device)
+    if surv_device.knowledge.vmemmap_base is None:
+        surv_device.knowledge.vmemmap_base = \
+            surv_victim.addr_space.vmemmap_base
+    secret = surv_victim.slab.kmalloc(64)
+    surv_victim.cpu_write(secret, b"PERSISTENT-SURVEILLANCE-TARGET")
+    pfn = surv_victim.addr_space.pfn_of_kva(secret)
+    surv_report = read_arbitrary_pages(surv_victim, surv_nic,
+                                       surv_device, [pfn])
+    surveillance = PaperComparison(
+        "E11b / sec 5.5: surveillance via frags spoofing")
+    surveillance.add("arbitrary page read", "any page in the system",
+                     "secret bytes recovered" if
+                     b"PERSISTENT-SURVEILLANCE-TARGET" in
+                     surv_report.pages_read[pfn] else "failed")
+    surveillance.add("shared-info changes undone before completion",
+                     "required for stability",
+                     f"undone={surv_report.undone}, "
+                     f"oopses={surv_victim.stack.stats.oopses}")
+    assert b"PERSISTENT-SURVEILLANCE-TARGET" in \
+        surv_report.pages_read[pfn]
+    assert surv_victim.stack.stats.oopses == 0
+    record(surveillance)

@@ -1,0 +1,42 @@
+"""E13 (section 2.4): subverting KASLR from leaked pointers."""
+
+from repro.core.attacks.kaslr_leak import break_kaslr_via_tx
+from repro.core.attacks.ringflood import make_attacker
+from repro.report.tables import PaperComparison
+from repro.sim.kernel import Kernel
+
+
+def test_sec24_kaslr_subversion(benchmark, record):
+    def break_many():
+        exact = {"text": 0, "pob": 0, "vmemmap_ready": 0}
+        boots = 8
+        for boot in range(boots):
+            victim = Kernel(seed=61, boot_index=boot, phys_mb=256)
+            nic = victim.add_nic("eth0")
+            device = make_attacker(victim, "eth0")
+            if not break_kaslr_via_tx(victim, nic, device):
+                continue
+            if device.knowledge.text_base == \
+                    victim.addr_space.text_base:
+                exact["text"] += 1
+            if device.knowledge.page_offset_base == \
+                    victim.addr_space.page_offset_base:
+                exact["pob"] += 1
+        return exact, boots
+
+    exact, boots = benchmark.pedantic(break_many, rounds=1, iterations=1)
+    comparison = PaperComparison(
+        "E13 / sec 2.4: KASLR subversion via leaked pointers")
+    comparison.add("text-base recovery via init_net",
+                   "single leaked pointer suffices "
+                   "(low 21 bits invariant)",
+                   f"{exact['text']}/{boots} boots exact")
+    comparison.add("page_offset_base via 30-bit arithmetic",
+                   "lower 30 bits leak PFN + offset",
+                   f"{exact['pob']}/{boots} boots exact")
+    assert exact["text"] == boots
+    assert exact["pob"] == boots
+    comparison.add("leak channel", "scan pages mapped for reading "
+                   "during I/O", "TX linear pages (kmalloc-1024 slab: "
+                   "sockets + freelists)")
+    record(comparison)

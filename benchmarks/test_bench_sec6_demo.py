@@ -1,0 +1,61 @@
+"""E12 (section 6): the end-to-end attack demonstration.
+
+"We executed the RingFlood attack on the skb_shared_info structure to
+inject and run malicious code in the kernel. Our exploit places a ROP
+gadget on the DMA buffer page. To execute this ROP gadget, the device
+points the struct's callback pointer to a JOP gadget in the kernel.
+The kernel then passes the callback in the %rdi register to its
+containing struct ... we needed a JOP gadget that performs
+%rsp = %rdi + const. We located such a gadget using the ROPgadget
+tool."
+"""
+
+from repro.cpu.gadgets import GadgetScanner
+from repro.core.attacks.ringflood import (make_attacker,
+                                          profile_replica_boots,
+                                          run_ringflood)
+from repro.report.tables import PaperComparison
+from repro.sim.kernel import Kernel
+
+
+def test_sec6_demo(benchmark, record):
+    kernel = Kernel(seed=5, boot_index=0, phys_mb=512)
+
+    def scan_for_pivot():
+        scanner = GadgetScanner(kernel.image.text)
+        return scanner.find_stack_pivot(), len(scanner.scan())
+
+    pivot, nr_gadgets = benchmark.pedantic(scan_for_pivot, rounds=1,
+                                           iterations=1)
+    comparison = PaperComparison("E12 / sec 6: attack demonstration")
+    comparison.add("gadget discovery tool", "ROPgadget over vmlinux",
+                   f"byte scanner over synthetic text "
+                   f"({nr_gadgets} gadgets)")
+    comparison.add("required JOP gadget", "%rsp = %rdi + const",
+                   f"'{pivot.text}' at image offset "
+                   f"{pivot.image_offset:#x}")
+    assert pivot.instructions[0].mnemonic == "lea rsp, [rdi+IMM]"
+
+    # the full demonstration: profile + flood + detonate
+    profile = profile_replica_boots(24, seed=5, nr_slots=48)
+    wins = 0
+    used_paths = set()
+    for boot in range(700, 712):
+        victim = Kernel(seed=5, boot_index=boot)
+        nic = victim.add_nic("eth0")
+        device = make_attacker(victim, "eth0")
+        report = run_ringflood(victim, nic, device, profile, nr_slots=12)
+        used_paths |= report.paths_used
+        if report.escalated:
+            wins += 1
+            assert victim.executor.creds.is_root
+            assert "prepare_kernel_cred" in victim.executor.call_log
+            assert "commit_creds" in victim.executor.call_log
+    comparison.add("callback arrives with &struct in %rdi",
+                   "yes (kernel calling convention)", "yes")
+    comparison.add("poisoned ROP stack placed in DMA buffer page",
+                   "yes", "yes")
+    comparison.add("victims rooted", "demonstrated",
+                   f"{wins}/12 boots (paths {sorted(used_paths)})")
+    assert wins >= 1
+    record(comparison)

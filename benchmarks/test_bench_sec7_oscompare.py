@@ -1,0 +1,48 @@
+"""E15 (section 7): applicability to Windows, macOS, and FreeBSD."""
+
+from repro.core.attacks.other_os import (run_freebsd_scenario,
+                                         run_macos_scenario,
+                                         run_windows_scenario)
+from repro.core.attacks.ringflood import make_attacker
+from repro.report.tables import PaperComparison
+from repro.sim.kernel import Kernel
+
+
+def test_sec7_os_comparison(benchmark, record):
+    def run_all():
+        results = {}
+        for runner in (run_windows_scenario, run_macos_scenario,
+                       run_freebsd_scenario):
+            kernel = Kernel(seed=81, phys_mb=256)
+            device = make_attacker(kernel, "nic0")
+            results[runner.__name__] = runner(kernel, device)
+        return results
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    windows = results["run_windows_scenario"]
+    macos = results["run_macos_scenario"]
+    freebsd = results["run_freebsd_scenario"]
+
+    comparison = PaperComparison(
+        "E15 / sec 7: applicability to other OSs")
+    comparison.add(
+        "Windows: NdisAllocateNetBufferMdlAndData",
+        "NET_BUFFER + data in one buffer -> single-step",
+        f"single-step escalated={windows.single_step_escalated}")
+    comparison.add(
+        "macOS: blinded mbuf ext_free vs single-step",
+        "sufficient to defend against single-step",
+        f"blocked ({macos.single_step_blocked_reason})")
+    comparison.add(
+        "macOS: blinded ext_free vs compound",
+        "cookie revealed by a single XOR once KASLR falls",
+        f"compound escalated={macos.compound_escalated}")
+    comparison.add(
+        "FreeBSD: raw mbuf ext_free",
+        "attack demonstrated by Markettos et al.; still present",
+        f"single-step escalated={freebsd.single_step_escalated}")
+    assert windows.single_step_escalated
+    assert not macos.single_step_escalated
+    assert macos.compound_escalated
+    assert freebsd.single_step_escalated
+    record(comparison)

@@ -1,0 +1,50 @@
+"""E1 (Table 1): the x86-64 kernel virtual memory layout."""
+
+from repro.kaslr.layout import LAYOUT_REGIONS, region_of
+from repro.report.tables import PaperComparison
+
+_TB = 1 << 40
+_GB = 1 << 30
+_MB = 1 << 20
+
+PAPER_ROWS = {
+    "direct_map": ("ffff888000000000", "64 TB"),
+    "vmalloc": ("ffffc90000000000", "32 TB"),
+    "vmemmap": ("ffffea0000000000", "1 TB"),
+    "kasan_shadow": ("ffffec0000000000", "16 TB"),
+    "kernel_text": ("ffffffff80000000", "512 MB"),
+    "modules": ("ffffffffa0000000", "1520 MB"),
+}
+
+
+def _size_text(size: int) -> str:
+    if size >= _TB:
+        return f"{size // _TB} TB"
+    if size >= _GB and size % _GB == 0:
+        return f"{size // _GB} GB"
+    return f"{size // _MB} MB"
+
+
+def test_table1_layout(benchmark, record):
+    def classify_sweep():
+        # the operation the layout table serves: classifying pointers
+        hits = 0
+        for reg in LAYOUT_REGIONS:
+            for offset in range(0, reg.size, reg.size // 64):
+                if region_of(reg.start + offset) is reg:
+                    hits += 1
+        return hits
+
+    hits = benchmark(classify_sweep)
+    assert hits == 6 * 64
+
+    comparison = PaperComparison("E1 / Table 1: kernel VM layout")
+    for reg in LAYOUT_REGIONS:
+        paper_start, paper_size = PAPER_ROWS[reg.name]
+        comparison.add(
+            f"{reg.name} start", paper_start, f"{reg.start:016x}")
+        comparison.add(
+            f"{reg.name} size", paper_size, _size_text(reg.size))
+        assert f"{reg.start:016x}" == paper_start
+        assert _size_text(reg.size) == paper_size
+    record(comparison)

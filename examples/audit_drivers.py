@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Audit a driver tree with SPADE (the paper's section 4.1 workflow).
+
+Generates the Linux-5.0-shaped corpus, runs the static analyzer over
+all 447 files / 1019 dma-map call sites, prints the Table 2 summary,
+the Figure 2 trace for the nvme_fc driver, and the measured
+precision/recall against the generator's ground truth.
+
+Optionally materializes the corpus on disk so you can poke at the C:
+
+    python examples/audit_drivers.py [--dump-tree DIR]
+"""
+
+import argparse
+import time
+
+from repro.core.spade import Spade, Table2Stats
+from repro.core.spade.report import format_finding_trace, format_table2
+from repro.corpus import CorpusGenerator
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--dump-tree", metavar="DIR", default=None,
+                        help="write the generated C tree to DIR")
+    parser.add_argument("--seed", type=int, default=2021)
+    args = parser.parse_args()
+
+    print("generating the Linux-5.0-shaped corpus...")
+    tree, manifest = CorpusGenerator(seed=args.seed).generate()
+    print(f"  {len(tree.paths(suffix='.c'))} driver files, "
+          f"{tree.total_lines} lines of C, "
+          f"{manifest.nr_calls} dma_map_single call sites")
+    if args.dump_tree:
+        tree.write_to_dir(args.dump_tree)
+        print(f"  tree written to {args.dump_tree}")
+
+    print("\nrunning SPADE (parse -> index -> backtrack)...")
+    start = time.time()
+    spade = Spade(tree)
+    findings = spade.analyze()
+    print(f"  analyzed {len(findings)} call sites in "
+          f"{time.time() - start:.1f}s")
+
+    print("\n--- Table 2 ---")
+    print(format_table2(Table2Stats.from_findings(findings)))
+
+    print("\n--- Figure 2: the nvme_fc trace ---")
+    for finding in findings:
+        if finding.file == "drivers/nvme/host/fc.c":
+            print(format_finding_trace(finding))
+            print()
+
+    validation = spade.validate(findings, manifest)
+    print(f"--- validation against ground truth ---")
+    print(f"precision {validation.precision:.3f}, "
+          f"recall {validation.recall:.3f} over "
+          f"{validation.true_positives} labeled exposures")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+#!/usr/bin/env python3
+"""D-KASAN in action (the paper's section 4.2 experiment).
+
+Boots an instrumented kernel (the sanitizer subscribes to every
+allocator and DMA event), runs the compile+ping workload, and prints
+the Figure-3-style report of dynamic sub-page exposures that *no
+static tool can see*: random slab co-location, CPU access to mapped
+pages, and innocent double mappings.
+
+Run:  python examples/runtime_sanitizer.py
+"""
+
+from repro.core.dkasan import DKasan, format_report, format_sample_lines
+from repro.sim.kernel import Kernel
+from repro.sim.workload import run_compile_and_ping
+
+
+def main() -> None:
+    print("booting an instrumented kernel (D-KASAN as event sink)...")
+    dkasan = DKasan(256 << 20)
+    kernel = Kernel(seed=9, phys_mb=256, sink=dkasan)
+    nic = kernel.add_nic("eth0")
+
+    print("running the workload: compile-path allocation churn under "
+          "light echo traffic...")
+    stats = run_compile_and_ping(kernel, nic, rounds=40)
+    print(f"  {stats.allocations} allocations, {stats.pings} pings, "
+          f"{stats.echoes} echoes\n")
+
+    print(format_report(dkasan))
+
+    print("\n--- Figure-3-style sample (first distinct findings) ---")
+    for line in format_sample_lines(dkasan.events, limit=8):
+        print(line)
+
+    print("\nInterpretation: every [READ]/[WRITE] line is a kernel "
+          "object a DMA device could read or corrupt purely because "
+          "of page-granular IOMMU protection -- with zero driver bugs "
+          "involved.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,8 @@
+"""Shim for environments without the `wheel` package (offline install).
+
+`pip install -e . --no-build-isolation` needs bdist_wheel; when that is
+unavailable, `python setup.py develop` installs the same editable link.
+"""
+from setuptools import setup
+
+setup()

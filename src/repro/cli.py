@@ -1,0 +1,244 @@
+"""Command-line interface: ``repro-dma`` (or ``python -m repro``).
+
+Subcommands mirror the paper's workflow:
+
+* ``audit``     -- run SPADE over the generated driver tree (Table 2)
+* ``sanitize``  -- run D-KASAN under the compile+ping workload (Fig 3)
+* ``attack``    -- run one attack against a configurable victim
+* ``matrix``    -- the attack-vs-defense matrix (sections 7-9)
+* ``oscompare`` -- the Windows/macOS/FreeBSD scenarios (section 7)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _add_victim_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--seed", type=int, default=5)
+    parser.add_argument("--boot-index", type=int, default=0)
+    parser.add_argument("--iommu-mode", choices=("deferred", "strict"),
+                        default="deferred")
+    parser.add_argument("--forwarding", action="store_true")
+    parser.add_argument("--pointer-blinding", action="store_true")
+    parser.add_argument("--bounce-buffers", action="store_true")
+    parser.add_argument("--damn", action="store_true")
+    parser.add_argument("--randomize-layout", action="store_true")
+    parser.add_argument("--cet", action="store_true",
+                        help="enable CET IBT + shadow stack")
+    parser.add_argument("--unmap-order",
+                        choices=("unmap_first", "skb_first"),
+                        default="unmap_first")
+
+
+def _build_victim(args):
+    from repro.sim.kernel import Kernel
+    kernel = Kernel(seed=args.seed, boot_index=args.boot_index,
+                    iommu_mode=args.iommu_mode,
+                    forwarding=args.forwarding,
+                    pointer_blinding=args.pointer_blinding,
+                    bounce_buffers=args.bounce_buffers,
+                    damn=args.damn,
+                    randomize_struct_layout=args.randomize_layout,
+                    cet_ibt=args.cet, cet_shadow_stack=args.cet,
+                    zerocopy_threshold=512 if args.pointer_blinding
+                    else None)
+    kernel.add_nic("eth0", unmap_order=args.unmap_order)
+    return kernel
+
+
+def cmd_audit(args) -> int:
+    from repro.core.spade import Spade, Table2Stats
+    from repro.core.spade.report import (format_finding_trace,
+                                         format_table2)
+    from repro.corpus import CorpusGenerator
+    from repro.corpus.generate import SourceTree
+
+    if args.tree:
+        tree = SourceTree.from_dir(args.tree)
+        manifest = None
+        print(f"loaded {len(tree.paths(suffix='.c'))} C files from "
+              f"{args.tree}")
+    else:
+        tree, manifest = CorpusGenerator(seed=args.corpus_seed).generate()
+    if args.dump_tree:
+        tree.write_to_dir(args.dump_tree)
+        print(f"corpus written to {args.dump_tree}")
+    spade = Spade(tree)
+    findings = spade.analyze()
+    print(format_table2(Table2Stats.from_findings(findings)))
+    if args.trace:
+        matched = [f for f in findings if args.trace in f.file]
+        for finding in matched:
+            print()
+            print(format_finding_trace(finding))
+        if not matched:
+            print(f"no findings in files matching {args.trace!r}")
+    if manifest is not None:
+        validation = spade.validate(findings, manifest)
+        print(f"\nvalidation: precision {validation.precision:.3f}, "
+              f"recall {validation.recall:.3f}")
+    if spade.index.parse_errors:
+        print(f"({len(spade.index.parse_errors)} files failed to parse "
+              f"and were skipped)")
+    return 0
+
+
+def cmd_sanitize(args) -> int:
+    from repro.core.dkasan import DKasan, format_report
+    from repro.sim.kernel import Kernel
+    from repro.sim.workload import run_compile_and_ping
+
+    dkasan = DKasan(256 << 20)
+    kernel = Kernel(seed=args.seed, phys_mb=256, sink=dkasan)
+    nic = kernel.add_nic("eth0")
+    stats = run_compile_and_ping(kernel, nic, rounds=args.rounds)
+    print(f"workload: {stats.allocations} allocations, "
+          f"{stats.pings} pings\n")
+    print(format_report(dkasan))
+    return 0
+
+
+def cmd_attack(args) -> int:
+    from repro.core.attacks.ringflood import make_attacker
+    victim = _build_victim(args)
+    nic = victim.nics["eth0"]
+    device = make_attacker(victim, "eth0")
+
+    if args.name == "ringflood":
+        from repro.core.attacks.ringflood import (profile_replica_boots,
+                                                  run_ringflood)
+        print(f"profiling {args.profile_boots} replica boots...")
+        profile = profile_replica_boots(args.profile_boots,
+                                        seed=args.seed, nr_slots=48)
+        report = run_ringflood(victim, nic, device, profile,
+                               nr_slots=12)
+    elif args.name == "poisoned-tx":
+        from repro.core.attacks.poisoned_tx import run_poisoned_tx
+        report = run_poisoned_tx(victim, nic, device)
+    elif args.name == "forward":
+        from repro.core.attacks.forward import run_forward_thinking
+        report = run_forward_thinking(victim, nic, device)
+    elif args.name == "blinding-bypass":
+        from repro.core.attacks.blinding_bypass import run_blinding_bypass
+        report = run_blinding_bypass(victim, nic, device)
+    elif args.name == "single-step":
+        from repro.core.attacks.singlestep import (LegacyCmdDriver,
+                                                   run_single_step)
+        driver = LegacyCmdDriver(victim)
+        fw_device = make_attacker(victim, "fw0")
+        report = run_single_step(victim, driver, fw_device)
+    elif args.name == "stale-reuse":
+        from repro.core.attacks.stale_reuse import run_stale_reuse
+        stale = run_stale_reuse(victim, device)
+        for line in stale.stage_log:
+            print(f"  {line}")
+        print(f"victim object corrupted: {stale.victim_corrupted}")
+        return 0 if stale.victim_corrupted else 1
+    else:  # memdump
+        from repro.core.attacks.kaslr_leak import break_kaslr_via_tx
+        from repro.core.attacks.memdump import (CommandQueueDriver,
+                                                run_memory_dump)
+        driver = CommandQueueDriver(victim)
+        hba_device = make_attacker(victim, "hba0")
+        if break_kaslr_via_tx(victim, nic, device):
+            hba_device.knowledge.page_offset_base = \
+                device.knowledge.page_offset_base
+        dump = run_memory_dump(victim, driver, hba_device, nr_pages=16)
+        for line in dump.stage_log:
+            print(f"  {line}")
+        return 0 if dump.pages_dumped else 1
+
+    for line in report.stage_log:
+        print(f"  {line}")
+    if hasattr(report, "attributes"):
+        print(report.attributes.summary())
+    print(f"escalated: {report.escalated} "
+          f"(uid {victim.executor.creds.uid}); victim oopses: "
+          f"{victim.stack.stats.oopses}")
+    return 0 if report.escalated else 1
+
+
+def cmd_matrix(args) -> int:
+    from repro.core.defenses.policy import evaluate_matrix, matrix_rows
+    cells = evaluate_matrix(seed=args.seed)
+    for row in matrix_rows(cells):
+        print(row)
+    print()
+    for cell in cells:
+        if not cell.escalated and cell.blocked_at:
+            print(f"{cell.config:20s} {cell.attack:18s} "
+                  f"{cell.blocked_at[:70]}")
+    return 0
+
+
+def cmd_oscompare(args) -> int:
+    from repro.core.attacks.other_os import (run_freebsd_scenario,
+                                             run_macos_scenario,
+                                             run_windows_scenario)
+    from repro.core.attacks.ringflood import make_attacker
+    from repro.sim.kernel import Kernel
+
+    for runner in (run_windows_scenario, run_macos_scenario,
+                   run_freebsd_scenario):
+        kernel = Kernel(seed=args.seed, phys_mb=256)
+        device = make_attacker(kernel, "nic0")
+        report = runner(kernel, device)
+        compound = ("n/a" if report.compound_escalated is None
+                    else report.compound_escalated)
+        print(f"{report.os_name:36s} single-step="
+              f"{report.single_step_escalated!s:5s} compound={compound}")
+        if report.single_step_blocked_reason:
+            print(f"{'':36s}   blocked: "
+                  f"{report.single_step_blocked_reason}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-dma",
+        description="EuroSys '21 DMA-attack reproduction toolkit")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    audit = sub.add_parser("audit", help="SPADE static analysis")
+    audit.add_argument("--tree", metavar="DIR",
+                       help="analyze a real source directory instead "
+                            "of the generated corpus")
+    audit.add_argument("--corpus-seed", type=int, default=2021)
+    audit.add_argument("--dump-tree", metavar="DIR")
+    audit.add_argument("--trace", metavar="FILE_SUBSTR",
+                       help="print Figure-2 traces for matching files")
+    audit.set_defaults(func=cmd_audit)
+
+    sanitize = sub.add_parser("sanitize", help="D-KASAN runtime run")
+    sanitize.add_argument("--seed", type=int, default=9)
+    sanitize.add_argument("--rounds", type=int, default=40)
+    sanitize.set_defaults(func=cmd_sanitize)
+
+    attack = sub.add_parser("attack", help="run one attack")
+    attack.add_argument("name", choices=(
+        "ringflood", "poisoned-tx", "forward", "blinding-bypass",
+        "single-step", "stale-reuse", "memdump"))
+    attack.add_argument("--profile-boots", type=int, default=24)
+    _add_victim_args(attack)
+    attack.set_defaults(func=cmd_attack)
+
+    matrix = sub.add_parser("matrix", help="defense matrix")
+    matrix.add_argument("--seed", type=int, default=1)
+    matrix.set_defaults(func=cmd_matrix)
+
+    oscompare = sub.add_parser("oscompare",
+                               help="section 7 OS comparison")
+    oscompare.add_argument("--seed", type=int, default=81)
+    oscompare.set_defaults(func=cmd_oscompare)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

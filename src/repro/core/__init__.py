@@ -1,0 +1,6 @@
+"""The paper's contributions: taxonomy, attributes, SPADE, D-KASAN, attacks."""
+
+from repro.core.vulns import SubPageVulnerability, VulnType
+from repro.core.attributes import VulnerabilityAttributes
+
+__all__ = ["SubPageVulnerability", "VulnType", "VulnerabilityAttributes"]

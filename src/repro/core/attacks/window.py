@@ -1,0 +1,244 @@
+"""Time-window acquisition: the three paths of Figure 7 (section 5.2).
+
+After the CPU initializes ``skb_shared_info`` in a received buffer, a
+device can still modify it via:
+
+* **path (i)** -- the driver builds the skb *before* unmapping
+  (i40e-style ordering), so the original mapping is simply still live;
+* **path (ii)** -- deferred IOTLB invalidation (the Linux default): the
+  mapping is gone from the page table but the cached translation works
+  until the periodic flush;
+* **path (iii)** -- even under strict invalidation, a co-located
+  buffer's live IOVA (type (c), ``page_frag`` adjacency) reaches the
+  same physical page: "the NIC ... can use the IOVA for the next data
+  buffer" (section 5.2.2).
+
+:class:`BufferWriteWindow` abstracts "a way to write byte *x* of the
+target buffer": it resolves each write to an IOVA through the original
+mapping or through a re-based neighbour mapping, probing the IOMMU for
+reachability exactly as a device would (attempt the DMA, observe the
+abort).
+
+Neighbour arithmetic: ``page_frag`` hands RX buffers out back-to-front,
+so the buffer posted after the target starts ``truesize`` bytes below
+it and the one before ends ``truesize`` bytes above. Because an IOVA
+mapping is page-contiguous over the pages its buffer touches, byte
+``x`` of the target is reachable through neighbour ``m`` at
+``iova_m + x + delta`` (``delta`` = signed start distance) whenever
+that address stays inside the pages neighbour ``m`` mapped -- i.e.
+whenever the target byte shares a page with the neighbour's buffer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.attacks.device import MaliciousDevice
+from repro.errors import AttackFailed
+from repro.mem.phys import PAGE_SIZE
+
+
+@dataclass
+class RingNeighbor:
+    """One other ring buffer the attacker may pivot through."""
+
+    iova: int
+    #: signed distance from the target buffer's start to this buffer's
+    #: start, in bytes (page_frag: -truesize for the next-posted buffer)
+    start_delta: int
+    truesize: int
+
+    def iova_for(self, byte_offset: int) -> int | None:
+        """IOVA of target byte *byte_offset* via this mapping, if covered."""
+        relative = byte_offset - self.start_delta
+        in_first_page = self.iova & (PAGE_SIZE - 1)
+        position = in_first_page + relative
+        nr_pages = (in_first_page + self.truesize - 1) // PAGE_SIZE + 1
+        if 0 <= position < nr_pages * PAGE_SIZE:
+            return self.iova + relative
+        return None
+
+
+@dataclass
+class BufferWriteWindow:
+    """Write access to one target buffer, by whatever path works."""
+
+    device: MaliciousDevice
+    original_iova: int
+    truesize: int
+    #: the original mapping is still live (path (i) -- only true inside
+    #: the skb_first race)
+    mapping_live: bool = False
+    #: False when the device observed its IOVA re-posted on the ring:
+    #: under strict invalidation the IOVA range is recycled instantly,
+    #: so writes through it would hit the *refill* buffer, not the
+    #: target. The descriptor ring makes the reuse device-visible.
+    original_valid: bool = True
+    neighbors: list[RingNeighbor] = field(default_factory=list)
+    paths_used: set[str] = field(default_factory=set)
+    #: ring slot of the target buffer (set by open_rx_window)
+    slot: int = -1
+
+    def _candidates(self, byte_offset: int) -> list[tuple[str, int]]:
+        out: list[tuple[str, int]] = []
+        if self.original_valid:
+            out.append(("i" if self.mapping_live else "ii",
+                        self.original_iova + byte_offset))
+        for neighbor in self.neighbors:
+            iova = neighbor.iova_for(byte_offset)
+            if iova is not None:
+                out.append(("iii", iova))
+        return out
+
+    def resolve(self, byte_offset: int, length: int = 1
+                ) -> tuple[str, int] | None:
+        """(path, iova) able to write [byte_offset, +length), or None."""
+        for path, iova in self._candidates(byte_offset):
+            if self.device.can_write(iova) \
+                    and self.device.can_write(iova + length - 1):
+                return path, iova
+        return None
+
+    def write(self, byte_offset: int, data: bytes) -> str:
+        """Write *data* at the target buffer's *byte_offset*.
+
+        Splits across page boundaries so each fragment can travel by a
+        different path. Returns the paths used (joined); raises
+        :class:`AttackFailed` if any byte is unreachable.
+        """
+        cursor = byte_offset
+        view = memoryview(data)
+        while view.nbytes > 0:
+            resolved_any = False
+            for path, iova in self._candidates(cursor):
+                chunk = min(view.nbytes,
+                            PAGE_SIZE - (iova & (PAGE_SIZE - 1)))
+                if self.device.can_write(iova) and \
+                        self.device.can_write(iova + chunk - 1):
+                    self.device.dma_write(iova, bytes(view[:chunk]))
+                    self.paths_used.add(path)
+                    cursor += chunk
+                    view = view[chunk:]
+                    resolved_any = True
+                    break
+            if not resolved_any:
+                raise AttackFailed(
+                    f"no write path to buffer offset {cursor:#x}",
+                    stage="time-window")
+        return "+".join(sorted(self.paths_used))
+
+    def write_u64(self, byte_offset: int, value: int) -> str:
+        return self.write(byte_offset, value.to_bytes(8, "little"))
+
+    def can_write_range(self, byte_offset: int, length: int) -> bool:
+        """Probe without writing (per page, like split writes would)."""
+        cursor = byte_offset
+        remaining = length
+        while remaining > 0:
+            hit = None
+            for _path, iova in self._candidates(cursor):
+                chunk = min(remaining, PAGE_SIZE - (iova & (PAGE_SIZE - 1)))
+                if self.device.can_write(iova) and \
+                        self.device.can_write(iova + chunk - 1):
+                    hit = chunk
+                    break
+            if hit is None:
+                return False
+            cursor += hit
+            remaining -= hit
+        return True
+
+
+def ring_window(device: MaliciousDevice, ring: list[tuple[int, int]],
+                target_index: int, *, mapping_live: bool = False,
+                original_valid: bool = True) -> BufferWriteWindow:
+    """Build a window for ring slot *target_index*.
+
+    *ring* is the device-visible list of (iova, truesize) in posting
+    order; page_frag allocation order means slot j+1 lies truesize
+    below slot j (until a chunk boundary, which the probes discover).
+    """
+    iova, truesize = ring[target_index]
+    neighbors = []
+    for m, (n_iova, n_truesize) in enumerate(ring):
+        if m == target_index:
+            continue
+        delta = (m - target_index) * -truesize
+        neighbors.append(RingNeighbor(n_iova, delta, n_truesize))
+    return BufferWriteWindow(device, iova, truesize,
+                             mapping_live=mapping_live,
+                             original_valid=original_valid,
+                             neighbors=neighbors)
+
+
+def open_rx_window(kernel, nic, device: MaliciousDevice,
+                   wire_bytes: bytes, *, cpu: int = 0
+                   ) -> BufferWriteWindow:
+    """Inject a packet and open a post-delivery window on its buffer.
+
+    The shared boilerplate of every compound attack's hijack stage:
+    fill the next RX slot, warm the IOTLB over the buffer's full span
+    while the mapping is live, let the driver build the skb (which
+    initializes the shared info), then assemble the window -- the
+    stale original IOVA (unless the device saw it re-posted) plus the
+    next two still-posted neighbours.
+    """
+    from repro.errors import AttackFailed  # local: avoid module cycle
+    from repro.net.structs import skb_truesize
+
+    ring = nic.rx_rings[cpu]
+    desc = ring.next_for_device()
+    if desc is None:
+        raise AttackFailed("RX ring starved", stage="rx-window")
+    slot, iova = desc.index, desc.iova
+    truesize = skb_truesize(nic.rx_buf_size)
+    if not nic.device_receive(wire_bytes, cpu=cpu):
+        raise AttackFailed("RX ring refused the packet", stage="rx-window")
+    device.dma_write(iova + truesize - 8, b"\x00" * 8)  # warm the IOTLB
+    nic.napi_poll(cpu=cpu)
+    # Reuse detection: the IOVA *pages* of the consumed buffer may be
+    # recycled for the refill buffer (instantly under strict mode).
+    # The device sees every posted descriptor's IOVA and buffer size,
+    # so page-span overlap is device-computable.
+    lo = iova >> 12
+    hi = (iova + truesize - 1) >> 12
+    reused = any((d.iova >> 12) <= hi
+                 and ((d.iova + truesize - 1) >> 12) >= lo
+                 for d in ring.posted_descriptors())
+    ring_pairs = [(iova, truesize)]
+    for ahead in (1, 2):
+        neighbor = ring.descriptors[(slot + ahead) % ring.nr_desc]
+        if neighbor.posted and not neighbor.completed:
+            ring_pairs.append((neighbor.iova, truesize))
+    window = ring_window(device, ring_pairs, 0, original_valid=not reused)
+    window.slot = slot
+    return window
+
+
+def open_rx_window_covering(kernel, nic, device: MaliciousDevice,
+                            packet_factory, ranges: list[tuple[int, int]],
+                            *, cpu: int = 0, attempts: int = 8
+                            ) -> BufferWriteWindow:
+    """Open a window that can write every (offset, length) in *ranges*.
+
+    Under strict invalidation only buffers with favourable page
+    geometry (target bytes sharing a page with a still-posted
+    neighbour) are attackable; a real device simply burns ring slots
+    until one lines up. Each failed attempt's packet is processed
+    normally by the victim -- the attack traffic looks like noise.
+    """
+    from repro.errors import AttackFailed
+
+    last_window = None
+    for attempt in range(attempts):
+        window = open_rx_window(kernel, nic, device,
+                                packet_factory(attempt), cpu=cpu)
+        if all(window.can_write_range(offset, length)
+               for offset, length in ranges):
+            return window
+        last_window = window
+        kernel.stack.process_backlog()  # drain the failed attempt
+    raise AttackFailed(
+        f"no ring slot with a usable window in {attempts} attempts "
+        f"(last slot {getattr(last_window, 'slot', -1)})",
+        stage="time-window")

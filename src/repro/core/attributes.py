@@ -1,0 +1,80 @@
+"""The three vulnerability attributes for code injection (section 3.3).
+
+"For a successful privilege escalation attack (i.e., code injection), a
+malicious device needs the following set of three vulnerability
+attributes":
+
+1. the KVA of a kernel buffer filled with malicious code,
+2. write access to a function callback pointer at a known location,
+3. a time window in which the modification survives until the CPU
+   jumps through the pointer.
+
+All compound attacks are structured as the stepwise acquisition of
+these attributes; each attack's report shows which step supplied which
+attribute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class AttributeEvidence:
+    """How (and when) one attribute was obtained."""
+
+    obtained: bool = False
+    how: str = ""
+    value: int | None = None
+
+
+@dataclass
+class VulnerabilityAttributes:
+    """Tracks the trifecta across the stages of a (compound) attack."""
+
+    #: attribute 1: KVA of the attacker's malicious buffer
+    malicious_buffer_kva: AttributeEvidence = field(
+        default_factory=AttributeEvidence)
+    #: attribute 2: write access to a callback pointer at a known offset
+    callback_write_access: AttributeEvidence = field(
+        default_factory=AttributeEvidence)
+    #: attribute 3: a usable modification window
+    time_window: AttributeEvidence = field(default_factory=AttributeEvidence)
+
+    @property
+    def complete(self) -> bool:
+        """All three attributes in hand -- the attack can be executed."""
+        return (self.malicious_buffer_kva.obtained
+                and self.callback_write_access.obtained
+                and self.time_window.obtained)
+
+    def missing(self) -> list[str]:
+        out = []
+        if not self.malicious_buffer_kva.obtained:
+            out.append("malicious buffer KVA")
+        if not self.callback_write_access.obtained:
+            out.append("callback write access")
+        if not self.time_window.obtained:
+            out.append("time window")
+        return out
+
+    def record_kva(self, kva: int, how: str) -> None:
+        self.malicious_buffer_kva = AttributeEvidence(True, how, kva)
+
+    def record_callback_access(self, how: str,
+                               where: int | None = None) -> None:
+        self.callback_write_access = AttributeEvidence(True, how, where)
+
+    def record_window(self, how: str) -> None:
+        self.time_window = AttributeEvidence(True, how)
+
+    def summary(self) -> str:
+        lines = []
+        for label, ev in (
+                ("1. malicious buffer KVA", self.malicious_buffer_kva),
+                ("2. callback write access", self.callback_write_access),
+                ("3. time window", self.time_window)):
+            status = "OBTAINED" if ev.obtained else "missing"
+            lines.append(f"  {label}: {status}"
+                         + (f" -- {ev.how}" if ev.how else ""))
+        return "\n".join(lines)

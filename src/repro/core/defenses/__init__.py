@@ -1,0 +1,7 @@
+"""Defenses evaluated by the paper (sections 7-9)."""
+
+from repro.core.defenses.blinding import PointerBlinding, recover_cookie
+from repro.core.defenses.policy import DefenseConfig, build_victim
+
+__all__ = ["PointerBlinding", "recover_cookie", "DefenseConfig",
+           "build_victim"]

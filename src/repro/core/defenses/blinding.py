@@ -1,0 +1,45 @@
+"""macOS-style callback-pointer blinding (section 7).
+
+"MacOS ... does expose the *mbuf* data structure to the device, though
+with some precautions such as blinding the exposed callback pointer
+*ext_free* by XORing it with a secret cookie. Indeed, this is
+sufficient to defend against *single-step* attacks. However ...
+*ext_free* can receive only one of two possible values. As a result,
+once an attacker compromises MacOS KASLR, the random cookie is
+revealed by a single XOR operation."
+"""
+
+from __future__ import annotations
+
+from repro.sim.rng import DeterministicRng
+
+
+class PointerBlinding:
+    """XOR-cookie blinding of stored callback pointers."""
+
+    def __init__(self, rng: DeterministicRng) -> None:
+        self._cookie = rng.randint(1, (1 << 64) - 1)
+
+    def blind(self, pointer: int) -> int:
+        """What the kernel stores in the exposed field."""
+        return pointer ^ self._cookie
+
+    def unblind(self, stored: int) -> int:
+        """What the kernel calls after loading the field."""
+        return stored ^ self._cookie
+
+    def cookie_for_test(self) -> int:
+        """Ground-truth cookie, for experiment verification only."""
+        return self._cookie
+
+
+def recover_cookie(blinded_value: int, candidate_pointers: list[int]
+                   ) -> list[int]:
+    """Attacker side: cookie candidates from a leaked blinded field.
+
+    With KASLR broken the attacker knows the handful of legitimate
+    pointer values the field can hold, so each candidate yields a
+    cookie guess ``blinded ^ candidate``; with only one or two
+    legitimate values the cookie is effectively revealed.
+    """
+    return [blinded_value ^ candidate for candidate in candidate_pointers]

@@ -1,0 +1,8 @@
+"""D-KASAN: the DMA Kernel Address SANitizer (section 4.2)."""
+
+from repro.core.dkasan.sanitizer import DKasan, DKasanEvent
+from repro.core.dkasan.shadow import ShadowMemory
+from repro.core.dkasan.report import format_report, format_sample_lines
+
+__all__ = ["DKasan", "DKasanEvent", "ShadowMemory", "format_report",
+           "format_sample_lines"]

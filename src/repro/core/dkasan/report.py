@@ -1,0 +1,40 @@
+"""D-KASAN report rendering (Figure 3 of the paper).
+
+Each line shows "the size of the allocated buffer, the DMA access
+type, and the allocating location (i.e., function name and offset)":
+
+    [1] size 512 [READ, WRITE] __alloc_skb+0xe0/0x3f0
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.core.dkasan.sanitizer import DKasan, DKasanEvent
+
+
+def format_sample_lines(events: list[DKasanEvent], *,
+                        limit: int | None = None) -> list[str]:
+    """Figure-3-style numbered lines, deduplicated by rendering."""
+    seen: list[str] = []
+    for event in events:
+        rendered = event.render()
+        if rendered not in seen:
+            seen.append(rendered)
+        if limit is not None and len(seen) >= limit:
+            break
+    return [f"[{i + 1}] {line}" for i, line in enumerate(seen)]
+
+
+def format_report(dkasan: DKasan) -> str:
+    """Full report: per-kind counts plus deduplicated findings."""
+    counts: Counter = dkasan.summary_counts()
+    lines = ["D-KASAN report", "=============="]
+    from repro.core.dkasan.sanitizer import EVENT_KINDS
+    for kind in EVENT_KINDS:
+        lines.append(f"{kind:26s}: {counts.get(kind, 0)} events")
+    lines.append("")
+    for event, count in sorted(dkasan.unique_findings(),
+                               key=lambda item: -item[1]):
+        lines.append(f"{event.kind:18s} x{count:<5d} {event.render()}")
+    return "\n".join(lines)

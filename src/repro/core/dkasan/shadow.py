@@ -1,0 +1,64 @@
+"""Shadow memory, KASAN-style.
+
+"KASAN uses shadow memory to record whether a memory byte is safe to
+access" -- one shadow byte tracks an 8-byte granule. D-KASAN extends
+the encoding with DMA exposure: in addition to allocation state, each
+granule knows whether its page is currently device-accessible.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.mem.phys import PAGE_SHIFT
+
+GRANULE = 8
+GRANULES_PER_PAGE = (1 << PAGE_SHIFT) // GRANULE
+
+
+class ShadowState(enum.IntEnum):
+    """Per-granule allocation state (the classic KASAN byte)."""
+
+    UNTRACKED = 0
+    ALLOCATED = 1
+    FREED = 2       # freed at least once: use-after-free candidates
+    REDZONE = 3
+
+
+class ShadowMemory:
+    """Sparse shadow: one state byte per 8-byte granule."""
+
+    def __init__(self, phys_bytes: int) -> None:
+        self._limit = phys_bytes // GRANULE
+        self._shadow: dict[int, int] = {}
+
+    def _index(self, paddr: int) -> int:
+        index = paddr // GRANULE
+        if not 0 <= index < self._limit:
+            raise ValueError(f"shadow index for paddr {paddr:#x} "
+                             f"out of range")
+        return index
+
+    def poison_range(self, paddr: int, size: int,
+                     state: ShadowState) -> None:
+        start = self._index(paddr)
+        end = self._index(paddr + max(size - 1, 0))
+        for index in range(start, end + 1):
+            if state == ShadowState.UNTRACKED:
+                self._shadow.pop(index, None)
+            else:
+                self._shadow[index] = int(state)
+
+    def state_at(self, paddr: int) -> ShadowState:
+        return ShadowState(self._shadow.get(self._index(paddr), 0))
+
+    def any_state_in(self, paddr: int, size: int,
+                     state: ShadowState) -> bool:
+        start = self._index(paddr)
+        end = self._index(paddr + max(size - 1, 0))
+        return any(self._shadow.get(i, 0) == int(state)
+                   for i in range(start, end + 1))
+
+    @property
+    def tracked_granules(self) -> int:
+        return len(self._shadow)

@@ -1,0 +1,74 @@
+"""Cross-reference index over a source tree (the Cscope role).
+
+"To navigate the kernel code, SPADE uses Cscope" (section 4.1.1). The
+index parses every file once and answers the two queries the analysis
+needs: where is a struct/function defined, and who calls a function
+(with what argument expressions) -- the latter drives the recursive
+backtracking when a mapped variable turns out to be a parameter.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+from repro.core.spade.cparse import (CallSite, FunctionDef, ParsedFile,
+                                     StructDef, parse_file)
+from repro.corpus.generate import SourceTree
+
+
+@dataclass(frozen=True)
+class CallerRecord:
+    """One call site of a function, with its enclosing context."""
+
+    file: str
+    caller: FunctionDef
+    call: CallSite
+
+
+class CodeIndex:
+    """Parsed view of the whole tree with symbol cross-references."""
+
+    def __init__(self, tree: SourceTree) -> None:
+        self.parsed: dict[str, ParsedFile] = {}
+        self.structs: dict[str, StructDef] = {}
+        self.functions: dict[str, tuple[str, FunctionDef]] = {}
+        self._callers: dict[str, list[CallerRecord]] = defaultdict(list)
+        self.parse_errors: dict[str, str] = {}
+        for path in tree.paths():
+            if not (path.endswith(".c") or path.endswith(".h")):
+                continue
+            try:
+                parsed = parse_file(path, tree.read(path))
+            except Exception as exc:  # a real tool logs and moves on
+                self.parse_errors[path] = str(exc)
+                continue
+            self.parsed[path] = parsed
+            for name, struct_def in parsed.structs.items():
+                # headers first in sorted order; first definition wins
+                self.structs.setdefault(name, struct_def)
+            for name, func in parsed.functions.items():
+                self.functions.setdefault(name, (path, func))
+        for path, parsed in self.parsed.items():
+            for func in parsed.functions.values():
+                for call in func.calls:
+                    self._callers[call.callee].append(
+                        CallerRecord(path, func, call))
+
+    def callers_of(self, name: str) -> list[CallerRecord]:
+        return list(self._callers.get(name, ()))
+
+    def calls_to(self, name: str, *, within: str | None = None
+                 ) -> list[CallerRecord]:
+        records = self.callers_of(name)
+        if within is not None:
+            records = [r for r in records if r.file == within]
+        return records
+
+    @property
+    def nr_files(self) -> int:
+        return len(self.parsed)
+
+    @property
+    def nr_functions(self) -> int:
+        return len(self.functions)

@@ -1,0 +1,119 @@
+"""C tokenizer for SPADE.
+
+Comments are dropped, preprocessor lines are captured as single
+``PREPROC`` tokens, and every token carries its 1-based source line so
+findings can cite exact locations (as the paper's tool does).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import AnalysisError
+
+#: multi-character punctuators, longest first
+_PUNCTUATORS = ("->", "<<=", ">>=", "==", "!=", "<=", ">=", "&&", "||",
+                "<<", ">>", "+=", "-=", "*=", "/=", "|=", "&=", "^=",
+                "++", "--", "...")
+
+_SINGLE_PUNCT = set("{}()[];,*&=<>!+-/%|^~?:.")
+
+
+class TokKind(enum.Enum):
+    IDENT = "ident"
+    NUMBER = "number"
+    STRING = "string"
+    CHAR = "char"
+    PUNCT = "punct"
+    PREPROC = "preproc"
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokKind
+    text: str
+    line: int
+
+    def is_punct(self, text: str) -> bool:
+        return self.kind == TokKind.PUNCT and self.text == text
+
+    def is_ident(self, text: str | None = None) -> bool:
+        return self.kind == TokKind.IDENT and \
+            (text is None or self.text == text)
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize C source; raises on unterminated constructs."""
+    tokens: list[Token] = []
+    i = 0
+    line = 1
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            line += 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            continue
+        if ch == "#":
+            end = source.find("\n", i)
+            if end == -1:
+                end = n
+            tokens.append(Token(TokKind.PREPROC, source[i:end], line))
+            i = end
+            continue
+        if source.startswith("//", i):
+            end = source.find("\n", i)
+            i = n if end == -1 else end
+            continue
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end == -1:
+                raise AnalysisError(f"unterminated comment at line {line}")
+            line += source.count("\n", i, end)
+            i = end + 2
+            continue
+        if ch == '"' or ch == "'":
+            j = i + 1
+            while j < n and source[j] != ch:
+                if source[j] == "\\":
+                    j += 1
+                j += 1
+            if j >= n:
+                raise AnalysisError(f"unterminated literal at line {line}")
+            kind = TokKind.STRING if ch == '"' else TokKind.CHAR
+            tokens.append(Token(kind, source[i:j + 1], line))
+            i = j + 1
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            tokens.append(Token(TokKind.IDENT, source[i:j], line))
+            i = j
+            continue
+        if ch.isdigit():
+            j = i
+            while j < n and (source[j].isalnum() or source[j] in "xX._"):
+                j += 1
+            tokens.append(Token(TokKind.NUMBER, source[i:j], line))
+            i = j
+            continue
+        matched = False
+        for punct in _PUNCTUATORS:
+            if source.startswith(punct, i):
+                tokens.append(Token(TokKind.PUNCT, punct, line))
+                i += len(punct)
+                matched = True
+                break
+        if matched:
+            continue
+        if ch in _SINGLE_PUNCT:
+            tokens.append(Token(TokKind.PUNCT, ch, line))
+            i += 1
+            continue
+        raise AnalysisError(f"unexpected character {ch!r} at line {line}")
+    return tokens

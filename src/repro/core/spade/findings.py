@@ -1,0 +1,100 @@
+"""SPADE finding records and Table-2 aggregation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Finding:
+    """Analysis result for one dma-map call site."""
+
+    file: str
+    line: int
+    mapped_expr: str
+    #: exposure labels, same vocabulary as the corpus manifest
+    exposures: set[str] = field(default_factory=set)
+    exposed_struct: str | None = None
+    direct_callbacks: int = 0
+    direct_callback_names: list[str] = field(default_factory=list)
+    spoofable_callbacks: int = 0
+    allocation_source: str | None = None
+    #: Figure-2-style numbered trace lines
+    trace: list[str] = field(default_factory=list)
+
+    @property
+    def vulnerable(self) -> bool:
+        return bool(self.exposures)
+
+    def note(self, message: str) -> None:
+        self.trace.append(message)
+
+
+@dataclass
+class Table2Stats:
+    """The seven rows of Table 2 plus the totals."""
+
+    callbacks_exposed: tuple[int, int]
+    skb_shared_info_mapped: tuple[int, int]
+    callbacks_exposed_directly: tuple[int, int]
+    private_data_mapped: tuple[int, int]
+    stack_mapped: tuple[int, int]
+    type_c: tuple[int, int]
+    build_skb_used: tuple[int, int]
+    total: tuple[int, int]
+    vulnerable: tuple[int, int]
+
+    @classmethod
+    def from_findings(cls, findings: list["Finding"]) -> "Table2Stats":
+        def row(*labels: str) -> tuple[int, int]:
+            hits = [f for f in findings
+                    if any(label in f.exposures for label in labels)]
+            return len(hits), len({f.file for f in hits})
+
+        vulnerable = [f for f in findings if f.vulnerable]
+        return cls(
+            callbacks_exposed=row("callback_direct", "callback_spoof"),
+            skb_shared_info_mapped=row("skb_shared_info"),
+            callbacks_exposed_directly=row("callback_direct"),
+            private_data_mapped=row("private_data"),
+            stack_mapped=row("stack"),
+            type_c=row("type_c"),
+            build_skb_used=row("build_skb"),
+            total=(len(findings), len({f.file for f in findings})),
+            vulnerable=(len(vulnerable),
+                        len({f.file for f in vulnerable})),
+        )
+
+    def rows(self) -> list[tuple[str, int, int]]:
+        """(label, calls, files) in the paper's Table 2 order."""
+        return [
+            ("1. Callbacks exposed", *self.callbacks_exposed),
+            ("2. skb_shared_info mapped", *self.skb_shared_info_mapped),
+            ("3. Callbacks exposed directly",
+             *self.callbacks_exposed_directly),
+            ("4. Private data mapped", *self.private_data_mapped),
+            ("5. Stack mapped", *self.stack_mapped),
+            ("6. Type C vulnerability", *self.type_c),
+            ("7. build_skb used", *self.build_skb_used),
+            ("Total dma-map calls", *self.total),
+        ]
+
+
+@dataclass
+class ValidationResult:
+    """SPADE vs. the generator's ground truth."""
+
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+    per_label_errors: dict[str, tuple[int, int]]
+
+    @property
+    def precision(self) -> float:
+        denom = self.true_positives + self.false_positives
+        return self.true_positives / denom if denom else 1.0
+
+    @property
+    def recall(self) -> float:
+        denom = self.true_positives + self.false_negatives
+        return self.true_positives / denom if denom else 1.0

@@ -1,0 +1,178 @@
+"""Struct layout and callback-reachability analysis (the pahole role).
+
+"SPADE ... uses pahole to explore the compiled binaries for the layout
+of the exposed data structures" (section 4.1.1). Given the parsed
+struct definitions, this module computes:
+
+* byte layouts (offset/size per field, natural alignment like x86-64);
+* **direct callback counts** -- function-pointer fields of the struct,
+  including those of structs nested by value (they share the mapped
+  page with the buffer);
+* **spoofable callback counts** -- walking the pointer graph from the
+  struct (each struct type visited once), summing the function-pointer
+  fields of every reachable type: a device that can redirect any of
+  the exposed pointers to a forged instance controls that many
+  callbacks (footnote 3 of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.spade.cparse import StructDef, StructField, TypeRef
+from repro.errors import AnalysisError
+
+#: x86-64 sizes for the corpus's scalar types.
+PRIMITIVE_SIZES = {
+    "u8": 1, "u16": 2, "u32": 4, "u64": 8,
+    "char": 1, "short": 2, "int": 4, "long": 8,
+    "unsigned": 4, "unsigned char": 1, "unsigned short": 2,
+    "unsigned int": 4, "unsigned long": 8, "unsigned long long": 8,
+    "long long": 8, "float": 4, "double": 8,
+    "size_t": 8, "dma_addr_t": 8, "gfp_t": 4, "atomic_t": 4,
+    "netdev_features_t": 8, "void": 1,
+}
+
+POINTER_SIZE = 8
+
+
+@dataclass(frozen=True)
+class LaidOutField:
+    name: str
+    offset: int
+    size: int
+    is_callback: bool
+    type: TypeRef | None
+
+
+@dataclass
+class StructLayoutInfo:
+    name: str
+    size: int
+    fields: list[LaidOutField] = field(default_factory=list)
+
+    def callback_fields(self) -> list[LaidOutField]:
+        return [f for f in self.fields if f.is_callback]
+
+
+class PaholeDb:
+    """Layout/reachability queries over a set of struct definitions."""
+
+    def __init__(self, structs: dict[str, StructDef]) -> None:
+        self._structs = structs
+        self._layout_cache: dict[str, StructLayoutInfo] = {}
+
+    def has_struct(self, name: str) -> bool:
+        return name in self._structs
+
+    def struct_def(self, name: str) -> StructDef | None:
+        return self._structs.get(name)
+
+    # -- sizes and layout -----------------------------------------------------
+
+    def _field_size_align(self, f: StructField,
+                          stack: tuple[str, ...]) -> tuple[int, int]:
+        if f.is_func_ptr:
+            return POINTER_SIZE * f.func_ptr_count, POINTER_SIZE
+        ref = f.type
+        if ref is None:
+            return POINTER_SIZE, POINTER_SIZE
+        if ref.pointer_level > 0:
+            base, align = POINTER_SIZE, POINTER_SIZE
+        elif ref.is_struct:
+            inner = self.layout(ref.base, _stack=stack)
+            base, align = inner.size, min(8, inner.size) or 1
+        else:
+            base = PRIMITIVE_SIZES.get(ref.base, 4)
+            align = base
+        count = ref.array_len if ref.array_len is not None else 1
+        return base * count, align
+
+    def layout(self, name: str, *,
+               _stack: tuple[str, ...] = ()) -> StructLayoutInfo:
+        """Compute the byte layout of ``struct name``."""
+        cached = self._layout_cache.get(name)
+        if cached is not None:
+            return cached
+        if name in _stack:
+            raise AnalysisError(f"recursive by-value struct {name}")
+        struct_def = self._structs.get(name)
+        if struct_def is None:
+            raise AnalysisError(f"unknown struct {name}")
+        info = StructLayoutInfo(name, 0)
+        offset = 0
+        max_align = 1
+        for f in struct_def.fields:
+            size, align = self._field_size_align(f, _stack + (name,))
+            max_align = max(max_align, align)
+            offset = -(-offset // align) * align
+            info.fields.append(LaidOutField(
+                f.name, offset, size,
+                is_callback=f.is_func_ptr, type=f.type))
+            offset += size
+        info.size = -(-offset // max_align) * max_align
+        self._layout_cache[name] = info
+        return info
+
+    # -- callback reachability ---------------------------------------------------
+
+    def direct_callbacks(self, name: str,
+                         prefix: str = "") -> list[tuple[str, int]]:
+        """(dotted_name, count) of fn-ptr fields on the struct's own
+        page image -- including structs nested by value."""
+        struct_def = self._structs.get(name)
+        if struct_def is None:
+            return []
+        out: list[tuple[str, int]] = []
+        for f in struct_def.fields:
+            if f.is_func_ptr:
+                out.append((prefix + f.name, f.func_ptr_count))
+            elif f.type is not None and f.type.is_struct \
+                    and f.type.pointer_level == 0 \
+                    and f.type.base in self._structs:
+                out.extend(self.direct_callbacks(
+                    f.type.base, prefix + f.name + "."))
+        return out
+
+    def direct_callback_count(self, name: str) -> int:
+        return sum(count for _n, count in self.direct_callbacks(name))
+
+    def _pointer_targets(self, name: str) -> set[str]:
+        struct_def = self._structs.get(name)
+        if struct_def is None:
+            return set()
+        targets = set()
+        for f in struct_def.fields:
+            if f.is_func_ptr or f.type is None:
+                continue
+            if f.type.is_struct and f.type.pointer_level > 0 \
+                    and f.type.base in self._structs:
+                targets.add(f.type.base)
+            elif f.type.is_struct and f.type.pointer_level == 0 \
+                    and f.type.base in self._structs:
+                # by-value nesting: its pointers are our pointers
+                targets |= self._pointer_targets(f.type.base)
+        return targets
+
+    def spoofable_callbacks(self, name: str) -> tuple[int, list[str]]:
+        """(total, visited struct names) reachable via pointer fields.
+
+        BFS over the struct-pointer graph, each type visited once; the
+        root's own (direct) callbacks are excluded -- they are counted
+        by :meth:`direct_callback_count`.
+        """
+        visited: set[str] = {name}
+        queue = sorted(self._pointer_targets(name))
+        order: list[str] = []
+        total = 0
+        while queue:
+            current = queue.pop(0)
+            if current in visited:
+                continue
+            visited.add(current)
+            order.append(current)
+            total += self.direct_callback_count(current)
+            for nxt in sorted(self._pointer_targets(current)):
+                if nxt not in visited:
+                    queue.append(nxt)
+        return total, order

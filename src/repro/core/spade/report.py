@@ -1,0 +1,45 @@
+"""SPADE output rendering: Figure-2 traces and the Table-2 summary."""
+
+from __future__ import annotations
+
+from repro.core.spade.findings import Finding, Table2Stats
+
+
+def format_finding_trace(finding: Finding) -> str:
+    """Figure-2-style numbered trace for one call site.
+
+    Mirrors the paper's example: the recursive chain of declarations,
+    calls, and assignments first, then the impact lines (exposed /
+    spoofable callback counts).
+    """
+    lines = [f"=== {finding.file}:{finding.line} maps "
+             f"{finding.mapped_expr!r} ==="]
+    for i, entry in enumerate(finding.trace, start=1):
+        lines.append(f"[{i}] {entry}")
+    verdict = ("VULNERABLE: " + ", ".join(sorted(finding.exposures))
+               if finding.vulnerable else "no static exposure found")
+    lines.append(verdict)
+    return "\n".join(lines)
+
+
+def format_table2(stats: Table2Stats) -> str:
+    """The paper's Table 2, with the same row labels and percentages."""
+    total_calls, total_files = stats.total
+    lines = [f"{'Stat':34s} {'#API calls':>16s} {'#Files':>16s}"]
+
+    def cell(count: int, total: int, *, with_pct: bool) -> str:
+        if with_pct:
+            return f"{count} ({100.0 * count / total:.1f}%)"
+        return str(count)
+
+    for label, calls, files in stats.rows():
+        with_pct = label.startswith(("1.", "2."))
+        lines.append(
+            f"{label:34s} {cell(calls, total_calls, with_pct=with_pct):>16s}"
+            f" {cell(files, total_files, with_pct=with_pct):>16s}")
+    vuln_calls, _vuln_files = stats.vulnerable
+    lines.append(
+        f"-> {vuln_calls} dma-map calls "
+        f"({100.0 * vuln_calls / total_calls:.1f}%) with a potential "
+        f"vulnerability")
+    return "\n".join(lines)

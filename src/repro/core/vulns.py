@@ -1,0 +1,110 @@
+"""The four sub-page vulnerability types (section 3.2, Figure 1).
+
+"Anytime an I/O buffer smaller than a page is DMA-mapped, all
+additional information that resides on the same physical page becomes
+accessible to the device."
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.dma.tracking import MappingRegistry
+from repro.mem.phys import PAGE_SIZE
+from repro.mem.slab import SlabAllocator
+
+
+class VulnType(enum.Enum):
+    """Figure 1's taxonomy."""
+
+    #: (a) the I/O buffer is embedded in a larger driver data structure
+    #: whose metadata (callback pointers) shares the mapped page.
+    DRIVER_METADATA = "A"
+    #: (b) an OS subsystem places its own metadata (allocator freelists,
+    #: skb_shared_info) on the mapped page.
+    OS_METADATA = "B"
+    #: (c) the page is reachable through multiple IOVAs, so unmapping
+    #: one leaves the device with access through another.
+    MULTIPLE_IOVA = "C"
+    #: (d) an unrelated, dynamically allocated buffer coincidentally
+    #: shares the page (random co-location).
+    RANDOM_COLOCATION = "D"
+
+    @property
+    def description(self) -> str:
+        return _DESCRIPTIONS[self]
+
+    @property
+    def blamed_on(self) -> str:
+        """Whose design is at fault (section 4.1.3's 13%-vs-60% split)."""
+        return ("driver" if self is VulnType.DRIVER_METADATA else "OS")
+
+
+_DESCRIPTIONS = {
+    VulnType.DRIVER_METADATA:
+        "I/O buffer embedded in a driver struct exposing its metadata",
+    VulnType.OS_METADATA:
+        "OS subsystem metadata co-resident with the I/O buffer",
+    VulnType.MULTIPLE_IOVA:
+        "page mapped by multiple IOVAs; unmap of one does not revoke",
+    VulnType.RANDOM_COLOCATION:
+        "unrelated kernel buffer randomly co-located on the mapped page",
+}
+
+
+@dataclass
+class SubPageVulnerability:
+    """One concrete sub-page exposure found on a live system."""
+
+    vuln_type: VulnType
+    pfn: int
+    device: str
+    perm: str
+    #: human-oriented description of what is exposed
+    exposed: str
+    #: byte ranges on the page that hold sensitive data, as
+    #: (offset, size, label) triples
+    regions: list[tuple[int, int, str]] = field(default_factory=list)
+
+    def __str__(self) -> str:
+        return (f"type {self.vuln_type.value} on PFN {self.pfn:#x} "
+                f"[{self.perm}] via {self.device}: {self.exposed}")
+
+
+def classify_page_exposures(pfn: int, registry: MappingRegistry,
+                            slab: SlabAllocator) -> list[SubPageVulnerability]:
+    """Runtime classification of what frame *pfn* exposes right now.
+
+    Used by experiments and by D-KASAN reporting; detects type (c)
+    (multiple live mappings) and type (d) (live slab objects other than
+    the mapped buffer on the same frame).
+    """
+    mappings = registry.mappings_on_pfn(pfn)
+    if not mappings:
+        return []
+    found: list[SubPageVulnerability] = []
+    if len(mappings) > 1:
+        found.append(SubPageVulnerability(
+            VulnType.MULTIPLE_IOVA, pfn, mappings[0].device,
+            "+".join(sorted({m.perm.value for m in mappings})),
+            f"{len(mappings)} live IOVAs reference this frame",
+            regions=[(m.paddr % PAGE_SIZE if m.first_pfn == pfn else 0,
+                      m.size, f"mapping {m.mapping_id}")
+                     for m in mappings]))
+    page_lo = pfn * PAGE_SIZE
+    mapped_ranges = [(m.paddr, m.paddr + m.size) for m in mappings]
+    strangers = []
+    for obj_paddr, obj_size in slab.live_objects_on_pfn(pfn):
+        inside_a_mapping = any(lo <= obj_paddr and obj_paddr + obj_size <= hi
+                               for lo, hi in mapped_ranges)
+        if not inside_a_mapping:
+            strangers.append((obj_paddr - page_lo, obj_size,
+                              "co-located kmalloc object"))
+    if strangers:
+        found.append(SubPageVulnerability(
+            VulnType.RANDOM_COLOCATION, pfn, mappings[0].device,
+            "+".join(sorted({m.perm.value for m in mappings})),
+            f"{len(strangers)} unrelated kmalloc objects on the mapped page",
+            regions=strangers))
+    return found

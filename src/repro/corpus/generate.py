@@ -1,0 +1,170 @@
+"""Corpus generator: a Linux-5.0-shaped synthetic source tree.
+
+Deterministic per seed. Produces a :class:`SourceTree` (path ->
+content) and the ground-truth :class:`Manifest` of every dma-map call
+site.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from repro.corpus.linux50 import LINUX50_COMPOSITION, CategorySpec
+from repro.corpus.manifest import CallSiteTruth, Manifest
+from repro.corpus.nvme_fc import NVME_FC_PATH, NVME_FC_SOURCE
+from repro.corpus.structs_db import SHARED_HEADERS
+from repro.corpus.templates import RENDERERS
+from repro.errors import CorpusError
+from repro.sim.rng import DeterministicRng
+
+_SYLLABLES = ("ar", "ben", "cor", "dex", "el", "far", "gal", "hex",
+              "ix", "jet", "kor", "lan", "mos", "net", "ox", "pex",
+              "qua", "rix", "sol", "tem", "ul", "vex", "wim", "xen",
+              "yar", "zet")
+
+_VENDOR_DIRS = ("drivers/net/ethernet", "drivers/net/wireless",
+                "drivers/nvme/host", "drivers/scsi", "drivers/crypto",
+                "drivers/usb/host", "drivers/infiniband/hw",
+                "drivers/gpu/drm", "drivers/firewire", "drivers/block")
+
+
+@dataclass
+class SourceTree:
+    """An in-memory source tree: path -> file content."""
+
+    files: dict[str, str] = field(default_factory=dict)
+
+    def add(self, path: str, content: str) -> None:
+        if path in self.files:
+            raise CorpusError(f"duplicate path {path}")
+        self.files[path] = content
+
+    def read(self, path: str) -> str:
+        try:
+            return self.files[path]
+        except KeyError:
+            raise CorpusError(f"no such file {path}") from None
+
+    def paths(self, *, suffix: str | None = None) -> list[str]:
+        out = sorted(self.files)
+        if suffix is not None:
+            out = [p for p in out if p.endswith(suffix)]
+        return out
+
+    @property
+    def total_lines(self) -> int:
+        return sum(content.count("\n") for content in self.files.values())
+
+    def write_to_dir(self, root: str) -> None:
+        """Materialize the tree on disk (for external inspection)."""
+        for path, content in self.files.items():
+            full = os.path.join(root, path)
+            os.makedirs(os.path.dirname(full), exist_ok=True)
+            with open(full, "w") as handle:
+                handle.write(content)
+
+    @classmethod
+    def from_dir(cls, root: str, *,
+                 suffixes: tuple[str, ...] = (".c", ".h")
+                 ) -> "SourceTree":
+        """Load a tree from disk, e.g. to run SPADE on real sources.
+
+        Files that are not valid UTF-8 (or not C) are skipped; paths
+        are stored relative to *root* with forward slashes.
+        """
+        tree = cls()
+        for dirpath, _dirnames, filenames in os.walk(root):
+            for filename in sorted(filenames):
+                if not filename.endswith(suffixes):
+                    continue
+                full = os.path.join(dirpath, filename)
+                rel = os.path.relpath(full, root).replace(os.sep, "/")
+                try:
+                    with open(full, encoding="utf-8") as handle:
+                        tree.add(rel, handle.read())
+                except (UnicodeDecodeError, OSError):
+                    continue
+        return tree
+
+
+def _call_site_lines(text: str) -> list[int]:
+    """1-based line numbers of dma_map_single call sites, in order."""
+    return [i + 1 for i, line in enumerate(text.splitlines())
+            if "dma_map_single(" in line]
+
+
+class CorpusGenerator:
+    """Generates the corpus according to a composition spec."""
+
+    def __init__(self, seed: int = 2021, *,
+                 composition: tuple[CategorySpec, ...] =
+                 LINUX50_COMPOSITION) -> None:
+        self._seed = seed
+        self._composition = composition
+
+    def _driver_names(self, rng: DeterministicRng, count: int) -> list[str]:
+        names: list[str] = []
+        seen = set()
+        while len(names) < count:
+            parts = [rng.choice(_SYLLABLES)
+                     for _ in range(rng.randint(2, 3))]
+            name = "".join(parts)
+            if rng.random() < 0.35:
+                name += str(rng.randint(2, 9))
+            if name in seen:
+                continue
+            seen.add(name)
+            names.append(name)
+        return names
+
+    def generate(self) -> tuple[SourceTree, Manifest]:
+        """Build the tree and its ground-truth manifest."""
+        rng = DeterministicRng(self._seed, domain="corpus")
+        tree = SourceTree()
+        manifest = Manifest()
+        for path, content in SHARED_HEADERS.items():
+            tree.add(path, content)
+
+        nr_files = sum(spec.nr_files for spec in self._composition)
+        names = self._driver_names(rng.child("names"), nr_files)
+        name_iter = iter(names)
+        used_nvme_fc = False
+        for spec in self._composition:
+            renderer = RENDERERS[spec.name]
+            for bucket_files, calls_per_file in spec.buckets:
+                for _ in range(bucket_files):
+                    drv = next(name_iter)
+                    if spec.name == "callback_direct" \
+                            and not used_nvme_fc \
+                            and calls_per_file == 2:
+                        # Figure 2's subject: the handcrafted nvme_fc
+                        # file stands in for one direct-callback driver.
+                        used_nvme_fc = True
+                        # nvme_fc exposes its callback directly AND has
+                        # 931 spoofable callbacks via pointer fields.
+                        self._add_file(
+                            tree, manifest, NVME_FC_PATH, NVME_FC_SOURCE,
+                            spec.name,
+                            [frozenset({"callback_direct",
+                                        "callback_spoof"})] * 2)
+                        continue
+                    vendor = rng.choice(_VENDOR_DIRS)
+                    path = f"{vendor}/{drv}/{drv}_main.c"
+                    text, exposures = renderer(drv, rng.child(drv),
+                                               calls_per_file)
+                    self._add_file(tree, manifest, path, text,
+                                   spec.name, exposures)
+        return tree, manifest
+
+    def _add_file(self, tree: SourceTree, manifest: Manifest, path: str,
+                  text: str, category: str,
+                  exposures: list[frozenset]) -> None:
+        lines = _call_site_lines(text)
+        if len(lines) != len(exposures):
+            raise CorpusError(
+                f"{path}: {len(lines)} dma_map_single sites but "
+                f"{len(exposures)} exposure records")
+        tree.add(path, text)
+        for line, exposure in zip(lines, exposures):
+            manifest.add(CallSiteTruth(path, line, category, exposure))

@@ -1,0 +1,108 @@
+"""The Linux-5.0 composition the corpus reproduces (Table 2).
+
+The paper's totals: 1019 dma-map calls over 447 files, of which
+
+====== ============================ ======== =======
+row    stat                         calls    files
+====== ============================ ======== =======
+1      callbacks exposed            156      57
+2      skb_shared_info mapped       464      232
+3      callbacks exposed directly   54       28
+4      private data mapped          19       7
+5      stack mapped                 3        3
+6      type C vulnerability         344      227
+7      build_skb used               46       40
+--     total                        1019     447
+====== ============================ ======== =======
+
+and "in total ... 742 dma-map calls (72.8%)" with a potential
+vulnerability.
+
+The generator realizes these with disjoint file categories whose rows
+overlap the way the paper's do: type (c) spans the page_frag-allocated
+skb files, the build_skb files, and the pure page_frag files; the
+callback rows split into direct (type (a)) and spoofable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CategorySpec:
+    """One generator category: how many files, with how many calls each."""
+
+    name: str
+    #: list of (nr_files, calls_per_file) buckets
+    buckets: tuple[tuple[int, int], ...]
+
+    @property
+    def nr_files(self) -> int:
+        return sum(nf for nf, _cpf in self.buckets)
+
+    @property
+    def nr_calls(self) -> int:
+        return sum(nf * cpf for nf, cpf in self.buckets)
+
+
+#: Disjoint categories that reproduce Table 2's marginals exactly.
+LINUX50_COMPOSITION: tuple[CategorySpec, ...] = (
+    # skb->data maps whose buffers come from netdev/napi_alloc_skb
+    # (page_frag): rows 2 and 6. 244 calls / 133 files.
+    CategorySpec("skb_type_c", ((111, 2), (22, 1))),
+    # skb->data maps on the TX path (no page_frag): row 2 only.
+    # 220 calls / 99 files.
+    CategorySpec("skb_plain", ((22, 3), (77, 2))),
+    # build_skb around a page_frag buffer: rows 7 and 6.
+    # 46 calls / 40 files.
+    CategorySpec("build_skb", ((6, 2), (34, 1))),
+    # struct-embedded buffers exposing callback pointers directly
+    # (type (a)): rows 1 and 3. 54 calls / 28 files.
+    CategorySpec("callback_direct", ((26, 2), (2, 1))),
+    # struct-embedded buffers whose pointer fields make callbacks
+    # spoofable: row 1 minus row 3. 102 calls / 29 files.
+    CategorySpec("callback_spoof", ((15, 4), (14, 3))),
+    # buffers derived from netdev_priv/aead_request_ctx/scsi_cmd_priv:
+    # row 4. 19 calls / 7 files.
+    CategorySpec("private_data", ((5, 3), (2, 2))),
+    # on-stack buffers mapped: row 5. 3 calls / 3 files.
+    CategorySpec("stack", ((3, 1),)),
+    # plain page_frag buffers (no skb involvement): row 6 remainder.
+    # 54 calls / 54 files.
+    CategorySpec("page_frag_plain", ((54, 1),)),
+    # benign: kmalloc'd flat buffers. 277 calls / 54 files.
+    CategorySpec("benign", ((7, 6), (47, 5))),
+)
+
+
+def expected_table2() -> dict[str, tuple[int, int]]:
+    """Table 2 rows implied by the composition: name -> (calls, files)."""
+    by_name = {spec.name: spec for spec in LINUX50_COMPOSITION}
+
+    def calls(*names: str) -> int:
+        return sum(by_name[n].nr_calls for n in names)
+
+    def files(*names: str) -> int:
+        return sum(by_name[n].nr_files for n in names)
+
+    return {
+        "callbacks_exposed": (calls("callback_direct", "callback_spoof"),
+                              files("callback_direct", "callback_spoof")),
+        "skb_shared_info_mapped": (calls("skb_type_c", "skb_plain"),
+                                   files("skb_type_c", "skb_plain")),
+        "callbacks_exposed_directly": (calls("callback_direct"),
+                                       files("callback_direct")),
+        "private_data_mapped": (calls("private_data"),
+                                files("private_data")),
+        "stack_mapped": (calls("stack"), files("stack")),
+        "type_c": (calls("skb_type_c", "build_skb", "page_frag_plain"),
+                   files("skb_type_c", "build_skb", "page_frag_plain")),
+        "build_skb_used": (calls("build_skb"), files("build_skb")),
+        "total": (sum(s.nr_calls for s in LINUX50_COMPOSITION),
+                  sum(s.nr_files for s in LINUX50_COMPOSITION)),
+        "vulnerable": (sum(s.nr_calls for s in LINUX50_COMPOSITION
+                           if s.name != "benign"),
+                       sum(s.nr_files for s in LINUX50_COMPOSITION
+                           if s.name != "benign")),
+    }

@@ -1,0 +1,210 @@
+"""The handcrafted nvme_fc-style file behind Figure 2.
+
+The paper's SPADE output example is a path in the nvme_fc host driver
+where ``&op->rsp_iu`` is DMA-mapped, exposing ``struct
+nvme_fc_fcp_op``: one callback pointer directly (``fcp_req.done``) and
+931 further callback pointers spoofable through the struct's pointer
+fields. This module reproduces that struct graph so SPADE's transitive
+analysis arrives at exactly 1 direct + 931 spoofable.
+
+Spoofable accounting (documented in ``core.spade.pahole``): walk the
+pointer graph from the mapped struct, visiting each struct type once,
+and sum the function-pointer fields found (array fields count their
+length). Here: nvme_ctrl_ops 9 + nvme_fc_port_template 28 +
+blk_mq_ops 12 + device_driver 5 + request 1 + request_queue 2 +
+lldd event dispatch 874 = 931.
+"""
+
+NVME_FC_PATH = "drivers/nvme/host/fc.c"
+
+NVME_FC_SOURCE = """\
+// SPDX-License-Identifier: GPL-2.0
+/*
+ * nvme_fc: NVMe over Fibre Channel host transport (synthetic
+ * reproduction of the Linux 5.0 structure SPADE's Figure 2 traces).
+ */
+
+#include <linux/types.h>
+#include <linux/slab.h>
+#include <linux/skbuff.h>
+#include <linux/netdevice.h>
+#include <linux/dma-mapping.h>
+#include <linux/device.h>
+
+struct nvme_fc_ctrl;
+struct nvme_fc_queue;
+struct request;
+
+struct nvme_ctrl_ops {
+    int (*reg_read32)(struct nvme_fc_ctrl *ctrl, u32 off, u32 *val);
+    int (*reg_write32)(struct nvme_fc_ctrl *ctrl, u32 off, u32 val);
+    int (*reg_read64)(struct nvme_fc_ctrl *ctrl, u32 off, u64 *val);
+    void (*free_ctrl)(struct nvme_fc_ctrl *ctrl);
+    void (*submit_async_event)(struct nvme_fc_ctrl *ctrl);
+    void (*delete_ctrl)(struct nvme_fc_ctrl *ctrl);
+    int (*get_address)(struct nvme_fc_ctrl *ctrl, u8 *buf, int size);
+    void (*stop_ctrl)(struct nvme_fc_ctrl *ctrl);
+    int (*reinit_request)(void *data, struct request *rq);
+};
+
+struct nvme_fc_port_template {
+    void (*localport_delete)(void *lport);
+    void (*remoteport_delete)(void *rport);
+    int (*create_queue)(void *lport, u32 qidx, u16 qsize, void *handle);
+    void (*delete_queue)(void *lport, u32 qidx, void *handle);
+    int (*ls_req)(void *lport, void *rport, void *lsreq);
+    int (*fcp_io)(void *lport, void *rport, void *hw_queue, void *fcpreq);
+    void (*ls_abort)(void *lport, void *rport, void *lsreq);
+    void (*fcp_abort)(void *lport, void *rport, void *hwq, void *fcpreq);
+    int (*xmt_ls_rsp)(void *lport, void *rport, void *lsrsp);
+    void (*map_queues)(void *lport, void *map);
+    int (*bsg_request)(void *lport, void *rport, void *job);
+    int (*defer_rcv)(void *rport, void *fcpreq);
+    void (*discovery_event)(void *lport);
+    int (*port_reset)(void *lport);
+    int (*port_online)(void *lport);
+    int (*port_offline)(void *lport);
+    int (*vport_create)(void *lport, void *vport);
+    int (*vport_delete)(void *vport);
+    int (*tgt_fcp_req)(void *tgtport, void *fcpreq);
+    void (*tgt_fcp_abort)(void *tgtport, void *fcpreq);
+    void (*tgt_fcp_req_release)(void *tgtport, void *fcpreq);
+    int (*tgt_ls_req)(void *tgtport, void *lsreq);
+    void (*tgt_discovery_evt)(void *tgtport);
+    int (*assoc_create)(void *tgtport, void *assoc);
+    void (*assoc_delete)(void *tgtport, void *assoc);
+    int (*host_traddr)(void *lport, u64 *wwnn, u64 *wwpn);
+    void (*host_invalidate)(void *rport);
+    int (*fw_diag)(void *lport, void *diag);
+};
+
+struct blk_mq_ops {
+    int (*queue_rq)(void *hctx, void *bd);
+    void (*commit_rqs)(void *hctx);
+    int (*get_budget)(void *q);
+    void (*put_budget)(void *q);
+    int (*timeout)(struct request *rq, int reserved);
+    int (*poll)(void *hctx, u32 tag);
+    void (*complete)(struct request *rq);
+    int (*init_hctx)(void *hctx, void *data, u32 idx);
+    void (*exit_hctx)(void *hctx, u32 idx);
+    int (*init_request)(void *set, struct request *rq, u32 idx, u32 node);
+    void (*exit_request)(void *set, struct request *rq, u32 idx);
+    void (*initialize_rq_fn)(struct request *rq);
+};
+
+struct blk_mq_tag_set {
+    struct blk_mq_ops *ops;
+    u32 nr_hw_queues;
+    u32 queue_depth;
+};
+
+struct request_queue {
+    struct blk_mq_ops *mq_ops;
+    void (*make_request_fn)(struct request_queue *q, void *bio);
+    void (*softirq_done_fn)(struct request *rq);
+    u32 nr_requests;
+};
+
+struct request {
+    struct request_queue *q;
+    void (*end_io)(struct request *rq, int error);
+    u32 tag;
+    u32 cmd_flags;
+};
+
+struct nvme_fc_lldd_dispatch {
+    void (*evt_handler[874])(void);
+};
+
+struct nvme_fc_lport {
+    struct nvme_fc_port_template *ops;
+    u64 node_name;
+    u64 port_name;
+};
+
+struct nvme_fc_rport {
+    struct nvme_fc_port_template *ops;
+    u64 port_id;
+};
+
+struct nvme_fc_ctrl {
+    struct nvme_fc_lport *lport;
+    struct nvme_fc_rport *rport;
+    struct blk_mq_tag_set *tag_set;
+    struct nvme_ctrl_ops *ops;
+    struct device *dev;
+    struct nvme_fc_lldd_dispatch *lldd;
+    u32 cnum;
+};
+
+struct nvme_fc_queue {
+    struct nvme_fc_ctrl *ctrl;
+    u32 qnum;
+    u32 seqno;
+};
+
+struct nvme_fcp_req {
+    void *cmdaddr;
+    void *rspaddr;
+    dma_addr_t cmddma;
+    dma_addr_t rspdma;
+    u32 cmdlen;
+    u32 rsplen;
+    void (*done)(struct nvme_fcp_req *req);
+};
+
+struct nvme_fc_fcp_op {
+    struct nvme_fc_ctrl *ctrl;
+    struct nvme_fc_queue *queue;
+    struct request *rq;
+    struct nvme_fcp_req fcp_req;
+    u32 state;
+    u32 flags;
+    u8 cmd_iu[96];
+    u8 rsp_iu[128];
+};
+
+static int nvme_fc_map_data(struct nvme_fc_ctrl *ctrl,
+                            struct nvme_fc_fcp_op *op)
+{
+    dma_addr_t addr;
+
+    addr = dma_map_single(ctrl->dev, &op->rsp_iu, 128,
+                          DMA_FROM_DEVICE);
+    op->fcp_req.rspdma = addr;
+    op->fcp_req.rsplen = 128;
+    return 0;
+}
+
+static dma_addr_t nvme_fc_map_iu(struct nvme_fc_ctrl *ctrl, void *buf,
+                                 u32 len)
+{
+    dma_addr_t addr;
+
+    addr = dma_map_single(ctrl->dev, buf, len, DMA_TO_DEVICE);
+    return addr;
+}
+
+static int nvme_fc_init_iod(struct nvme_fc_ctrl *ctrl,
+                            struct nvme_fc_fcp_op *op)
+{
+    dma_addr_t addr;
+
+    addr = nvme_fc_map_iu(ctrl, &op->cmd_iu, 96);
+    op->fcp_req.cmddma = addr;
+    op->state = 1;
+    return 0;
+}
+
+static int nvme_fc_probe(struct device *dev)
+{
+    struct nvme_fc_ctrl *ctrl;
+
+    ctrl = kzalloc(sizeof(struct nvme_fc_ctrl), GFP_KERNEL);
+    if (!ctrl)
+        return -12;
+    ctrl->dev = dev;
+    return 0;
+}
+"""

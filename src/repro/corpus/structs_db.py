@@ -1,0 +1,222 @@
+"""Shared kernel headers for the synthetic corpus.
+
+These are the ``include/linux/*.h`` files every generated driver
+includes. SPADE parses them for struct layouts exactly like pahole
+reads DWARF from a compiled kernel: ``skb_shared_info`` carries the
+``destructor_arg`` callback, the ops tables carry the function-pointer
+counts the spoofability analysis adds up.
+"""
+
+from __future__ import annotations
+
+TYPES_H = """\
+/* include/linux/types.h -- fixed-width and kernel scalar types */
+typedef unsigned char u8;
+typedef unsigned short u16;
+typedef unsigned int u32;
+typedef unsigned long long u64;
+typedef unsigned long size_t;
+typedef unsigned long dma_addr_t;
+typedef unsigned int gfp_t;
+typedef int atomic_t;
+typedef u64 netdev_features_t;
+"""
+
+SKBUFF_H = """\
+/* include/linux/skbuff.h -- socket buffers */
+
+struct net_device;
+struct sock;
+struct page;
+
+struct skb_frag_t {
+    struct page *page;
+    u32 page_offset;
+    u32 size;
+};
+
+struct ubuf_info {
+    void (*callback)(struct ubuf_info *ubuf, int zerocopy);
+    void *ctx;
+    u64 desc;
+    atomic_t refcnt;
+};
+
+struct skb_shared_hwtstamps {
+    u64 hwtstamp;
+};
+
+struct skb_shared_info {
+    u8 __unused;
+    u8 meta_len;
+    u8 nr_frags;
+    u8 tx_flags;
+    u16 gso_size;
+    u16 gso_segs;
+    struct sk_buff *frag_list;
+    struct skb_shared_hwtstamps hwtstamps;
+    u32 gso_type;
+    u32 tskey;
+    atomic_t dataref;
+    struct ubuf_info *destructor_arg;
+    struct skb_frag_t frags[17];
+};
+
+struct sk_buff {
+    struct sk_buff *next;
+    struct sk_buff *prev;
+    struct sock *sk;
+    struct net_device *dev;
+    void (*destructor)(struct sk_buff *skb);
+    u32 len;
+    u32 data_len;
+    u16 queue_mapping;
+    u16 protocol;
+    u8 *head;
+    u8 *data;
+    u8 *tail;
+    u8 *end;
+};
+
+struct sk_buff *alloc_skb(u32 size, gfp_t gfp);
+struct sk_buff *netdev_alloc_skb(struct net_device *dev, u32 length);
+struct sk_buff *napi_alloc_skb(struct napi_struct *napi, u32 length);
+struct sk_buff *build_skb(void *data, u32 frag_size);
+void *netdev_alloc_frag(u32 fragsz);
+void *page_frag_alloc(struct page_frag_cache *nc, u32 fragsz, gfp_t gfp);
+void kfree_skb(struct sk_buff *skb);
+"""
+
+NETDEVICE_H = """\
+/* include/linux/netdevice.h -- network devices */
+
+struct sk_buff;
+struct net_device;
+struct ifreq;
+
+struct net_device_ops {
+    int (*ndo_open)(struct net_device *dev);
+    int (*ndo_stop)(struct net_device *dev);
+    int (*ndo_start_xmit)(struct sk_buff *skb, struct net_device *dev);
+    void (*ndo_set_rx_mode)(struct net_device *dev);
+    int (*ndo_set_mac_address)(struct net_device *dev, void *addr);
+    int (*ndo_validate_addr)(struct net_device *dev);
+    int (*ndo_do_ioctl)(struct net_device *dev, struct ifreq *ifr, int cmd);
+    int (*ndo_change_mtu)(struct net_device *dev, int new_mtu);
+    void (*ndo_tx_timeout)(struct net_device *dev);
+    int (*ndo_set_features)(struct net_device *dev, netdev_features_t f);
+    int (*ndo_vlan_rx_add_vid)(struct net_device *dev, u16 proto, u16 vid);
+    int (*ndo_vlan_rx_kill_vid)(struct net_device *dev, u16 proto, u16 vid);
+};
+
+struct ethtool_ops {
+    int (*get_link_ksettings)(struct net_device *dev, void *cmd);
+    int (*set_link_ksettings)(struct net_device *dev, void *cmd);
+    void (*get_drvinfo)(struct net_device *dev, void *info);
+    u32 (*get_msglevel)(struct net_device *dev);
+    void (*set_msglevel)(struct net_device *dev, u32 value);
+    int (*nway_reset)(struct net_device *dev);
+    u32 (*get_link)(struct net_device *dev);
+    void (*get_ringparam)(struct net_device *dev, void *ring);
+    int (*set_ringparam)(struct net_device *dev, void *ring);
+    void (*get_pauseparam)(struct net_device *dev, void *pause);
+    int (*set_pauseparam)(struct net_device *dev, void *pause);
+    void (*get_strings)(struct net_device *dev, u32 sset, u8 *buf);
+    void (*get_ethtool_stats)(struct net_device *dev, void *st, u64 *d);
+    int (*get_sset_count)(struct net_device *dev, int sset);
+    int (*get_coalesce)(struct net_device *dev, void *coal);
+    int (*set_coalesce)(struct net_device *dev, void *coal);
+};
+
+struct napi_struct {
+    struct net_device *dev;
+    int (*poll)(struct napi_struct *napi, int budget);
+    int weight;
+};
+
+struct net_device {
+    struct net_device_ops *netdev_ops;
+    struct ethtool_ops *ethtool_ops;
+    struct device *dev_parent;
+    u32 mtu;
+    u32 flags;
+    u8 dev_addr[6];
+};
+
+void *netdev_priv(struct net_device *dev);
+int napi_gro_receive(struct napi_struct *napi, struct sk_buff *skb);
+"""
+
+DMA_MAPPING_H = """\
+/* include/linux/dma-mapping.h -- the DMA API (section 2.3) */
+
+struct device;
+struct page;
+struct scatterlist;
+
+dma_addr_t dma_map_single(struct device *dev, void *ptr, size_t size,
+                          int direction);
+void dma_unmap_single(struct device *dev, dma_addr_t addr, size_t size,
+                      int direction);
+dma_addr_t dma_map_page(struct device *dev, struct page *page,
+                        size_t offset, size_t size, int direction);
+void dma_unmap_page(struct device *dev, dma_addr_t addr, size_t size,
+                    int direction);
+int dma_map_sg(struct device *dev, struct scatterlist *sg, int nents,
+               int direction);
+"""
+
+SLAB_H = """\
+/* include/linux/slab.h -- kernel heap */
+void *kmalloc(size_t size, gfp_t flags);
+void *kzalloc(size_t size, gfp_t flags);
+void kfree(void *ptr);
+"""
+
+DEVICE_H = """\
+/* include/linux/device.h -- driver core */
+
+struct device_driver {
+    char *name;
+    int (*probe)(struct device *dev);
+    int (*remove)(struct device *dev);
+    void (*shutdown)(struct device *dev);
+    int (*suspend)(struct device *dev, int state);
+    int (*resume)(struct device *dev);
+};
+
+struct device {
+    struct device *parent;
+    struct device_driver *driver;
+    void *driver_data;
+    u64 dma_mask;
+};
+
+struct page_frag_cache {
+    void *va;
+    u32 offset;
+    u32 pagecnt_bias;
+};
+
+struct scatterlist {
+    unsigned long page_link;
+    u32 offset;
+    u32 length;
+    dma_addr_t dma_address;
+};
+
+struct crypto_aead;
+struct scsi_cmnd;
+void *aead_request_ctx(struct aead_request *req);
+void *scsi_cmd_priv(struct scsi_cmnd *cmd);
+"""
+
+#: path -> content for the shared include tree.
+SHARED_HEADERS: dict[str, str] = {
+    "include/linux/types.h": TYPES_H,
+    "include/linux/skbuff.h": SKBUFF_H,
+    "include/linux/netdevice.h": NETDEVICE_H,
+    "include/linux/dma-mapping.h": DMA_MAPPING_H,
+    "include/linux/slab.h": SLAB_H,
+    "include/linux/device.h": DEVICE_H,
+}

@@ -1,0 +1,461 @@
+"""C source templates, one per vulnerability pattern.
+
+Each ``render_*`` function emits a realistic driver file containing
+``nr_calls`` dma-map call sites of its category, plus the surrounding
+structure (structs, probe/teardown, helpers) a real driver has. The
+returned exposure sets are in textual call-site order, for the
+manifest.
+
+The C subset used is co-designed with SPADE's parser: real syntax, no
+preprocessor conditionals, one statement per ';'.
+"""
+
+from __future__ import annotations
+
+from repro.sim.rng import DeterministicRng
+
+_HEADER = """\
+// SPDX-License-Identifier: GPL-2.0
+/*
+ * {drv}: {desc}
+ *
+ * Synthetic driver source, generated for SPADE analysis. Structural
+ * patterns modeled on Linux 5.0 drivers.
+ */
+
+#include <linux/types.h>
+#include <linux/slab.h>
+#include <linux/skbuff.h>
+#include <linux/netdevice.h>
+#include <linux/dma-mapping.h>
+#include <linux/device.h>
+
+"""
+
+_COMMON_DEV = """\
+struct {drv}_dev {{
+    struct device *dma_dev;
+    struct net_device *netdev;
+    u32 irq;
+    u32 state;
+}};
+
+"""
+
+
+def _header(drv: str, desc: str) -> str:
+    return _HEADER.format(drv=drv, desc=desc) + \
+        _COMMON_DEV.format(drv=drv)
+
+
+def _probe_tail(drv: str) -> str:
+    return f"""\
+static int {drv}_probe(struct device *dev)
+{{
+    struct {drv}_dev *xdev;
+
+    xdev = kzalloc(sizeof(struct {drv}_dev), GFP_KERNEL);
+    if (!xdev)
+        return -12;
+    xdev->dma_dev = dev;
+    dev->driver_data = xdev;
+    return 0;
+}}
+
+static void {drv}_remove(struct device *dev)
+{{
+    kfree(dev->driver_data);
+}}
+"""
+
+
+RenderResult = tuple[str, list[frozenset]]
+
+
+def render_skb_type_c(drv: str, rng: DeterministicRng,
+                      nr_calls: int) -> RenderResult:
+    """RX refill: netdev/napi_alloc_skb buffer, skb->data mapped.
+
+    Exposes skb_shared_info (type (b)) and, because the buffer comes
+    from page_frag, type (c) co-location.
+    """
+    text = _header(drv, "ethernet RX ring management")
+    text += f"""\
+struct {drv}_rx_info {{
+    struct sk_buff *skb;
+    dma_addr_t dma;
+}};
+
+struct {drv}_ring {{
+    struct {drv}_dev *xdev;
+    struct device *dev;
+    struct net_device *netdev;
+    struct napi_struct napi;
+    struct {drv}_rx_info rx_info[256];
+    u32 rx_buf_len;
+    u32 next_to_use;
+}};
+
+"""
+    exposures = []
+    for index in range(nr_calls):
+        alloc = rng.choice(["netdev_alloc_skb(ring->netdev, "
+                            "ring->rx_buf_len)",
+                            "napi_alloc_skb(&ring->napi, "
+                            "ring->rx_buf_len)"])
+        text += f"""\
+static int {drv}_alloc_rx_buffer_{index}(struct {drv}_ring *ring, u32 idx)
+{{
+    struct sk_buff *skb;
+    dma_addr_t mapping;
+
+    skb = {alloc};
+    if (!skb)
+        return -12;
+    mapping = dma_map_single(ring->dev, skb->data, ring->rx_buf_len,
+                             DMA_FROM_DEVICE);
+    ring->rx_info[idx].skb = skb;
+    ring->rx_info[idx].dma = mapping;
+    ring->next_to_use = idx + 1;
+    return 0;
+}}
+
+"""
+        exposures.append(frozenset({"skb_shared_info", "type_c"}))
+    text += _probe_tail(drv)
+    return text, exposures
+
+
+def render_skb_plain(drv: str, rng: DeterministicRng,
+                     nr_calls: int) -> RenderResult:
+    """TX path: the skb arrives as a parameter; skb->data mapped.
+
+    Exposes skb_shared_info only -- the data buffer was not allocated
+    via page_frag here, so no type (c).
+    """
+    text = _header(drv, "ethernet TX datapath")
+    text += f"""\
+struct {drv}_tx_queue {{
+    struct {drv}_dev *xdev;
+    struct device *dev;
+    dma_addr_t desc_dma[512];
+    u32 tail;
+}};
+
+"""
+    exposures = []
+    for index in range(nr_calls):
+        text += f"""\
+static int {drv}_xmit_frame_{index}(struct sk_buff *skb,
+                                    struct {drv}_tx_queue *txq)
+{{
+    dma_addr_t mapping;
+
+    mapping = dma_map_single(txq->dev, skb->data, skb->len,
+                             DMA_TO_DEVICE);
+    txq->desc_dma[txq->tail] = mapping;
+    txq->tail = txq->tail + 1;
+    return 0;
+}}
+
+"""
+        exposures.append(frozenset({"skb_shared_info"}))
+    text += _probe_tail(drv)
+    return text, exposures
+
+
+def render_build_skb(drv: str, rng: DeterministicRng,
+                     nr_calls: int) -> RenderResult:
+    """page_frag buffer mapped, later wrapped with build_skb.
+
+    Exposes a to-be-embedded skb_shared_info via build_skb (type (b))
+    and page_frag co-location (type (c)).
+    """
+    text = _header(drv, "RX with build_skb fast path")
+    text += f"""\
+struct {drv}_rx_ring {{
+    struct device *dev;
+    struct page_frag_cache frag_cache;
+    struct napi_struct napi;
+    dma_addr_t next_dma;
+    u32 buf_size;
+    u32 truesize;
+}};
+
+"""
+    exposures = []
+    for index in range(nr_calls):
+        text += f"""\
+static struct sk_buff *{drv}_receive_skb_{index}(struct {drv}_rx_ring *rx)
+{{
+    void *buf;
+    struct sk_buff *skb;
+    dma_addr_t dma;
+
+    buf = page_frag_alloc(&rx->frag_cache, rx->truesize, GFP_ATOMIC);
+    if (!buf)
+        return 0;
+    dma = dma_map_single(rx->dev, buf, rx->buf_size, DMA_FROM_DEVICE);
+    rx->next_dma = dma;
+    skb = build_skb(buf, rx->truesize);
+    if (!skb)
+        return 0;
+    return skb;
+}}
+
+"""
+        exposures.append(frozenset({"build_skb", "type_c"}))
+    text += _probe_tail(drv)
+    return text, exposures
+
+
+def render_callback_direct(drv: str, rng: DeterministicRng,
+                           nr_calls: int) -> RenderResult:
+    """Type (a): the mapped buffer is embedded in a command struct
+    that carries a completion callback on the same page.
+
+    When the file has more than one call, the later ones route the
+    buffer pointer through a helper function, exercising SPADE's
+    caller backtracking.
+    """
+    buf_len = rng.choice([64, 96, 128, 192])
+    text = _header(drv, "command ring with embedded response buffers")
+    text += f"""\
+struct {drv}_ring {{
+    u32 head;
+    u32 tail;
+    dma_addr_t base;
+}};
+
+struct {drv}_cmd {{
+    struct {drv}_ring *ring;
+    void (*done)(struct {drv}_cmd *cmd, int status);
+    u32 flags;
+    u32 tag;
+    u8 rsp_iu[{buf_len}];
+}};
+
+"""
+    exposures = []
+    text += f"""\
+static int {drv}_queue_cmd(struct {drv}_dev *xdev, struct {drv}_cmd *op)
+{{
+    dma_addr_t addr;
+
+    addr = dma_map_single(xdev->dma_dev, &op->rsp_iu, {buf_len},
+                          DMA_FROM_DEVICE);
+    op->flags = 1;
+    op->tag = op->tag + 1;
+    return 0;
+}}
+
+"""
+    exposures.append(frozenset({"callback_direct"}))
+    for _index in range(nr_calls - 1):
+        text += f"""\
+static dma_addr_t {drv}_map_rsp(struct {drv}_dev *xdev, void *buf, u32 len)
+{{
+    dma_addr_t addr;
+
+    addr = dma_map_single(xdev->dma_dev, buf, len, DMA_FROM_DEVICE);
+    return addr;
+}}
+
+static int {drv}_issue_cmd(struct {drv}_dev *xdev, struct {drv}_cmd *op)
+{{
+    dma_addr_t addr;
+
+    addr = {drv}_map_rsp(xdev, &op->rsp_iu, {buf_len});
+    op->flags = 2;
+    return 0;
+}}
+
+"""
+        exposures.append(frozenset({"callback_direct"}))
+    text += _probe_tail(drv)
+    return text, exposures
+
+
+def render_callback_spoof(drv: str, rng: DeterministicRng,
+                          nr_calls: int) -> RenderResult:
+    """Type (a) variant: no function pointer directly in the mapped
+    struct, but pointer fields reach ops tables whose callbacks a
+    device can spoof by redirecting the pointers.
+    """
+    buf_len = rng.choice([128, 192, 240])
+    nr_ops = rng.randint(3, 6)
+    ops_fields = "\n".join(
+        f"    int (*op_{i})(struct {drv}_desc *desc, u32 arg);"
+        for i in range(nr_ops))
+    text = _header(drv, "descriptor ring with indirect ops tables")
+    text += f"""\
+struct {drv}_desc;
+
+struct {drv}_desc_ops {{
+{ops_fields}
+}};
+
+struct {drv}_desc {{
+    struct {drv}_desc_ops *ops;
+    struct net_device *ndev;
+    u32 len;
+    u32 state;
+    u8 payload[{buf_len}];
+}};
+
+"""
+    exposures = []
+    for index in range(nr_calls):
+        text += f"""\
+static int {drv}_post_desc_{index}(struct {drv}_dev *xdev,
+                                   struct {drv}_desc *desc)
+{{
+    dma_addr_t addr;
+
+    addr = dma_map_single(xdev->dma_dev, &desc->payload, desc->len,
+                          DMA_BIDIRECTIONAL);
+    desc->state = {index + 1};
+    return 0;
+}}
+
+"""
+        exposures.append(frozenset({"callback_spoof"}))
+    text += _probe_tail(drv)
+    return text, exposures
+
+
+def render_private_data(drv: str, rng: DeterministicRng,
+                        nr_calls: int) -> RenderResult:
+    """Row 4: buffers reached through netdev_priv-style private-data
+    APIs, which place driver state on pages the OS manages."""
+    api = rng.choice(["netdev_priv", "aead_request_ctx", "scsi_cmd_priv"])
+    holder = {"netdev_priv": "struct net_device *ndev",
+              "aead_request_ctx": "struct aead_request *req",
+              "scsi_cmd_priv": "struct scsi_cmnd *cmd"}[api]
+    holder_arg = holder.split("*")[1]
+    text = _header(drv, f"DMA areas inside {api}() private data")
+    text += f"""\
+struct {drv}_priv {{
+    dma_addr_t rx_dma;
+    u32 rx_len;
+    u8 rx_area[512];
+    u8 stats_block[128];
+}};
+
+"""
+    exposures = []
+    for index in range(nr_calls):
+        text += f"""\
+static int {drv}_init_dma_area_{index}({holder}, struct device *dmadev)
+{{
+    struct {drv}_priv *priv;
+    dma_addr_t dma;
+
+    priv = {api}({holder_arg});
+    dma = dma_map_single(dmadev, priv->rx_area, priv->rx_len,
+                         DMA_FROM_DEVICE);
+    priv->rx_dma = dma;
+    return 0;
+}}
+
+"""
+        exposures.append(frozenset({"private_data"}))
+    text += _probe_tail(drv)
+    return text, exposures
+
+
+def render_stack(drv: str, rng: DeterministicRng,
+                 nr_calls: int) -> RenderResult:
+    """Row 5: an on-stack buffer is mapped, exposing the kernel stack
+    (return addresses!) at page granularity."""
+    buf_len = rng.choice([16, 32, 64])
+    text = _header(drv, "EEPROM access helpers")
+    exposures = []
+    for index in range(nr_calls):
+        text += f"""\
+static int {drv}_read_eeprom_{index}(struct {drv}_dev *xdev, u32 off)
+{{
+    u8 cmd_buf[{buf_len}];
+    dma_addr_t dma;
+
+    cmd_buf[0] = off;
+    dma = dma_map_single(xdev->dma_dev, cmd_buf, {buf_len},
+                         DMA_TO_DEVICE);
+    return 0;
+}}
+
+"""
+        exposures.append(frozenset({"stack"}))
+    text += _probe_tail(drv)
+    return text, exposures
+
+
+def render_page_frag_plain(drv: str, rng: DeterministicRng,
+                           nr_calls: int) -> RenderResult:
+    """Row 6 remainder: a raw page_frag buffer is mapped (type (c)
+    co-location with its chunk neighbours), no skb involved."""
+    text = _header(drv, "control message buffers from page_frag")
+    exposures = []
+    for index in range(nr_calls):
+        text += f"""\
+static dma_addr_t {drv}_map_ctrl_buf_{index}(struct {drv}_dev *xdev,
+                                             u32 len)
+{{
+    void *buf;
+    dma_addr_t dma;
+
+    buf = netdev_alloc_frag(len);
+    if (!buf)
+        return 0;
+    dma = dma_map_single(xdev->dma_dev, buf, len, DMA_TO_DEVICE);
+    return dma;
+}}
+
+"""
+        exposures.append(frozenset({"type_c"}))
+    text += _probe_tail(drv)
+    return text, exposures
+
+
+def render_benign(drv: str, rng: DeterministicRng,
+                  nr_calls: int) -> RenderResult:
+    """The non-vulnerable remainder: flat kmalloc'd buffers.
+
+    Statically clean -- the residual risk here is dynamic random
+    co-location (type (d)), which is D-KASAN's job, not SPADE's.
+    """
+    text = _header(drv, "firmware download buffers")
+    exposures = []
+    for index in range(nr_calls):
+        direction = rng.choice(["DMA_TO_DEVICE", "DMA_FROM_DEVICE"])
+        text += f"""\
+static int {drv}_fw_chunk_{index}(struct {drv}_dev *xdev, u32 len)
+{{
+    u8 *buf;
+    dma_addr_t dma;
+
+    buf = kmalloc(len, GFP_KERNEL);
+    if (!buf)
+        return -12;
+    dma = dma_map_single(xdev->dma_dev, buf, len, {direction});
+    xdev->state = {index + 1};
+    return 0;
+}}
+
+"""
+        exposures.append(frozenset())
+    text += _probe_tail(drv)
+    return text, exposures
+
+
+RENDERERS = {
+    "skb_type_c": render_skb_type_c,
+    "skb_plain": render_skb_plain,
+    "build_skb": render_build_skb,
+    "callback_direct": render_callback_direct,
+    "callback_spoof": render_callback_spoof,
+    "private_data": render_private_data,
+    "stack": render_stack,
+    "page_frag_plain": render_page_frag_plain,
+    "benign": render_benign,
+}

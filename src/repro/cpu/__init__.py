@@ -1,0 +1,18 @@
+"""CPU-side execution model: kernel image, gadgets, NX, ROP/JOP."""
+
+from repro.cpu.text import KernelImage, Symbol
+from repro.cpu.gadgets import Gadget, GadgetScanner
+from repro.cpu.exec import Credentials, ExecutionResult, Executor, MachineState
+from repro.cpu.shadowstack import ShadowStack
+
+__all__ = [
+    "KernelImage",
+    "Symbol",
+    "Gadget",
+    "GadgetScanner",
+    "Credentials",
+    "ExecutionResult",
+    "Executor",
+    "MachineState",
+    "ShadowStack",
+]

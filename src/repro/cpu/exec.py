@@ -1,0 +1,267 @@
+"""Callback invocation and ROP/JOP execution with NX enforcement.
+
+This is where an attack succeeds or dies:
+
+* **NX (W^X / DEP)**: only the image's text section is executable.
+  Pointing a callback straight at shellcode in a DMA buffer raises
+  :class:`NxViolation` -- "the NX-bit is effective in preventing simple
+  code injection attacks" (section 2.4) -- which is why the paper's
+  attacks pivot through ROP/JOP gadgets instead.
+* **JOP pivot**: the hijacked callback receives a pointer to its
+  containing struct in ``%rdi`` (the kernel's calling convention for
+  ``ubuf_info`` callbacks); a ``lea rsp, [rdi+const]; ret`` gadget turns
+  that into a stack pivot onto the attacker's poisoned stack (section 6).
+* **ROP interpretation**: returns pop addresses off the poisoned stack
+  (read from simulated memory through the direct map), dispatching
+  semantically on kernel function symbols such as
+  ``prepare_kernel_cred``/``commit_creds``.
+* **CET**: optional IBT (indirect branches must land on ENDBR64 entries)
+  and shadow stack (returns must match the call stack) -- the emerging
+  mitigations of section 8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cpu.gadgets import Instruction, decode_one
+from repro.cpu.shadowstack import ShadowStack
+from repro.cpu.text import KernelImage
+from repro.errors import (ControlFlowViolation, ExecutionFault, NxViolation,
+                          TranslationFault)
+from repro.kaslr.translate import AddressSpace
+from repro.mem.phys import PhysicalMemory
+
+#: Sentinel return address ending a callback invocation.
+STOP_RIP = 0xFFFF_FFFF_FFFF_F000
+
+#: Opaque token prepare_kernel_cred() "returns" in rax.
+KERNEL_CRED_TOKEN = 0xFFFF_8880_0C0F_FEE0
+
+
+@dataclass
+class Credentials:
+    """Task credentials; uid 0 after a successful privilege escalation."""
+
+    uid: int = 1000
+
+    @property
+    def is_root(self) -> bool:
+        return self.uid == 0
+
+
+@dataclass
+class MachineState:
+    """Register file + credentials for one callback invocation."""
+
+    regs: dict[str, int]
+    creds: Credentials
+    steps: int = 0
+    trace: list[str] = field(default_factory=list)
+
+    def log(self, message: str) -> None:
+        self.trace.append(message)
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of a callback invocation."""
+
+    completed: bool
+    escalated: bool
+    functions_called: list[str]
+    trace: list[str]
+
+
+class Executor:
+    """Executes kernel callbacks (and attacker ROP chains) over memory."""
+
+    def __init__(self, phys: PhysicalMemory, addr_space: AddressSpace,
+                 image: KernelImage, *, cet_ibt: bool = False,
+                 cet_shadow_stack: bool = False,
+                 max_steps: int = 512) -> None:
+        self._phys = phys
+        self._addr_space = addr_space
+        self._image = image
+        self._cet_ibt = cet_ibt
+        self._cet_shadow_stack = cet_shadow_stack
+        self._max_steps = max_steps
+        self._creds = Credentials()
+        #: Every function invoked via callbacks, for test assertions.
+        self.call_log: list[str] = []
+
+    @property
+    def creds(self) -> Credentials:
+        return self._creds
+
+    @property
+    def cet_enabled(self) -> bool:
+        return self._cet_ibt or self._cet_shadow_stack
+
+    # -- address helpers ------------------------------------------------------
+
+    def _image_offset(self, kva: int) -> int:
+        return kva - self._addr_space.text_base
+
+    def is_executable(self, kva: int) -> bool:
+        """NX check: only the text *section* of the image is executable."""
+        off = self._image_offset(kva)
+        return self._image.is_text_offset(off)
+
+    def _read_u64(self, kva: int) -> int:
+        """Data read during execution (stack pops) via the direct map."""
+        try:
+            paddr = self._addr_space.paddr_of_kva(kva)
+        except TranslationFault as exc:
+            raise ExecutionFault(
+                f"stack read from untranslatable KVA {kva:#x}") from exc
+        return self._phys.read_u64(paddr)
+
+    # -- public entry ------------------------------------------------------------
+
+    def invoke_callback(self, func_ptr: int, *, rdi: int = 0,
+                        rsi: int = 0) -> ExecutionResult:
+        """Indirect-call *func_ptr* the way the kernel calls a callback.
+
+        Raises :class:`NxViolation` if the target is not executable and
+        :class:`ControlFlowViolation` if CET rejects the branch or a
+        return. Exceptions model kernel oopses; the caller (network
+        stack / attack harness) decides how to surface them.
+        """
+        if not self.is_executable(func_ptr):
+            raise NxViolation(
+                f"callback target {func_ptr:#x} is not executable "
+                f"(NX bit set)", address=func_ptr)
+        off = self._image_offset(func_ptr)
+        if self._cet_ibt and not self._image.is_function_entry(off):
+            raise ControlFlowViolation(
+                f"IBT: indirect call to non-ENDBR64 target {func_ptr:#x}")
+        shadow = ShadowStack() if self._cet_shadow_stack else None
+        if shadow is not None:
+            # The indirect call that invoked the callback pushed the
+            # STOP frame; seed the shadow stack to match.
+            shadow.on_call(STOP_RIP)
+        state = MachineState(
+            regs={"rax": 0, "rdi": rdi, "rsi": rsi,
+                  "rsp": 0, "rip": func_ptr},
+            creds=self._creds)
+        # A callback invocation gets a pristine kernel stack whose only
+        # frame is the STOP sentinel; legitimate callbacks return to it.
+        state.regs["rsp"] = self._kernel_stack_with_sentinel()
+        functions: list[str] = []
+        completed = self._run(state, shadow, functions)
+        return ExecutionResult(
+            completed=completed,
+            escalated=self._creds.is_root,
+            functions_called=functions,
+            trace=state.trace)
+
+    _SENTINEL_SLOT_KVA: int | None = None
+
+    def _kernel_stack_with_sentinel(self) -> int:
+        """A stack holding only STOP_RIP (lazily placed in low memory)."""
+        if self._SENTINEL_SLOT_KVA is None:
+            # Reserve 8 bytes inside the (always reserved) first page.
+            paddr = 0xF00
+            self._phys.write_u64(paddr, STOP_RIP)
+            self._SENTINEL_SLOT_KVA = self._addr_space.kva_of_paddr(paddr)
+        return self._SENTINEL_SLOT_KVA
+
+    # -- interpreter ----------------------------------------------------------------
+
+    def _run(self, state: MachineState, shadow: ShadowStack | None,
+             functions: list[str]) -> bool:
+        while state.steps < self._max_steps:
+            state.steps += 1
+            rip = state.regs["rip"]
+            if rip == STOP_RIP:
+                return True
+            if not self.is_executable(rip):
+                raise NxViolation(
+                    f"instruction fetch from NX address {rip:#x}",
+                    address=rip)
+            off = self._image_offset(rip)
+            fname = self._image.function_at_offset(off)
+            if fname is not None:
+                self._call_semantic(fname, state, functions)
+                self._do_ret(state, shadow)
+                continue
+            insn = decode_one(self._image.text, off)
+            if insn is None:
+                raise ExecutionFault(
+                    f"undecodable instruction at {rip:#x} "
+                    f"(image offset {off:#x})")
+            self._execute(insn, state, shadow)
+        raise ExecutionFault(f"execution exceeded {self._max_steps} steps")
+
+    def _call_semantic(self, fname: str, state: MachineState,
+                       functions: list[str]) -> None:
+        functions.append(fname)
+        self.call_log.append(fname)
+        state.log(f"call {fname}(rdi={state.regs['rdi']:#x})")
+        if fname == "prepare_kernel_cred":
+            # prepare_kernel_cred(NULL) yields root credentials.
+            if state.regs["rdi"] == 0:
+                state.regs["rax"] = KERNEL_CRED_TOKEN
+        elif fname == "commit_creds":
+            if state.regs["rdi"] == KERNEL_CRED_TOKEN:
+                state.creds.uid = 0
+                state.log("commit_creds: task credentials now uid=0")
+        # All other kernel functions are benign no-ops that return.
+
+    def _do_ret(self, state: MachineState,
+                shadow: ShadowStack | None) -> None:
+        target = self._read_u64(state.regs["rsp"])
+        if shadow is not None:
+            shadow.on_ret(target)
+        state.regs["rsp"] += 8
+        state.regs["rip"] = target
+        state.log(f"ret -> {target:#x}")
+
+    def _execute(self, insn: Instruction, state: MachineState,
+                 shadow: ShadowStack | None) -> None:
+        mnemonic = insn.mnemonic
+        regs = state.regs
+        if mnemonic == "ret":
+            self._do_ret(state, shadow)
+            return
+        if mnemonic.startswith("pop "):
+            reg = mnemonic.split()[1]
+            regs[reg] = self._read_u64(regs["rsp"])
+            regs["rsp"] += 8
+            state.log(f"pop {reg} = {regs[reg]:#x}")
+        elif mnemonic == "mov rdi, rax":
+            regs["rdi"] = regs["rax"]
+            state.log(f"mov rdi, rax ({regs['rax']:#x})")
+        elif mnemonic == "xchg rsp, rax":
+            regs["rsp"], regs["rax"] = regs["rax"], regs["rsp"]
+            state.log("xchg rsp, rax")
+        elif mnemonic == "lea rsp, [rdi+IMM]":
+            regs["rsp"] = regs["rdi"] + (insn.imm or 0)
+            state.log(f"lea rsp, [rdi+{insn.imm:#x}] -> rsp="
+                      f"{regs['rsp']:#x} (JOP stack pivot)")
+            regs["rip"] += insn.length
+            # The pivot gadget's own ret happens next loop iteration.
+            return
+        elif mnemonic == "endbr64":
+            pass
+        elif mnemonic in ("call rax", "jmp rax"):
+            target = regs["rax"]
+            if not self.is_executable(target):
+                raise NxViolation(
+                    f"{mnemonic} to NX address {target:#x}", address=target)
+            if self._cet_ibt and not self._image.is_function_entry(
+                    self._image_offset(target)):
+                raise ControlFlowViolation(
+                    f"IBT: {mnemonic} to non-ENDBR64 target {target:#x}")
+            if mnemonic == "call rax":
+                regs["rsp"] -= 8
+                # The simulated push is elided; shadow stack still records.
+                if shadow is not None:
+                    shadow.on_call(regs["rip"] + insn.length)
+            regs["rip"] = target
+            state.log(f"{mnemonic} -> {target:#x}")
+            return
+        else:
+            raise ExecutionFault(f"unimplemented instruction {mnemonic}")
+        regs["rip"] += insn.length

@@ -1,0 +1,148 @@
+"""Gadget discovery over raw kernel text (the ROPgadget analogue).
+
+"We located such a gadget using the ROPgadget tool" (section 6). Like
+ROPgadget, the scanner walks the code bytes looking for ``ret`` (0xc3)
+opcodes and decodes backwards from each, emitting every decodable
+instruction suffix that ends in the return.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ExecutionFault
+
+#: Single-byte and multi-byte decoders: opcode prefix -> (mnemonic, length).
+_SINGLE = {
+    0x5F: ("pop rdi", 1),
+    0x5E: ("pop rsi", 1),
+    0x58: ("pop rax", 1),
+    0x5C: ("pop rsp", 1),
+    0xC3: ("ret", 1),
+}
+
+
+@dataclass(frozen=True)
+class Instruction:
+    mnemonic: str
+    length: int
+    imm: int | None = None
+
+    def __str__(self) -> str:
+        if self.imm is not None:
+            return self.mnemonic.replace("IMM", hex(self.imm))
+        return self.mnemonic
+
+
+def decode_one(code: bytes, offset: int) -> Instruction | None:
+    """Decode the instruction at *offset*, or None if undecodable."""
+    if offset >= len(code):
+        return None
+    byte0 = code[offset]
+    if byte0 in _SINGLE:
+        mnemonic, length = _SINGLE[byte0]
+        return Instruction(mnemonic, length)
+    if byte0 == 0x48 and offset + 1 < len(code):
+        byte1 = code[offset + 1]
+        if byte1 == 0x89 and offset + 2 < len(code) \
+                and code[offset + 2] == 0xC7:
+            return Instruction("mov rdi, rax", 3)
+        if byte1 == 0x94:
+            return Instruction("xchg rsp, rax", 2)
+        if byte1 == 0x8D and offset + 3 < len(code) \
+                and code[offset + 2] == 0x67:
+            return Instruction("lea rsp, [rdi+IMM]", 4, imm=code[offset + 3])
+    if byte0 == 0xF3 and code[offset:offset + 4] == \
+            bytes([0xF3, 0x0F, 0x1E, 0xFA]):
+        return Instruction("endbr64", 4)
+    if byte0 == 0xFF and offset + 1 < len(code):
+        if code[offset + 1] == 0xD0:
+            return Instruction("call rax", 2)
+        if code[offset + 1] == 0xE0:
+            return Instruction("jmp rax", 2)
+    return None
+
+
+@dataclass(frozen=True)
+class Gadget:
+    """A decodable instruction suffix ending in ``ret``."""
+
+    image_offset: int
+    instructions: tuple[Instruction, ...]
+
+    @property
+    def text(self) -> str:
+        return "; ".join(str(insn) for insn in self.instructions)
+
+    def __str__(self) -> str:
+        return f"{self.image_offset:#x}: {self.text}"
+
+
+class GadgetScanner:
+    """Scans code bytes for ROP/JOP gadgets."""
+
+    def __init__(self, code: bytes, *, max_gadget_bytes: int = 8) -> None:
+        self._code = code
+        self._max_bytes = max_gadget_bytes
+
+    def scan(self) -> list[Gadget]:
+        """All gadgets: every decodable suffix ending at each 0xc3."""
+        gadgets: list[Gadget] = []
+        code = self._code
+        for ret_off in range(len(code)):
+            if code[ret_off] != 0xC3:
+                continue
+            gadgets.extend(self._decode_back_from(ret_off))
+        return gadgets
+
+    def _decode_back_from(self, ret_off: int) -> list[Gadget]:
+        found: list[Gadget] = []
+        for start in range(max(0, ret_off - self._max_bytes), ret_off + 1):
+            insns: list[Instruction] = []
+            cursor = start
+            while cursor <= ret_off:
+                insn = decode_one(self._code, cursor)
+                if insn is None:
+                    break
+                insns.append(insn)
+                cursor += insn.length
+            if cursor == ret_off + 1 and insns and \
+                    insns[-1].mnemonic == "ret":
+                found.append(Gadget(start, tuple(insns)))
+        return found
+
+    def find(self, pattern: str) -> list[Gadget]:
+        """Gadgets whose text matches *pattern* with IMM as a wildcard.
+
+        >>> scanner.find("lea rsp, [rdi+IMM]; ret")   # doctest: +SKIP
+        """
+        matches = []
+        for gadget in self.scan():
+            if _pattern_matches(pattern, gadget):
+                matches.append(gadget)
+        return matches
+
+    def find_stack_pivot(self) -> Gadget:
+        """The paper's JOP pivot: ``rsp = rdi + const; ret``."""
+        pivots = self.find("lea rsp, [rdi+IMM]; ret")
+        if not pivots:
+            raise ExecutionFault("no rsp=rdi+const pivot gadget in text")
+        return pivots[0]
+
+    def find_pop(self, register: str) -> Gadget:
+        pops = self.find(f"pop {register}; ret")
+        if not pops:
+            raise ExecutionFault(f"no 'pop {register}; ret' gadget in text")
+        return pops[0]
+
+    def find_mov_rdi_rax(self) -> Gadget:
+        movs = self.find("mov rdi, rax; ret")
+        if not movs:
+            raise ExecutionFault("no 'mov rdi, rax; ret' gadget in text")
+        return movs[0]
+
+
+def _pattern_matches(pattern: str, gadget: Gadget) -> bool:
+    want = [part.strip() for part in pattern.split(";")]
+    have = [insn.mnemonic for insn in gadget.instructions]
+    return want == have

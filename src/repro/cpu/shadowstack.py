@@ -1,0 +1,38 @@
+"""Intel CET shadow stack model (section 8).
+
+"Processors that support CET use two stacks simultaneously ... During
+each RET command, the shadow stack address is checked, and the code
+continues running only if the stacks agree on the address." A ROP chain
+necessarily returns to addresses the shadow stack never saw, so the
+first poisoned return trips :class:`ControlFlowViolation`.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ControlFlowViolation
+
+
+class ShadowStack:
+    """Hardware-maintained stack of legitimate return addresses."""
+
+    def __init__(self) -> None:
+        self._stack: list[int] = []
+        self.violations = 0
+
+    def on_call(self, return_address: int) -> None:
+        self._stack.append(return_address)
+
+    def on_ret(self, return_address: int) -> None:
+        """Validate a return; raises on mismatch (the CET #CP fault)."""
+        if not self._stack or self._stack[-1] != return_address:
+            self.violations += 1
+            expected = self._stack[-1] if self._stack else None
+            raise ControlFlowViolation(
+                f"shadow stack mismatch: ret to {return_address:#x}, "
+                f"shadow has "
+                f"{'empty' if expected is None else hex(expected)}")
+        self._stack.pop()
+
+    @property
+    def depth(self) -> int:
+        return len(self._stack)

@@ -1,0 +1,167 @@
+"""The synthetic kernel image: text bytes, data section, symbol table.
+
+Substitutes for a compiled vmlinux. The text section is filled with
+deterministic pseudo-random bytes (standing in for compiled code) into
+which real byte-encoded gadget sequences are embedded, so the gadget
+scanner performs genuine byte-pattern discovery, exactly like the
+ROPgadget tool the paper used (section 6).
+
+Section layout within the image (offsets are image-relative; the image
+is mapped at the KASLR-randomized text base):
+
+* ``[0, text_size)`` -- executable code (NX clear)
+* ``[text_size, image_size)`` -- data (NX set): contains ``init_net``,
+  the symbol whose leak compromises KASLR (section 2.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import BadAddressError
+from repro.sim.rng import DeterministicRng
+
+DEFAULT_TEXT_SIZE = 8 << 20    # 8 MiB of code
+DEFAULT_DATA_SIZE = 2 << 20    # 2 MiB of data
+
+#: Byte encodings of the instruction sequences the executor understands.
+#: These mirror real x86-64 encodings so the scanner behaves like
+#: ROPgadget scanning a real binary.
+ENCODINGS: dict[str, bytes] = {
+    "ret": bytes([0xC3]),
+    "pop rdi; ret": bytes([0x5F, 0xC3]),
+    "pop rsi; ret": bytes([0x5E, 0xC3]),
+    "pop rax; ret": bytes([0x58, 0xC3]),
+    "pop rsp; ret": bytes([0x5C, 0xC3]),
+    "mov rdi, rax; ret": bytes([0x48, 0x89, 0xC7, 0xC3]),
+    "xchg rsp, rax; ret": bytes([0x48, 0x94, 0xC3]),
+}
+
+
+def lea_rsp_rdi_ret(const: int) -> bytes:
+    """``lea rsp, [rdi+const]; ret`` -- the paper's JOP pivot gadget.
+
+    "To complete the attack, we needed a JOP gadget that performs
+    %rsp = %rdi + const" (section 6).
+    """
+    if not 0 <= const < 0x80:
+        raise ValueError(f"imm8 displacement out of range: {const}")
+    return bytes([0x48, 0x8D, 0x67, const, 0xC3])
+
+
+@dataclass(frozen=True)
+class Symbol:
+    """One kernel symbol: image-relative offset plus section."""
+
+    name: str
+    image_offset: int
+    section: str  # "text" or "data"
+    size: int = 8
+
+
+#: Semantic kernel functions the ROP interpreter dispatches on.
+KERNEL_FUNCTIONS = (
+    "prepare_kernel_cred",
+    "commit_creds",
+    "native_write_cr4",
+    "kfree_skb",
+    "sock_def_write_space",
+    "tcp_write_space",
+    "nvme_fc_fcpio_done",
+    "mlx5e_completion_event",
+)
+
+#: Data symbols. ``init_net`` is the KASLR-compromising leak target.
+KERNEL_DATA_SYMBOLS = ("init_net", "jiffies", "system_state")
+
+
+class KernelImage:
+    """One build's kernel image (bytes + symbols + gadget ground truth)."""
+
+    def __init__(self, rng: DeterministicRng, *,
+                 text_size: int = DEFAULT_TEXT_SIZE,
+                 data_size: int = DEFAULT_DATA_SIZE) -> None:
+        self.text_size = text_size
+        self.data_size = data_size
+        build_rng = rng.child("kernel-image")
+        text = bytearray(build_rng.randbytes(text_size))
+        self._symbols: dict[str, Symbol] = {}
+        self._functions_by_offset: dict[int, str] = {}
+        self._planted_gadgets: list[tuple[int, str]] = []
+        self._plant_functions(build_rng, text)
+        self._plant_gadgets(build_rng, text)
+        self.text = bytes(text)
+        self._plant_data_symbols(build_rng)
+
+    # -- construction ---------------------------------------------------------
+
+    def _plant_functions(self, rng: DeterministicRng,
+                         text: bytearray) -> None:
+        """Give each semantic kernel function an aligned entry point."""
+        used: set[int] = set()
+        for name in KERNEL_FUNCTIONS:
+            while True:
+                offset = rng.randrange(0, self.text_size - 64, 16)
+                if offset not in used:
+                    used.add(offset)
+                    break
+            # ENDBR64 marks a legitimate indirect-branch target (CET IBT).
+            text[offset:offset + 4] = bytes([0xF3, 0x0F, 0x1E, 0xFA])
+            self._symbols[name] = Symbol(name, offset, "text", size=64)
+            self._functions_by_offset[offset] = name
+
+    def _plant_gadgets(self, rng: DeterministicRng,
+                       text: bytearray) -> None:
+        """Embed gadget byte sequences at scattered text offsets."""
+        sequences = list(ENCODINGS.items())
+        sequences.append(("lea rsp, [rdi+0x10]; ret", lea_rsp_rdi_ret(0x10)))
+        reserved = {sym.image_offset for sym in self._symbols.values()}
+        for name, encoding in sequences:
+            for _copy in range(4):
+                while True:
+                    offset = rng.randrange(64, self.text_size - 16)
+                    if not any(abs(offset - r) < 80 for r in reserved):
+                        break
+                text[offset:offset + len(encoding)] = encoding
+                reserved.add(offset)
+                self._planted_gadgets.append((offset, name))
+
+    def _plant_data_symbols(self, rng: DeterministicRng) -> None:
+        for name in KERNEL_DATA_SYMBOLS:
+            offset = self.text_size + rng.randrange(
+                0, self.data_size - 4096, 64)
+            self._symbols[name] = Symbol(name, offset, "data", size=4096)
+
+    # -- queries ----------------------------------------------------------------
+
+    @property
+    def image_size(self) -> int:
+        return self.text_size + self.data_size
+
+    def symbol(self, name: str) -> Symbol:
+        try:
+            return self._symbols[name]
+        except KeyError:
+            raise BadAddressError(f"unknown kernel symbol {name!r}") from None
+
+    def symbols(self) -> dict[str, Symbol]:
+        return dict(self._symbols)
+
+    def function_at_offset(self, image_offset: int) -> str | None:
+        """Name of the semantic function whose entry is at *image_offset*."""
+        return self._functions_by_offset.get(image_offset)
+
+    def is_text_offset(self, image_offset: int) -> bool:
+        return 0 <= image_offset < self.text_size
+
+    def is_function_entry(self, image_offset: int) -> bool:
+        """Whether *image_offset* is a legitimate indirect-branch target.
+
+        CET IBT allows indirect calls/jumps only to ENDBR64-marked entry
+        points (section 8).
+        """
+        return image_offset in self._functions_by_offset
+
+    def planted_gadgets(self) -> list[tuple[int, str]]:
+        """Ground truth for validating the gadget scanner."""
+        return list(self._planted_gadgets)

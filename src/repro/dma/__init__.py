@@ -1,0 +1,6 @@
+"""The DMA API (section 2.3): map/unmap buffers for device access."""
+
+from repro.dma.api import DmaApi, ScatterGatherEntry
+from repro.dma.tracking import DmaMapping, MappingRegistry
+
+__all__ = ["DmaApi", "ScatterGatherEntry", "DmaMapping", "MappingRegistry"]

@@ -1,0 +1,22 @@
+"""IOMMU model: IOVA domains, page tables, IOTLB, invalidation policies."""
+
+from repro.iommu.perms import DmaPerm
+from repro.iommu.domain import IommuDomain, IovaEntry
+from repro.iommu.iova import IovaAllocator
+from repro.iommu.iotlb import Iotlb
+from repro.iommu.invalidation import (DeferredInvalidation, InvalidationPolicy,
+                                      StrictInvalidation)
+from repro.iommu.iommu import Iommu, IommuFaultRecord
+
+__all__ = [
+    "DmaPerm",
+    "IommuDomain",
+    "IovaEntry",
+    "IovaAllocator",
+    "Iotlb",
+    "InvalidationPolicy",
+    "StrictInvalidation",
+    "DeferredInvalidation",
+    "Iommu",
+    "IommuFaultRecord",
+]

@@ -1,0 +1,141 @@
+"""IOTLB invalidation policies: strict vs. deferred (Figure 6).
+
+* **Strict** invalidates the IOTLB entry synchronously on every unmap,
+  charging the ~2000-cycle invalidation cost each time. After unmap the
+  device has *no* window.
+* **Deferred** (the Linux default) queues invalidations and performs a
+  periodic global flush (default every 10 ms), amortizing the cost. The
+  page-table entry is gone, but the cached translation keeps working
+  until the flush: "a malicious device can take advantage of this time
+  window, where it has access to memory pages unbeknownst to the CPU"
+  (section 5.2.1).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.iommu.iotlb import IOTLB_INVALIDATION_CYCLES, Iotlb
+from repro.sim.clock import SimClock
+
+#: Linux's deferred flush period upper bound cited by the paper: 10 ms.
+DEFAULT_FLUSH_PERIOD_US = 10_000.0
+
+
+@dataclass
+class InvalidationStats:
+    unmaps: int = 0
+    sync_invalidations: int = 0
+    deferred_invalidations: int = 0
+    flushes: int = 0
+    cycles_spent: int = 0
+
+
+class InvalidationPolicy(ABC):
+    """Strategy invoked by the IOMMU core on every unmap."""
+
+    def __init__(self, clock: SimClock, iotlb: Iotlb) -> None:
+        self._clock = clock
+        self._iotlb = iotlb
+        self.stats = InvalidationStats()
+
+    @property
+    @abstractmethod
+    def name(self) -> str:
+        """Policy name as it would appear in ``intel_iommu=`` options."""
+
+    @abstractmethod
+    def on_unmap(self, domain_id: int, iova_pfn: int) -> None:
+        """Handle removal of a page-table entry."""
+
+    @abstractmethod
+    def max_window_us(self) -> float:
+        """Upper bound on how long a stale entry may survive an unmap."""
+
+    @abstractmethod
+    def queue_post_flush(self, fn) -> None:
+        """Run *fn* once the unmap is actually visible to the device.
+
+        Linux's flush queue releases the IOVA range only after the
+        IOTLB invalidation lands; modeling that here keeps freed IOVAs
+        from being re-allocated while stale cached translations (with
+        the *old* permissions) still cover them.
+        """
+
+    def _charge(self, cycles: int) -> None:
+        self.stats.cycles_spent += cycles
+        self._clock.charge_cycles(cycles)
+
+
+class StrictInvalidation(InvalidationPolicy):
+    """``intel_iommu=strict``: invalidate synchronously on each unmap."""
+
+    @property
+    def name(self) -> str:
+        return "strict"
+
+    def on_unmap(self, domain_id: int, iova_pfn: int) -> None:
+        self.stats.unmaps += 1
+        self.stats.sync_invalidations += 1
+        self._iotlb.invalidate(domain_id, iova_pfn)
+        self._charge(IOTLB_INVALIDATION_CYCLES)
+
+    def max_window_us(self) -> float:
+        return 0.0
+
+    def queue_post_flush(self, fn) -> None:
+        fn()  # invalidation is synchronous; the IOVA is free right away
+
+
+class DeferredInvalidation(InvalidationPolicy):
+    """The Linux default: batch invalidations, flush globally on a timer."""
+
+    def __init__(self, clock: SimClock, iotlb: Iotlb, *,
+                 flush_period_us: float = DEFAULT_FLUSH_PERIOD_US) -> None:
+        super().__init__(clock, iotlb)
+        if flush_period_us <= 0:
+            raise ValueError(f"bad flush period {flush_period_us}")
+        self._flush_period_us = flush_period_us
+        self._pending: list[tuple[int, int]] = []
+        self._post_flush: list = []
+        self._timer = clock.call_every(flush_period_us, self.flush_now)
+
+    @property
+    def name(self) -> str:
+        return "deferred"
+
+    @property
+    def flush_period_us(self) -> float:
+        return self._flush_period_us
+
+    @property
+    def nr_pending(self) -> int:
+        return len(self._pending)
+
+    def on_unmap(self, domain_id: int, iova_pfn: int) -> None:
+        self.stats.unmaps += 1
+        self.stats.deferred_invalidations += 1
+        self._pending.append((domain_id, iova_pfn))
+
+    def queue_post_flush(self, fn) -> None:
+        self._post_flush.append(fn)
+
+    def flush_now(self) -> None:
+        """The periodic global flush (one invalidation cost per batch)."""
+        if not self._pending and not self._post_flush \
+                and len(self._iotlb) == 0:
+            return
+        self._pending.clear()
+        self._iotlb.flush_all()
+        self.stats.flushes += 1
+        self._charge(IOTLB_INVALIDATION_CYCLES)
+        callbacks, self._post_flush = self._post_flush, []
+        for fn in callbacks:
+            fn()
+
+    def max_window_us(self) -> float:
+        return self._flush_period_us
+
+    def shutdown(self) -> None:
+        self._timer.cancel()

@@ -1,0 +1,80 @@
+"""The IOTLB: a translation cache the hardware does NOT keep coherent.
+
+"The IOMMU does not maintain consistency between the IOTLB and the IOMMU
+page tables. As a result, the OS has to explicitly invalidate the IOTLB"
+(section 5.2.1). A cached entry therefore remains usable by the device
+after the page-table entry is removed, until the OS invalidates it --
+the deferred-invalidation vulnerability.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.iommu.domain import IovaEntry
+
+#: Cycle costs from the paper (section 5.2.1): an IOTLB invalidation is
+#: ~2000 cycles, versus ~100 for a CPU TLB invalidation.
+IOTLB_INVALIDATION_CYCLES = 2000
+TLB_INVALIDATION_CYCLES = 100
+
+DEFAULT_CAPACITY = 4096
+
+
+@dataclass
+class IotlbStats:
+    hits: int = 0
+    misses: int = 0
+    stale_hits: int = 0
+    invalidations: int = 0
+    global_flushes: int = 0
+    evictions: int = 0
+
+
+class Iotlb:
+    """LRU translation cache keyed by (domain_id, iova_pfn)."""
+
+    def __init__(self, *, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity <= 0:
+            raise ValueError(f"bad IOTLB capacity {capacity}")
+        self._capacity = capacity
+        self._entries: OrderedDict[tuple[int, int], IovaEntry] = OrderedDict()
+        self.stats = IotlbStats()
+
+    def lookup(self, domain_id: int, iova_pfn: int) -> IovaEntry | None:
+        key = (domain_id, iova_pfn)
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return entry
+
+    def insert(self, domain_id: int, entry: IovaEntry) -> None:
+        key = (domain_id, entry.iova_pfn)
+        self._entries[key] = entry
+        self._entries.move_to_end(key)
+        while len(self._entries) > self._capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def invalidate(self, domain_id: int, iova_pfn: int) -> bool:
+        """Invalidate one entry; True if it was cached."""
+        self.stats.invalidations += 1
+        return self._entries.pop((domain_id, iova_pfn), None) is not None
+
+    def flush_all(self) -> int:
+        """Global invalidation; returns the number of entries dropped."""
+        dropped = len(self._entries)
+        self._entries.clear()
+        self.stats.global_flushes += 1
+        return dropped
+
+    def contains(self, domain_id: int, iova_pfn: int) -> bool:
+        """Non-perturbing membership test (no stats, no LRU update)."""
+        return (domain_id, iova_pfn) in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -1,0 +1,54 @@
+"""Per-domain IOVA range allocator.
+
+Like the Linux IOVA allocator, ranges are handed out top-down from the
+device's addressable limit, and freed ranges are cached per size for
+fast reuse. Addresses are page-granular; sub-page offsets are preserved
+by the DMA API layer, not here.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.errors import DmaApiError, OutOfMemoryError
+from repro.mem.phys import PAGE_SHIFT
+
+#: Default device addressable limit (48-bit IOVA space).
+DEFAULT_IOVA_LIMIT = 1 << 48
+
+
+class IovaAllocator:
+    """Allocates page-aligned IOVA ranges for one domain."""
+
+    def __init__(self, *, limit: int = DEFAULT_IOVA_LIMIT) -> None:
+        if limit <= 0 or limit % (1 << PAGE_SHIFT) != 0:
+            raise ValueError(f"bad IOVA limit {limit:#x}")
+        self._next_top = limit
+        self._free: dict[int, list[int]] = defaultdict(list)  # pages -> bases
+        self._live: dict[int, int] = {}  # base iova -> nr_pages
+
+    def alloc(self, nr_pages: int) -> int:
+        """Allocate *nr_pages* contiguous IOVA pages; returns base IOVA."""
+        if nr_pages <= 0:
+            raise DmaApiError(f"IOVA alloc of {nr_pages} pages")
+        if self._free[nr_pages]:
+            base = self._free[nr_pages].pop()
+        else:
+            span = nr_pages << PAGE_SHIFT
+            if self._next_top - span < 0:
+                raise OutOfMemoryError("IOVA space exhausted")
+            self._next_top -= span
+            base = self._next_top
+        self._live[base] = nr_pages
+        return base
+
+    def free(self, iova: int) -> int:
+        """Free the range based at *iova*; returns its page count."""
+        nr_pages = self._live.pop(iova, None)
+        if nr_pages is None:
+            raise DmaApiError(f"free of unknown IOVA {iova:#x}")
+        self._free[nr_pages].append(iova)
+        return nr_pages
+
+    def nr_live(self) -> int:
+        return len(self._live)

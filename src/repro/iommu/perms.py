@@ -1,0 +1,46 @@
+"""IOMMU page access rights (section 2.2).
+
+"An access right can be either READ, WRITE, or BIDIRECTIONAL. Note that
+WRITE access does not grant a DMA device READ access, whereas
+BIDIRECTIONAL access is needed to both read and write from/to the page."
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class DmaPerm(enum.Enum):
+    """Access right attached to an IOVA page-table entry."""
+
+    READ = "READ"
+    WRITE = "WRITE"
+    BIDIRECTIONAL = "BIDIRECTIONAL"
+
+    @property
+    def allows_read(self) -> bool:
+        return self in (DmaPerm.READ, DmaPerm.BIDIRECTIONAL)
+
+    @property
+    def allows_write(self) -> bool:
+        return self in (DmaPerm.WRITE, DmaPerm.BIDIRECTIONAL)
+
+    def allows(self, *, write: bool) -> bool:
+        return self.allows_write if write else self.allows_read
+
+    @classmethod
+    def from_dma_direction(cls, direction: str) -> "DmaPerm":
+        """Map a DMA API direction to the page permission it installs.
+
+        ``DMA_TO_DEVICE`` (transmit) needs the device to *read*;
+        ``DMA_FROM_DEVICE`` (receive) needs the device to *write*.
+        """
+        table = {
+            "DMA_TO_DEVICE": cls.READ,
+            "DMA_FROM_DEVICE": cls.WRITE,
+            "DMA_BIDIRECTIONAL": cls.BIDIRECTIONAL,
+        }
+        try:
+            return table[direction]
+        except KeyError:
+            raise ValueError(f"unknown DMA direction {direction!r}") from None

@@ -1,0 +1,19 @@
+"""Kernel virtual memory layout, KASLR, and pointer-leak analysis."""
+
+from repro.kaslr.layout import (LAYOUT_REGIONS, STRUCT_PAGE_SIZE, Region,
+                                region_of)
+from repro.kaslr.randomize import KaslrState, randomize
+from repro.kaslr.translate import AddressSpace
+from repro.kaslr.leak import LeakScanner, PointerLeak
+
+__all__ = [
+    "LAYOUT_REGIONS",
+    "STRUCT_PAGE_SIZE",
+    "Region",
+    "region_of",
+    "KaslrState",
+    "randomize",
+    "AddressSpace",
+    "LeakScanner",
+    "PointerLeak",
+]

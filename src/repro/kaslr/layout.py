@@ -1,0 +1,87 @@
+"""The x86-64 Linux kernel virtual memory layout (Table 1 of the paper).
+
+Each region has a fixed architectural range; KASLR slides the *base* used
+within the range but cannot move a region out of its range. That is why a
+leaked pointer's region is always identifiable from its value alone
+(section 2.4: "text addresses always appear in the kernel text mapping
+range and are therefore easy to detect").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: sizeof(struct page) on x86-64; vmemmap entries are this far apart.
+STRUCT_PAGE_SIZE = 64
+
+_TB = 1 << 40
+_GB = 1 << 30
+_MB = 1 << 20
+
+
+@dataclass(frozen=True)
+class Region:
+    """One row of Table 1."""
+
+    name: str
+    start: int
+    size: int
+    description: str
+    #: KASLR alignment of the randomized base within this region;
+    #: None means the region base is not randomized.
+    kaslr_alignment: int | None = None
+
+    @property
+    def end(self) -> int:
+        """Inclusive end address (matches Table 1's End Addr column)."""
+        return self.start + self.size - 1
+
+    def contains(self, addr: int) -> bool:
+        return self.start <= addr <= self.end
+
+
+#: Table 1, in ascending address order. Offsets from 2^64 match the
+#: paper's "Offset" column (-119.5 TB, -55 TB, -22 TB, -20 TB, -2 GB,
+#: -1536 MB).
+LAYOUT_REGIONS: tuple[Region, ...] = (
+    Region("direct_map", 0xFFFF_8880_0000_0000, 64 * _TB,
+           "direct map of phys memory (page_offset_base)",
+           kaslr_alignment=_GB),
+    Region("vmalloc", 0xFFFF_C900_0000_0000, 32 * _TB,
+           "vmalloc/ioremap space (vmalloc_base)",
+           kaslr_alignment=_GB),
+    Region("vmemmap", 0xFFFF_EA00_0000_0000, 1 * _TB,
+           "virtual memory map (vmemmap_base)",
+           kaslr_alignment=_GB),
+    Region("kasan_shadow", 0xFFFF_EC00_0000_0000, 16 * _TB,
+           "KASAN shadow memory"),
+    Region("kernel_text", 0xFFFF_FFFF_8000_0000, 512 * _MB,
+           "kernel text mapping (physical address 0)",
+           kaslr_alignment=2 * _MB),
+    Region("modules", 0xFFFF_FFFF_A000_0000, 1520 * _MB,
+           "module mapping space"),
+)
+
+_BY_NAME = {region.name: region for region in LAYOUT_REGIONS}
+
+
+def region(name: str) -> Region:
+    """Region by name; raises ``KeyError`` for unknown names."""
+    return _BY_NAME[name]
+
+
+def region_of(addr: int) -> Region | None:
+    """The layout region containing *addr*, or None.
+
+    This is the attacker's first classification step when scanning leaked
+    pages for kernel pointers.
+    """
+    for candidate in LAYOUT_REGIONS:
+        if candidate.contains(addr):
+            return candidate
+    return None
+
+
+def looks_like_kernel_pointer(value: int) -> bool:
+    """Heuristic a leak scanner applies to each aligned u64 it reads."""
+    return region_of(value) is not None

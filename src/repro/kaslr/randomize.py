@@ -1,0 +1,64 @@
+"""KASLR: per-boot randomization of region bases (section 2.4).
+
+The kernel text base is randomized with 2 MiB alignment (a page-table
+restriction: "the lowest 21 bits are not modified"), and
+``page_offset_base`` / ``vmemmap_base`` with 1 GiB alignment (PUD shift:
+"the lower 30 bits are unmodified"). These invariant low bits are exactly
+what the paper's KASLR-subversion arithmetic exploits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.kaslr.layout import region
+from repro.sim.rng import DeterministicRng
+
+#: Size of the kernel image mapped at the text base (text + data + bss).
+KERNEL_IMAGE_SIZE = 64 << 20  # 64 MiB
+
+TEXT_ALIGN_BITS = 21   # 2 MiB
+BASE_ALIGN_BITS = 30   # 1 GiB
+
+
+@dataclass(frozen=True)
+class KaslrState:
+    """Randomized bases for one boot."""
+
+    text_base: int
+    page_offset_base: int
+    vmemmap_base: int
+    enabled: bool = True
+
+    def slide(self) -> int:
+        """Text slide relative to the unrandomized base."""
+        return self.text_base - region("kernel_text").start
+
+
+def randomize(rng: DeterministicRng, *, enabled: bool = True,
+              phys_bytes: int = 0) -> KaslrState:
+    """Pick per-boot bases, honoring the architectural alignments.
+
+    *phys_bytes* bounds the direct-map slide so that the whole of physical
+    memory still fits inside the direct-map region.
+    """
+    text_region = region("kernel_text")
+    dm_region = region("direct_map")
+    vmm_region = region("vmemmap")
+    if not enabled:
+        return KaslrState(text_base=text_region.start,
+                          page_offset_base=dm_region.start,
+                          vmemmap_base=vmm_region.start,
+                          enabled=False)
+    text_base = rng.aligned_choice(
+        text_region.start, text_region.start + text_region.size
+        - KERNEL_IMAGE_SIZE, 1 << TEXT_ALIGN_BITS)
+    page_offset_base = rng.aligned_choice(
+        dm_region.start, dm_region.start + dm_region.size - phys_bytes,
+        1 << BASE_ALIGN_BITS)
+    vmemmap_base = rng.aligned_choice(
+        vmm_region.start, vmm_region.start + vmm_region.size // 2,
+        1 << BASE_ALIGN_BITS)
+    return KaslrState(text_base=text_base,
+                      page_offset_base=page_offset_base,
+                      vmemmap_base=vmemmap_base)

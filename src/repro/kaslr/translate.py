@@ -1,0 +1,117 @@
+"""KVA <-> PFN <-> struct page arithmetic (section 2.4).
+
+Once ``page_offset_base`` and ``vmemmap_base`` are known, "it becomes
+possible to translate between a KVA (kernel virtual addresses within the
+direct mapping region), its PFN, and its struct page address". The kernel
+uses this class as its legitimate address space; an attacker who recovers
+the two bases can construct an identical instance and perform the same
+arithmetic -- which is precisely how the compound attacks mint KVAs.
+"""
+
+from __future__ import annotations
+
+from repro.errors import BadAddressError, TranslationFault
+from repro.kaslr.layout import STRUCT_PAGE_SIZE
+from repro.kaslr.randomize import KERNEL_IMAGE_SIZE, KaslrState
+from repro.mem.phys import PAGE_SHIFT, PAGE_SIZE
+
+
+class AddressSpace:
+    """Kernel virtual address arithmetic for one boot's KASLR state.
+
+    Implements :class:`repro.mem.virt.VirtTranslator` so the allocators
+    can hand out real direct-map KVAs.
+    """
+
+    def __init__(self, kaslr: KaslrState, phys_bytes: int) -> None:
+        self._kaslr = kaslr
+        self._phys_bytes = phys_bytes
+
+    @property
+    def kaslr(self) -> KaslrState:
+        return self._kaslr
+
+    @property
+    def page_offset_base(self) -> int:
+        return self._kaslr.page_offset_base
+
+    @property
+    def vmemmap_base(self) -> int:
+        return self._kaslr.vmemmap_base
+
+    @property
+    def text_base(self) -> int:
+        return self._kaslr.text_base
+
+    # -- direct map ---------------------------------------------------------
+
+    def kva_of_paddr(self, paddr: int) -> int:
+        if not 0 <= paddr < self._phys_bytes:
+            raise BadAddressError(f"paddr {paddr:#x} outside physical memory")
+        return self._kaslr.page_offset_base + paddr
+
+    def paddr_of_kva(self, kva: int) -> int:
+        paddr = kva - self._kaslr.page_offset_base
+        if not 0 <= paddr < self._phys_bytes:
+            raise TranslationFault(
+                f"KVA {kva:#x} is not a direct-map address this boot")
+        return paddr
+
+    def is_direct_map_kva(self, kva: int) -> bool:
+        return (self._kaslr.page_offset_base <= kva
+                < self._kaslr.page_offset_base + self._phys_bytes)
+
+    def kva_of_pfn(self, pfn: int, offset: int = 0) -> int:
+        return self.kva_of_paddr((pfn << PAGE_SHIFT) + offset)
+
+    def pfn_of_kva(self, kva: int) -> int:
+        return self.paddr_of_kva(kva) >> PAGE_SHIFT
+
+    # -- vmemmap (struct page array) ----------------------------------------
+
+    def struct_page_of_pfn(self, pfn: int) -> int:
+        """Virtual address of ``struct page`` for frame *pfn*."""
+        if pfn < 0 or (pfn << PAGE_SHIFT) >= self._phys_bytes:
+            raise BadAddressError(f"PFN {pfn:#x} outside physical memory")
+        return self._kaslr.vmemmap_base + pfn * STRUCT_PAGE_SIZE
+
+    def pfn_of_struct_page(self, page_ptr: int) -> int:
+        delta = page_ptr - self._kaslr.vmemmap_base
+        if delta < 0 or delta % STRUCT_PAGE_SIZE != 0:
+            raise TranslationFault(
+                f"{page_ptr:#x} is not a struct page address this boot")
+        pfn = delta // STRUCT_PAGE_SIZE
+        if (pfn << PAGE_SHIFT) >= self._phys_bytes:
+            raise TranslationFault(
+                f"struct page {page_ptr:#x} maps PFN beyond physical memory")
+        return pfn
+
+    def is_struct_page_ptr(self, value: int) -> bool:
+        try:
+            self.pfn_of_struct_page(value)
+        except TranslationFault:
+            return False
+        return True
+
+    def kva_of_struct_page(self, page_ptr: int, offset: int = 0) -> int:
+        """Translate struct page + offset to the direct-map KVA.
+
+        This is attack step 3 of Poisoned TX (Figure 8): "The NIC
+        identifies the poisoned buffer and translates struct page to KVA".
+        """
+        if not 0 <= offset < PAGE_SIZE:
+            raise BadAddressError(f"bad page offset {offset:#x}")
+        return self.kva_of_pfn(self.pfn_of_struct_page(page_ptr), offset)
+
+    # -- kernel image -------------------------------------------------------
+
+    def is_text_kva(self, kva: int) -> bool:
+        return (self._kaslr.text_base <= kva
+                < self._kaslr.text_base + KERNEL_IMAGE_SIZE)
+
+    def symbol_kva(self, unslid_offset: int) -> int:
+        """KVA of the image symbol at *unslid_offset* into the image."""
+        if not 0 <= unslid_offset < KERNEL_IMAGE_SIZE:
+            raise BadAddressError(
+                f"symbol offset {unslid_offset:#x} outside kernel image")
+        return self._kaslr.text_base + unslid_offset

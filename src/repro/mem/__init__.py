@@ -1,0 +1,27 @@
+"""Physical-memory model and kernel allocators.
+
+The memory substrate is byte-accurate: every page is a real 4 KiB
+bytearray, so sub-page co-location -- the root cause of every
+vulnerability in the paper -- is a physical fact of the simulation, not a
+flag on an object.
+"""
+
+from repro.mem.phys import (PAGE_SHIFT, PAGE_SIZE, Page, PhysicalMemory,
+                            paddr_to_pfn, page_offset, pfn_to_paddr)
+from repro.mem.buddy import BuddyAllocator
+from repro.mem.slab import SlabAllocator
+from repro.mem.page_frag import PageFragAllocator, PageFragCache
+
+__all__ = [
+    "PAGE_SHIFT",
+    "PAGE_SIZE",
+    "Page",
+    "PhysicalMemory",
+    "paddr_to_pfn",
+    "page_offset",
+    "pfn_to_paddr",
+    "BuddyAllocator",
+    "SlabAllocator",
+    "PageFragAllocator",
+    "PageFragCache",
+]

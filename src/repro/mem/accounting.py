@@ -1,0 +1,81 @@
+"""Allocation/DMA event plumbing.
+
+The allocators and the DMA API publish events through a
+:class:`MemEventSink`. D-KASAN subscribes to these events; when no
+sanitizer is installed a :class:`NullSink` swallows them at negligible
+cost. Keeping the protocol here lets ``repro.mem`` and ``repro.dma`` stay
+free of any dependency on ``repro.core``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class AllocSite:
+    """Attribution for an allocation, mimicking a kernel stack frame.
+
+    Rendered exactly the way KASAN renders frames:
+    ``function+0xoff/0xsize`` (see Figure 3 in the paper).
+    """
+
+    function: str
+    offset: int = 0
+    size: int = 0
+
+    def __str__(self) -> str:
+        return f"{self.function}+{self.offset:#x}/{self.size:#x}"
+
+
+class MemEventSink:
+    """Interface consumed by run-time sanitizers.
+
+    All addresses are *physical*; sizes are bytes. ``perm`` strings are
+    the DMA permission names: ``"READ"``, ``"WRITE"``, ``"BIDIRECTIONAL"``.
+    """
+
+    def on_alloc(self, paddr: int, size: int, site: AllocSite) -> None:
+        """An object of *size* bytes was allocated at *paddr*."""
+
+    def on_free(self, paddr: int, size: int) -> None:
+        """The object at *paddr* was freed."""
+
+    def on_pages_alloc(self, pfn: int, nr_pages: int, site: AllocSite) -> None:
+        """*nr_pages* page frames starting at *pfn* were allocated."""
+
+    def on_pages_free(self, pfn: int, nr_pages: int) -> None:
+        """*nr_pages* page frames starting at *pfn* were freed."""
+
+    def on_dma_map(self, paddr: int, size: int, perm: str,
+                   device: str, site: AllocSite) -> None:
+        """[paddr, paddr+size) was DMA-mapped for *device*.
+
+        Every page the range touches became device-accessible; the
+        byte range identifies which object is the intended I/O buffer
+        (as opposed to a co-located bystander).
+        """
+
+    def on_dma_unmap(self, paddr: int, size: int, device: str) -> None:
+        """The DMA mapping over [paddr, paddr+size) was removed."""
+
+    def on_cpu_access(self, paddr: int, size: int, write: bool,
+                      site: AllocSite) -> None:
+        """The CPU touched [paddr, paddr+size)."""
+
+    def on_device_access(self, paddr: int, size: int, write: bool,
+                         device: str, stale: bool) -> None:
+        """A device DMA touched [paddr, paddr+size).
+
+        *stale* is True when the translation came from an IOTLB entry
+        whose page-table entry is already gone (deferred-invalidation
+        window) -- the hardware-level signal behind the paper's
+        "device has access ... unbeknownst to the CPU".
+        """
+
+
+class NullSink(MemEventSink):
+    """Default sink: sanitizer disabled."""
+
+
+NULL_SINK = NullSink()

@@ -1,0 +1,162 @@
+"""The ``page_frag`` allocator (Figure 5 of the paper).
+
+``page_frag`` is the fast allocator the Linux network stack uses for RX
+data buffers (``netdev_alloc_skb`` / ``napi_alloc_skb``). It grabs a
+contiguous chunk (32 KiB by default), keeps a ``va`` pointer to its start
+and an ``offset`` initialized to the chunk's end, and satisfies each
+request for *B* bytes by subtracting *B* from ``offset``.
+
+Consequences reproduced here:
+
+* consecutive allocations are adjacent and **co-reside on pages**
+  whenever the buffer size is below 4 KiB -- the type (c) sub-page
+  vulnerability (Figure 1c) that keeps ``skb_shared_info`` writable via a
+  neighbour buffer's IOVA even under strict IOTLB invalidation
+  (section 5.2.2, path iii);
+* each CPU has its own cache, and each RX ring is served by its own
+  per-CPU chunk (Figure 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import AllocatorError
+from repro.mem.accounting import NULL_SINK, AllocSite, MemEventSink
+from repro.mem.buddy import BuddyAllocator
+from repro.mem.phys import PAGE_SIZE
+from repro.mem.virt import VirtTranslator
+
+#: Default chunk: order-3 allocation = 8 pages = 32 KiB, as in Linux.
+DEFAULT_CHUNK_ORDER = 3
+
+
+@dataclass
+class _Chunk:
+    base_pfn: int
+    order: int
+    offset: int                  # next allocation ends here (grows down)
+    refcount: int = 1            # +1 bias held by the cache while current
+    frags: list[tuple[int, int]] = field(default_factory=list)
+
+    @property
+    def size(self) -> int:
+        return PAGE_SIZE << self.order
+
+    @property
+    def base_paddr(self) -> int:
+        return self.base_pfn * PAGE_SIZE
+
+
+class PageFragCache:
+    """One CPU's fragment cache."""
+
+    def __init__(self, buddy: BuddyAllocator, translate: VirtTranslator, *,
+                 cpu: int = 0, chunk_order: int = DEFAULT_CHUNK_ORDER,
+                 sink: MemEventSink = NULL_SINK) -> None:
+        self._buddy = buddy
+        self._translate = translate
+        self._cpu = cpu
+        self._chunk_order = chunk_order
+        self._sink = sink
+        self._current: _Chunk | None = None
+        self._chunk_of_frag: dict[int, _Chunk] = {}  # frag paddr -> chunk
+
+    @property
+    def cpu(self) -> int:
+        return self._cpu
+
+    @property
+    def chunk_size(self) -> int:
+        return PAGE_SIZE << self._chunk_order
+
+    def _refill(self, site: AllocSite) -> _Chunk:
+        if self._current is not None:
+            self._release_bias(self._current)
+        pfn = self._buddy.alloc_pages(self._chunk_order, cpu=self._cpu,
+                                      site=site)
+        chunk = _Chunk(pfn, self._chunk_order, offset=self.chunk_size)
+        self._current = chunk
+        return chunk
+
+    def _release_bias(self, chunk: _Chunk) -> None:
+        chunk.refcount -= 1
+        if chunk.refcount == 0:
+            self._buddy.free_pages(chunk.base_pfn, cpu=self._cpu)
+
+    def alloc(self, size: int, *, align: int = 64,
+              site: AllocSite | None = None) -> int:
+        """Allocate *size* bytes from the current chunk; returns a KVA.
+
+        Matches ``page_frag_alloc``: the offset walks *down* from the end
+        of the chunk, so back-to-back allocations are laid out
+        back-to-front and share pages.
+        """
+        if size <= 0:
+            raise AllocatorError(f"page_frag alloc of size {size}")
+        if size > self.chunk_size:
+            raise AllocatorError(
+                f"page_frag alloc of {size} exceeds chunk ({self.chunk_size})")
+        site = site or AllocSite("page_frag_alloc")
+        aligned = -(-size // align) * align
+        chunk = self._current
+        if chunk is None or chunk.offset - aligned < 0:
+            chunk = self._refill(site)
+        chunk.offset -= aligned
+        paddr = chunk.base_paddr + chunk.offset
+        chunk.refcount += 1
+        chunk.frags.append((paddr, size))
+        self._chunk_of_frag[paddr] = chunk
+        self._sink.on_alloc(paddr, aligned, site)
+        return self._translate.kva_of_paddr(paddr)
+
+    def free(self, kva: int) -> None:
+        """Drop one fragment reference (``page_frag_free``)."""
+        paddr = self._translate.paddr_of_kva(kva)
+        chunk = self._chunk_of_frag.pop(paddr, None)
+        if chunk is None:
+            raise AllocatorError(f"page_frag free of unknown KVA {kva:#x}")
+        for i, (fpaddr, fsize) in enumerate(chunk.frags):
+            if fpaddr == paddr:
+                self._sink.on_free(paddr, fsize)
+                del chunk.frags[i]
+                break
+        chunk.refcount -= 1
+        if chunk.refcount == 0:
+            self._buddy.free_pages(chunk.base_pfn, cpu=self._cpu)
+
+    def current_chunk_span(self) -> tuple[int, int] | None:
+        """(base_pfn, nr_pages) of the live chunk, or None."""
+        if self._current is None:
+            return None
+        return (self._current.base_pfn, 1 << self._current.order)
+
+
+class PageFragAllocator:
+    """Per-CPU collection of :class:`PageFragCache` (Figure 5).
+
+    "In multi-core environments, the page_frag uses a different buffer for
+    each CPU and each CPU has a single RX ring."
+    """
+
+    def __init__(self, buddy: BuddyAllocator, translate: VirtTranslator, *,
+                 nr_cpus: int = 1, chunk_order: int = DEFAULT_CHUNK_ORDER,
+                 sink: MemEventSink = NULL_SINK) -> None:
+        self._caches = {
+            cpu: PageFragCache(buddy, translate, cpu=cpu,
+                               chunk_order=chunk_order, sink=sink)
+            for cpu in range(nr_cpus)
+        }
+
+    def cache(self, cpu: int) -> PageFragCache:
+        try:
+            return self._caches[cpu]
+        except KeyError:
+            raise AllocatorError(f"no page_frag cache for CPU {cpu}") from None
+
+    def alloc(self, size: int, *, cpu: int = 0, align: int = 64,
+              site: AllocSite | None = None) -> int:
+        return self.cache(cpu).alloc(size, align=align, site=site)
+
+    def free(self, kva: int, *, cpu: int = 0) -> None:
+        self.cache(cpu).free(kva)

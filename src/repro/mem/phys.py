@@ -1,0 +1,159 @@
+"""Byte-accurate physical memory.
+
+Physical memory is a sparse collection of 4 KiB pages indexed by page
+frame number (PFN). Page contents are real bytearrays so that a DMA write
+by a (possibly malicious) device and a later CPU read of, say, a
+``destructor_arg`` field observe the same bytes -- the mechanism every
+attack in the paper rides on.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+from repro.errors import BadAddressError
+
+#: Architecture constants (x86-64, 4 KiB base pages).
+PAGE_SHIFT = 12
+PAGE_SIZE = 1 << PAGE_SHIFT
+PAGE_MASK = PAGE_SIZE - 1
+
+_U64 = struct.Struct("<Q")
+_U32 = struct.Struct("<I")
+_U16 = struct.Struct("<H")
+
+
+def pfn_to_paddr(pfn: int) -> int:
+    """Physical address of the first byte of page *pfn*."""
+    return pfn << PAGE_SHIFT
+
+
+def paddr_to_pfn(paddr: int) -> int:
+    """PFN containing physical address *paddr*."""
+    return paddr >> PAGE_SHIFT
+
+
+def page_offset(addr: int) -> int:
+    """Offset of *addr* within its page (the low 12 bits).
+
+    The paper notes (section 5.2.2, footnote 5) that these bits are
+    preserved across KVA/IOVA/physical views of the same byte, which
+    attackers exploit to locate structures within pages.
+    """
+    return addr & PAGE_MASK
+
+
+@dataclass
+class Page:
+    """One physical page frame.
+
+    ``allocated`` and ``order`` are buddy-allocator bookkeeping;
+    ``alloc_generation`` increments on every allocation of this frame so
+    experiments can detect page reuse.
+    """
+
+    pfn: int
+    data: bytearray = field(default_factory=lambda: bytearray(PAGE_SIZE))
+    allocated: bool = False
+    order: int = 0
+    alloc_generation: int = 0
+
+    def clear(self) -> None:
+        self.data[:] = bytes(PAGE_SIZE)
+
+
+class PhysicalMemory:
+    """Sparse physical memory of *nr_pages* frames.
+
+    Reads and writes may span page boundaries; they are split across the
+    underlying frames. Accessing a frame outside the modeled range raises
+    :class:`BadAddressError` (the bus would abort the transaction).
+    """
+
+    def __init__(self, nr_pages: int) -> None:
+        if nr_pages <= 0:
+            raise ValueError(f"nr_pages must be positive, got {nr_pages}")
+        self._nr_pages = nr_pages
+        self._pages: dict[int, Page] = {}
+
+    @property
+    def nr_pages(self) -> int:
+        return self._nr_pages
+
+    @property
+    def size_bytes(self) -> int:
+        return self._nr_pages * PAGE_SIZE
+
+    def page(self, pfn: int) -> Page:
+        """The :class:`Page` for frame *pfn*, materializing it lazily."""
+        if not 0 <= pfn < self._nr_pages:
+            raise BadAddressError(
+                f"PFN {pfn:#x} outside physical memory "
+                f"(0..{self._nr_pages - 1:#x})")
+        page = self._pages.get(pfn)
+        if page is None:
+            page = Page(pfn)
+            self._pages[pfn] = page
+        return page
+
+    def valid_paddr(self, paddr: int, length: int = 1) -> bool:
+        """Whether [paddr, paddr+length) lies inside modeled memory."""
+        return 0 <= paddr and paddr + length <= self.size_bytes and length >= 0
+
+    def read(self, paddr: int, length: int) -> bytes:
+        """Read *length* bytes starting at physical address *paddr*."""
+        if length < 0:
+            raise ValueError(f"negative read length {length}")
+        if not self.valid_paddr(paddr, length):
+            raise BadAddressError(
+                f"physical read [{paddr:#x}, +{length}) out of range")
+        out = bytearray()
+        while length > 0:
+            pfn = paddr_to_pfn(paddr)
+            off = page_offset(paddr)
+            chunk = min(length, PAGE_SIZE - off)
+            out += self.page(pfn).data[off:off + chunk]
+            paddr += chunk
+            length -= chunk
+        return bytes(out)
+
+    def write(self, paddr: int, data: bytes) -> None:
+        """Write *data* starting at physical address *paddr*."""
+        if not self.valid_paddr(paddr, len(data)):
+            raise BadAddressError(
+                f"physical write [{paddr:#x}, +{len(data)}) out of range")
+        view = memoryview(data)
+        while view.nbytes > 0:
+            pfn = paddr_to_pfn(paddr)
+            off = page_offset(paddr)
+            chunk = min(view.nbytes, PAGE_SIZE - off)
+            self.page(pfn).data[off:off + chunk] = view[:chunk]
+            paddr += chunk
+            view = view[chunk:]
+
+    # Fixed-width helpers (little-endian, matching x86-64).
+
+    def read_u64(self, paddr: int) -> int:
+        return _U64.unpack(self.read(paddr, 8))[0]
+
+    def write_u64(self, paddr: int, value: int) -> None:
+        self.write(paddr, _U64.pack(value & 0xFFFF_FFFF_FFFF_FFFF))
+
+    def read_u32(self, paddr: int) -> int:
+        return _U32.unpack(self.read(paddr, 4))[0]
+
+    def write_u32(self, paddr: int, value: int) -> None:
+        self.write(paddr, _U32.pack(value & 0xFFFF_FFFF))
+
+    def read_u16(self, paddr: int) -> int:
+        return _U16.unpack(self.read(paddr, 2))[0]
+
+    def write_u16(self, paddr: int, value: int) -> None:
+        self.write(paddr, _U16.pack(value & 0xFFFF))
+
+    def read_u8(self, paddr: int) -> int:
+        return self.read(paddr, 1)[0]
+
+    def write_u8(self, paddr: int, value: int) -> None:
+        self.write(paddr, bytes([value & 0xFF]))

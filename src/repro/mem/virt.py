@@ -1,0 +1,34 @@
+"""Virtual-address translation protocol used by the allocators.
+
+The slab and page_frag allocators return *kernel virtual addresses* and
+store KVAs (freelist pointers) inside page memory, exactly like SLUB --
+that is what makes leaked allocator metadata useful to an attacker. The
+actual KVA<->physical arithmetic lives in :mod:`repro.kaslr.translate`;
+this protocol keeps ``repro.mem`` import-independent from it.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+
+class VirtTranslator(Protocol):
+    """Maps between physical addresses and direct-map KVAs."""
+
+    def kva_of_paddr(self, paddr: int) -> int:
+        """Direct-map kernel virtual address backing *paddr*."""
+        ...
+
+    def paddr_of_kva(self, kva: int) -> int:
+        """Physical address behind direct-map KVA *kva*."""
+        ...
+
+
+class IdentityTranslator:
+    """Trivial translator for allocator unit tests (KVA == paddr)."""
+
+    def kva_of_paddr(self, paddr: int) -> int:
+        return paddr
+
+    def paddr_of_kva(self, kva: int) -> int:
+        return kva

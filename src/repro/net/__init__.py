@@ -1,0 +1,20 @@
+"""Linux network-stack substrate: sk_buff, skb_shared_info, rings, GRO."""
+
+from repro.net.structs import (BoundStruct, SKB_SHARED_INFO, StructLayout,
+                               UBUF_INFO, skb_data_align,
+                               skb_shared_info_offset)
+from repro.net.skbuff import SkBuff, SKBTX_DEV_ZEROCOPY
+from repro.net.ring import RxRing, TxRing
+
+__all__ = [
+    "BoundStruct",
+    "SKB_SHARED_INFO",
+    "StructLayout",
+    "UBUF_INFO",
+    "skb_data_align",
+    "skb_shared_info_offset",
+    "SkBuff",
+    "SKBTX_DEV_ZEROCOPY",
+    "RxRing",
+    "TxRing",
+]

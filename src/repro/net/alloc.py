@@ -1,0 +1,148 @@
+"""skb allocation APIs: ``__alloc_skb``, ``netdev_alloc_skb``, ``build_skb``.
+
+The choice of API is security-relevant (sections 4.1, 9.1):
+
+* ``__alloc_skb`` draws the data buffer from ``kmalloc`` -- exposure
+  happens through random slab co-location (type (d)).
+* ``netdev_alloc_skb`` / ``napi_alloc_skb`` draw from ``page_frag`` --
+  consecutive RX buffers share pages (type (c)); used by RX rings.
+* ``build_skb`` wraps an sk_buff *around an arbitrary I/O buffer*,
+  embedding skb_shared_info inside the mapped region (type (b)); "the
+  OS provides this data structure layout and API rather than it being
+  an isolated driver bug".
+
+All three place ``skb_shared_info`` at the tail of the data buffer.
+"""
+
+from __future__ import annotations
+
+from repro.kaslr.translate import AddressSpace
+from repro.mem.accounting import AllocSite
+from repro.mem.buddy import BuddyAllocator
+from repro.mem.page_frag import PageFragAllocator
+from repro.mem.phys import PAGE_SIZE, PhysicalMemory
+from repro.mem.slab import SlabAllocator
+from repro.net.skbuff import SkBuff
+from repro.net.structs import skb_shared_info_offset, skb_truesize
+
+#: sizeof(struct sk_buff) in Linux 5.0; lands in the kmalloc-256 cache.
+SK_BUFF_STRUCT_SIZE = 232
+
+
+class SkbAllocator:
+    """Factory for sk_buffs over the simulated allocators."""
+
+    def __init__(self, phys: PhysicalMemory, addr_space: AddressSpace,
+                 slab: SlabAllocator, page_frag: PageFragAllocator,
+                 buddy: BuddyAllocator,
+                 io_slab: SlabAllocator | None = None,
+                 shared_info_layout=None) -> None:
+        self._phys = phys
+        self._addr_space = addr_space
+        self._slab = slab
+        self._page_frag = page_frag
+        self._buddy = buddy
+        #: slab used for skb *data* buffers. Normally the general
+        #: kmalloc caches (so random co-location happens); a DAMN-style
+        #: defense passes a dedicated I/O slab instead (ASPLOS'18),
+        #: segregating I/O data from kernel objects.
+        self._io_slab = io_slab or slab
+        from repro.net.structs import SKB_SHARED_INFO
+        #: this build's skb_shared_info layout (__randomize_layout)
+        self._shared_info_layout = shared_info_layout or SKB_SHARED_INFO
+
+    def _alloc_skb_struct(self, cpu: int) -> int:
+        """kmalloc the sk_buff metadata object itself (never mapped)."""
+        return self._slab.kmalloc(
+            SK_BUFF_STRUCT_SIZE, cpu=cpu,
+            site=AllocSite("kmem_cache_alloc_node", 0x118, 0x2b0))
+
+    def alloc_skb(self, size: int, *, cpu: int = 0,
+                  site: AllocSite | None = None) -> SkBuff:
+        """``__alloc_skb``: data buffer from kmalloc."""
+        truesize = skb_truesize(size)
+        data_kva = self._io_slab.kmalloc(
+            truesize, cpu=cpu,
+            site=site or AllocSite("__alloc_skb", 0xE0, 0x3F0))
+        skb = SkBuff(
+            shared_info_layout=self._shared_info_layout,
+            phys=self._phys, addr_space=self._addr_space,
+            skb_kva=self._alloc_skb_struct(cpu), head_kva=data_kva,
+            buf_size=size, end_offset=skb_shared_info_offset(size),
+            alloc_method="kmalloc", cpu=cpu)
+        skb.init_shared_info()
+        return skb
+
+    def netdev_alloc_skb(self, size: int, *, cpu: int = 0,
+                         site: AllocSite | None = None) -> SkBuff:
+        """``netdev_alloc_skb``: data buffer from the per-CPU page_frag.
+
+        This is the RX-ring allocation path that yields type (c)
+        co-location: "the buffers of the driver RX ring are allocated
+        sequentially, resulting in pairs of successive RX descriptors
+        that map the same page" (section 5.2.2).
+        """
+        truesize = skb_truesize(size)
+        data_kva = self._page_frag.alloc(
+            truesize, cpu=cpu,
+            site=site or AllocSite("netdev_alloc_skb", 0x8C, 0x1D0))
+        skb = SkBuff(
+            shared_info_layout=self._shared_info_layout,
+            phys=self._phys, addr_space=self._addr_space,
+            skb_kva=self._alloc_skb_struct(cpu), head_kva=data_kva,
+            buf_size=size, end_offset=skb_shared_info_offset(size),
+            alloc_method="page_frag", cpu=cpu)
+        skb.init_shared_info()
+        return skb
+
+    def napi_alloc_skb(self, size: int, *, cpu: int = 0) -> SkBuff:
+        """``napi_alloc_skb``: same allocation behaviour on the NAPI path."""
+        return self.netdev_alloc_skb(
+            size, cpu=cpu, site=AllocSite("napi_alloc_skb", 0x74, 0x190))
+
+    def alloc_rx_buffer(self, size: int, *, cpu: int = 0) -> tuple[int, str]:
+        """Just the raw RX data buffer (driver pre-posts it to the ring).
+
+        Returns ``(kva, alloc_method)``; a later ``build_skb`` wraps it.
+        Buffers larger than the page_frag chunk (e.g. the 64 KiB HW-LRO
+        buffers of section 5.3) come straight from the page allocator.
+        """
+        truesize = skb_truesize(size)
+        site = AllocSite("netdev_alloc_frag", 0x40, 0xF0)
+        if truesize > self._page_frag.cache(cpu).chunk_size:
+            order = 0
+            while (PAGE_SIZE << order) < truesize:
+                order += 1
+            pfn = self._buddy.alloc_pages(order, cpu=cpu, site=site)
+            return self._addr_space.kva_of_pfn(pfn), "pages"
+        return self._page_frag.alloc(truesize, cpu=cpu, site=site), \
+            "page_frag"
+
+    def build_skb(self, data_kva: int, size: int, *, cpu: int = 0,
+                  alloc_method: str = "page_frag") -> SkBuff:
+        """``build_skb``: wrap an sk_buff around an existing I/O buffer.
+
+        "build_skb facilitates building an sk_buff around an arbitrary
+        I/O buffer, in turn, embedding critical data structures inside
+        the I/O buffer" (section 9.1). The shared info is (re)initialized
+        inside the still-or-recently mapped buffer.
+        """
+        skb = SkBuff(
+            shared_info_layout=self._shared_info_layout,
+            phys=self._phys, addr_space=self._addr_space,
+            skb_kva=self._alloc_skb_struct(cpu), head_kva=data_kva,
+            buf_size=size, end_offset=skb_shared_info_offset(size),
+            alloc_method=alloc_method, cpu=cpu)
+        skb.init_shared_info()
+        return skb
+
+    def free_skb_memory(self, skb: SkBuff) -> None:
+        """Release the sk_buff object and its data buffer."""
+        self._slab.kfree(skb.skb_kva)
+        if skb.alloc_method == "kmalloc":
+            self._io_slab.kfree(skb.head_kva)
+        elif skb.alloc_method == "pages":
+            self._buddy.free_pages(self._addr_space.pfn_of_kva(skb.head_kva),
+                                   cpu=skb.cpu)
+        else:
+            self._page_frag.free(skb.head_kva, cpu=skb.cpu)

@@ -1,0 +1,94 @@
+"""Generic Receive Offload (section 5.5, Figure 9).
+
+"The GRO attempts to aggregate multiple TCP segments into a single
+large packet. Specifically, the GRO converts multiple linear sk_buff
+buffers belonging to a single TCP stream, into a single sk_buff with
+multiple fragments."
+
+This conversion is the crux of the Forward Thinking attack: drivers
+produce *linear* RX skbs (empty frags), but after GRO the aggregate
+carries ``frags[]`` entries -- struct page pointers written into the
+shared info in memory -- and when the aggregate is forwarded as a TX
+packet those pointers become device-readable.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import TYPE_CHECKING
+
+from repro.net.proto import (HEADER_LEN, PROTO_TCP, PacketHeader,
+                             decode_header, encode_packet)
+from repro.net.skbuff import SkBuff
+
+if TYPE_CHECKING:
+    from repro.net.nic import Nic
+    from repro.sim.kernel import Kernel
+
+#: Flush an aggregation once this many segments accumulate.
+GRO_MAX_SEGS = 8
+
+#: Packet flag requesting an immediate flush (models TCP PSH).
+FLAG_PUSH = 0x1
+
+
+class GroEngine:
+    """Per-NIC GRO state, keyed by flow id."""
+
+    def __init__(self, kernel: "Kernel") -> None:
+        self.kernel = kernel
+        self._flows: dict[tuple[str, int], list[SkBuff]] = defaultdict(list)
+        self.aggregated = 0
+
+    def napi_gro_receive(self, nic: "Nic", skb: SkBuff) -> None:
+        """Driver entry point ("used by 98 NIC drivers in Linux 5.0")."""
+        header = decode_header(skb.data())
+        if skb.protocol != PROTO_TCP or skb.frags():
+            self.kernel.stack.rx(skb, nic)
+            return
+        key = (nic.name, skb.flow_id)
+        self._flows[key].append(skb)
+        if header.flags & FLAG_PUSH or len(self._flows[key]) >= GRO_MAX_SEGS:
+            self.flush_flow(nic, skb.flow_id)
+
+    def flush_flow(self, nic: "Nic", flow_id: int) -> SkBuff | None:
+        """Aggregate the flow's segments into one frags-bearing skb."""
+        key = (nic.name, flow_id)
+        members = self._flows.pop(key, [])
+        if not members:
+            return None
+        if len(members) == 1:
+            skb = members[0]
+            self.kernel.stack.rx(skb, nic)
+            return skb
+        head = members[0]
+        total_payload = sum(m.len - HEADER_LEN for m in members)
+        agg = self.kernel.skb_alloc.napi_alloc_skb(256, cpu=head.cpu)
+        agg.source = "gro"
+        agg.dev = head.dev
+        agg.protocol = head.protocol
+        agg.flow_id = head.flow_id
+        agg.dst_ip = head.dst_ip
+        agg.src_ip = head.src_ip
+        agg.dst_port = head.dst_port
+        header = PacketHeader(head.dst_ip, head.src_ip, head.protocol, 0,
+                              head.flow_id, 0, head.dst_port)
+        wire = bytearray(encode_packet(header, b""))
+        wire[12:14] = total_payload.to_bytes(2, "little")
+        agg.put(bytes(wire[:HEADER_LEN]))
+        for member in members:
+            # Each member's payload becomes one frag: (struct page of the
+            # member's data page, in-page offset of the payload, length).
+            payload_kva = member.head_kva + HEADER_LEN
+            paddr = self.kernel.addr_space.paddr_of_kva(payload_kva)
+            agg.add_frag(paddr >> 12, paddr & 0xFFF,
+                         member.len - HEADER_LEN)
+            agg.gro_members.append(member)
+        self.aggregated += len(members)
+        self.kernel.stack.rx(agg, nic)
+        return agg
+
+    def flush_all(self, nic: "Nic") -> None:
+        for (nic_name, flow_id) in list(self._flows):
+            if nic_name == nic.name:
+                self.flush_flow(nic, flow_id)

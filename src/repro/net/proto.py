@@ -1,0 +1,78 @@
+"""Minimal wire format for simulated packets.
+
+The device writes raw bytes into RX buffers; the kernel parses headers
+*from memory*. Keeping the parse on the memory bytes (rather than on a
+Python-side object) matters: a malicious NIC fully controls routing by
+what it writes -- which is how the Forward Thinking attack (section 5.5)
+injects an RX packet that the victim then forwards.
+
+Header layout (16 bytes, little-endian):
+
+====== ====== =============================
+offset size   field
+====== ====== =============================
+0      4      dst_ip
+4      4      src_ip
+8      1      proto (6 = TCP, 17 = UDP)
+9      1      flags
+10     2      flow_id
+12     2      payload_len
+14     2      dst_port
+====== ====== =============================
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.errors import NetStackError
+
+HEADER_LEN = 16
+_HDR = struct.Struct("<IIBBHHH")
+
+PROTO_TCP = 6
+PROTO_UDP = 17
+
+#: Default MTU; RX buffers are sized for it (section 5.2.2: "the default
+#: MTU size is 1500 B").
+MTU = 1500
+
+
+@dataclass(frozen=True)
+class PacketHeader:
+    dst_ip: int
+    src_ip: int
+    proto: int
+    flags: int
+    flow_id: int
+    payload_len: int
+    dst_port: int
+
+
+def encode_packet(header: PacketHeader, payload: bytes) -> bytes:
+    """Wire bytes for a packet: header then payload."""
+    if header.payload_len != len(payload):
+        raise NetStackError(
+            f"header says {header.payload_len} payload bytes, "
+            f"got {len(payload)}")
+    return _HDR.pack(header.dst_ip, header.src_ip, header.proto,
+                     header.flags, header.flow_id, header.payload_len,
+                     header.dst_port) + payload
+
+
+def decode_header(data: bytes) -> PacketHeader:
+    """Parse a header from the first 16 bytes of *data*."""
+    if len(data) < HEADER_LEN:
+        raise NetStackError(f"short packet: {len(data)} bytes")
+    fields = _HDR.unpack_from(data, 0)
+    return PacketHeader(*fields)
+
+
+def make_packet(*, dst_ip: int, src_ip: int = 0x0A00_0001,
+                proto: int = PROTO_TCP, flags: int = 0, flow_id: int = 0,
+                dst_port: int = 0, payload: bytes = b"") -> bytes:
+    """Convenience constructor used by workloads and attacks."""
+    header = PacketHeader(dst_ip, src_ip, proto, flags, flow_id,
+                          len(payload), dst_port)
+    return encode_packet(header, payload)

@@ -1,0 +1,149 @@
+"""NIC descriptor rings.
+
+Descriptors hold IOVAs -- the ring is the device-visible contract, so a
+malicious device legitimately knows every posted IOVA and buffer size
+(it must, to operate at all). That knowledge is what the paper's
+attacks start from: "the device has all the IOVA for the RX buffers,
+but not the KVA" (section 5.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import NetStackError
+from repro.net.skbuff import SkBuff
+
+
+@dataclass
+class RxDescriptor:
+    index: int
+    iova: int = 0
+    kva: int = 0          # kernel-side only; never visible to the device
+    buf_size: int = 0
+    posted: bool = False
+    completed: bool = False
+    pkt_len: int = 0
+    alloc_method: str = "page_frag"
+
+
+@dataclass
+class TxDescriptor:
+    index: int
+    skb: SkBuff | None = None
+    linear_iova: int = 0
+    linear_len: int = 0
+    frag_iovas: list[tuple[int, int]] = field(default_factory=list)
+    posted: bool = False
+    fetched: bool = False
+    completed: bool = False
+
+
+class RxRing:
+    """One receive ring (one per CPU, per the paper's Figure 5)."""
+
+    def __init__(self, nr_desc: int, cpu: int) -> None:
+        self.cpu = cpu
+        self.descriptors = [RxDescriptor(i) for i in range(nr_desc)]
+        self._next_to_use = 0    # kernel posts here
+        self._next_to_fill = 0   # device writes here
+        self._next_to_clean = 0  # kernel reaps here
+
+    @property
+    def nr_desc(self) -> int:
+        return len(self.descriptors)
+
+    def post(self, iova: int, kva: int, buf_size: int) -> RxDescriptor:
+        desc = self.descriptors[self._next_to_use]
+        if desc.posted:
+            raise NetStackError(f"RX ring full (desc {desc.index} posted)")
+        desc.iova = iova
+        desc.kva = kva
+        desc.buf_size = buf_size
+        desc.posted = True
+        desc.completed = False
+        desc.pkt_len = 0
+        self._next_to_use = (self._next_to_use + 1) % self.nr_desc
+        return desc
+
+    def next_for_device(self) -> RxDescriptor | None:
+        """The descriptor the device will fill next, or None if starved."""
+        desc = self.descriptors[self._next_to_fill]
+        if not desc.posted or desc.completed:
+            return None
+        return desc
+
+    def device_complete(self, desc: RxDescriptor, pkt_len: int) -> None:
+        if not desc.posted or desc.completed:
+            raise NetStackError(f"bad RX completion on desc {desc.index}")
+        desc.completed = True
+        desc.pkt_len = pkt_len
+        self._next_to_fill = (self._next_to_fill + 1) % self.nr_desc
+
+    def reap_completed(self) -> list[RxDescriptor]:
+        """Kernel side: collect completed descriptors in order."""
+        reaped = []
+        while True:
+            desc = self.descriptors[self._next_to_clean]
+            if not (desc.posted and desc.completed):
+                break
+            desc.posted = False
+            reaped.append(desc)
+            self._next_to_clean = (self._next_to_clean + 1) % self.nr_desc
+        return reaped
+
+    def posted_descriptors(self) -> list[RxDescriptor]:
+        """Device-visible view: every posted, not-yet-completed slot."""
+        return [d for d in self.descriptors if d.posted and not d.completed]
+
+
+class TxRing:
+    """One transmit ring."""
+
+    def __init__(self, nr_desc: int, cpu: int) -> None:
+        self.cpu = cpu
+        self.descriptors = [TxDescriptor(i) for i in range(nr_desc)]
+        self._next_to_use = 0
+        self._next_to_clean = 0
+
+    @property
+    def nr_desc(self) -> int:
+        return len(self.descriptors)
+
+    def post(self, skb: SkBuff, linear_iova: int, linear_len: int,
+             frag_iovas: list[tuple[int, int]]) -> TxDescriptor:
+        desc = self.descriptors[self._next_to_use]
+        if desc.posted:
+            raise NetStackError(f"TX ring full (desc {desc.index} posted)")
+        desc.skb = skb
+        desc.linear_iova = linear_iova
+        desc.linear_len = linear_len
+        desc.frag_iovas = list(frag_iovas)
+        desc.posted = True
+        desc.fetched = False
+        desc.completed = False
+        self._next_to_use = (self._next_to_use + 1) % self.nr_desc
+        return desc
+
+    def pending_for_device(self) -> list[TxDescriptor]:
+        return [d for d in self.descriptors
+                if d.posted and not d.fetched]
+
+    def uncompleted(self) -> list[TxDescriptor]:
+        """Fetched but not completed (the device may *delay* these:
+        section 5.4 step 2 -- "delays the completion notification of the
+        TX packets so the malicious buffer is not released prematurely").
+        """
+        return [d for d in self.descriptors
+                if d.posted and d.fetched and not d.completed]
+
+    def reap_completed(self) -> list[TxDescriptor]:
+        reaped = []
+        while True:
+            desc = self.descriptors[self._next_to_clean]
+            if not (desc.posted and desc.completed):
+                break
+            desc.posted = False
+            reaped.append(desc)
+            self._next_to_clean = (self._next_to_clean + 1) % self.nr_desc
+        return reaped

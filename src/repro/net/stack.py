@@ -1,0 +1,305 @@
+"""The network stack: RX delivery, echo service, forwarding, TX, skb free.
+
+The skb release path is the attack's detonation point (Figure 4 step
+(d)): ``kfree_skb`` reads ``skb_shared_info`` *from memory*; if the
+zerocopy flag is set it loads ``destructor_arg``, reads the
+``ubuf_info.callback`` pointer behind it, and indirect-calls it with
+the ubuf pointer in ``%rdi``. Every one of those loads observes
+whatever a device managed to write -- so a hijacked pointer leads to a
+genuine control-flow transfer in the executor, subject to NX/CET.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.errors import (ControlFlowViolation, ExecutionFault, NetStackError,
+                          NxViolation, TranslationFault)
+from repro.mem.accounting import AllocSite
+from repro.net.proto import HEADER_LEN, PROTO_TCP, make_packet
+from repro.net.skbuff import SKBTX_DEV_ZEROCOPY, SkBuff
+from repro.net.structs import UBUF_INFO
+
+if TYPE_CHECKING:
+    from repro.net.nic import Nic
+    from repro.sim.kernel import Kernel
+
+#: sizeof-ish for struct sock (tcp_sock is ~1.7k in Linux; we use a
+#: value landing in kmalloc-1024, the same cache as small-TX linear
+#: buffers, reproducing the slab co-location that leaks init_net).
+SOCK_STRUCT_SIZE = 600
+
+#: Offset of the namespace pointer inside a socket object. "Every
+#: network object, especially sockets, have a pointer to their
+#: namespace object" init_net (section 2.4) -- the KASLR leak source.
+SOCK_NET_OFFSET = 0x30
+
+#: TX payloads up to this stay in the linear area; larger ones are
+#: copied into page fragments and attached as frags.
+TX_LINEAR_MAX = 192
+
+ECHO_PORT = 7
+
+
+@dataclass
+class Socket:
+    kva: int
+    port: int
+    cpu: int = 0
+
+
+@dataclass
+class StackEvent:
+    time_us: float
+    kind: str
+    detail: str
+
+
+@dataclass
+class StackStats:
+    rx_delivered: int = 0
+    echoed: int = 0
+    forwarded: int = 0
+    dropped: int = 0
+    skbs_freed: int = 0
+    zerocopy_callbacks: int = 0
+    oopses: int = 0
+
+
+class NetworkStack:
+    """One host's L3/L4 behaviour over the simulated NICs."""
+
+    def __init__(self, kernel: "Kernel", *, forwarding: bool = False,
+                 local_ips: frozenset[int] = frozenset({0x0A00_0001})
+                 ) -> None:
+        self.kernel = kernel
+        self.forwarding = forwarding
+        self.local_ips = set(local_ips)
+        self.sockets: list[Socket] = []
+        self.events: list[StackEvent] = []
+        self.stats = StackStats()
+        #: optional macOS-style XOR blinding of stored callbacks (§7)
+        self.pointer_blinding = None
+        #: sends of at least this many bytes use MSG_ZEROCOPY (None =
+        #: applications never request zerocopy)
+        self.zerocopy_threshold: int | None = None
+        #: skbs delivered by drivers, awaiting softirq processing
+        self.rx_backlog: list[tuple[SkBuff, "Nic"]] = []
+
+    # -- bookkeeping -----------------------------------------------------------
+
+    def _event(self, kind: str, detail: str) -> None:
+        self.events.append(StackEvent(self.kernel.clock.now_us, kind, detail))
+
+    def events_of(self, kind: str) -> list[StackEvent]:
+        return [e for e in self.events if e.kind == kind]
+
+    def _oops(self, reason: str) -> None:
+        self.stats.oopses += 1
+        self._event("oops", reason)
+
+    # -- sockets ------------------------------------------------------------------
+
+    def create_socket(self, port: int, *, cpu: int = 0) -> Socket:
+        """Allocate a socket object; its memory carries the init_net leak."""
+        kva = self.kernel.slab.kmalloc(
+            SOCK_STRUCT_SIZE, cpu=cpu,
+            site=AllocSite("sk_prot_alloc", 0x3A, 0x110))
+        init_net_kva = self.kernel.init_net_address()
+        paddr = self.kernel.addr_space.paddr_of_kva(kva)
+        self.kernel.phys.write_u64(paddr + SOCK_NET_OFFSET, init_net_kva)
+        sock = Socket(kva=kva, port=port, cpu=cpu)
+        self.sockets.append(sock)
+        return sock
+
+    # -- RX -----------------------------------------------------------------------
+
+    def rx(self, skb: SkBuff, nic: "Nic") -> None:
+        """Driver/GRO entry point: queue the skb for softirq processing.
+
+        The gap between enqueue and :meth:`process_backlog` is the
+        real-world interval in which the paper's time-window attacks
+        race the CPU (section 5.2): the buffer's shared info has been
+        initialized but the skb has not yet been consumed/freed.
+        """
+        self.rx_backlog.append((skb, nic))
+
+    def process_backlog(self) -> int:
+        """Softirq: route every queued skb (deliver/forward/drop).
+
+        A corrupt skb (e.g. shared info scribbled by a device) makes
+        the real kernel BUG(); here it is recorded as an oops and the
+        packet is abandoned, so experiments can observe the crash.
+        """
+        processed = 0
+        while self.rx_backlog:
+            skb, nic = self.rx_backlog.pop(0)
+            try:
+                self._route(skb, nic)
+            except NetStackError as exc:
+                self._oops(f"BUG: {exc}")
+            processed += 1
+        return processed
+
+    def _route(self, skb: SkBuff, nic: "Nic") -> None:
+        if skb.dst_ip in self.local_ips:
+            self._deliver_local(skb, nic)
+        elif self.forwarding:
+            self._forward(skb, nic)
+        else:
+            self.stats.dropped += 1
+            self._event("drop", f"skb {skb.skb_id} to {skb.dst_ip:#x}")
+            self.kfree_skb(skb)
+
+    def _deliver_local(self, skb: SkBuff, nic: "Nic") -> None:
+        self.stats.rx_delivered += 1
+        if skb.dst_port == ECHO_PORT:
+            payload = skb.data()[HEADER_LEN:]
+            for frag in skb.frags():
+                payload += skb.frag_bytes(frag)
+            self.stats.echoed += 1
+            self._event("echo", f"{len(payload)} bytes from {skb.src_ip:#x}")
+            self.send(payload, dst_ip=skb.src_ip, nic=nic,
+                      flow_id=skb.flow_id, cpu=skb.cpu)
+        else:
+            self._event("deliver", f"skb {skb.skb_id} port {skb.dst_port}")
+        self.kfree_skb(skb)
+
+    def _forward(self, skb: SkBuff, nic: "Nic") -> None:
+        """Packet forwarding (section 5.5): retransmit the RX skb."""
+        self.stats.forwarded += 1
+        self._event("forward", f"skb {skb.skb_id} to {skb.dst_ip:#x}")
+        skb.source = "forward"
+        nic.start_xmit(skb, cpu=skb.cpu)
+
+    # -- TX -----------------------------------------------------------------------
+
+    def send(self, payload: bytes, *, dst_ip: int, nic: "Nic",
+             dst_port: int = 0, flow_id: int = 0, proto: int = PROTO_TCP,
+             cpu: int = 0, zerocopy: bool = False) -> SkBuff:
+        """Build and transmit a packet, as a socket write would."""
+        if self.zerocopy_threshold is not None \
+                and len(payload) >= self.zerocopy_threshold:
+            zerocopy = True
+        wire_header = make_packet(
+            dst_ip=dst_ip, proto=proto, flow_id=flow_id, dst_port=dst_port,
+            payload=b"")[:HEADER_LEN]
+        # Fix up payload_len in the prebuilt header.
+        wire_header = wire_header[:12] + len(payload).to_bytes(2, "little") \
+            + wire_header[14:]
+        if len(payload) <= TX_LINEAR_MAX:
+            skb = self.kernel.skb_alloc.alloc_skb(
+                HEADER_LEN + max(len(payload), TX_LINEAR_MAX), cpu=cpu,
+                site=AllocSite("sk_stream_alloc_skb", 0x66, 0x190))
+            skb.put(wire_header + payload)
+        else:
+            skb = self.kernel.skb_alloc.alloc_skb(
+                256, cpu=cpu,
+                site=AllocSite("sk_stream_alloc_skb", 0x66, 0x190))
+            skb.put(wire_header)
+            # Copy the payload into page fragments (sk_page_frag path)
+            # and attach them -- this is what fills frags[] with struct
+            # page pointers on the TX path (Figure 8).
+            frag_kva = self.kernel.page_frag.alloc(
+                len(payload), cpu=cpu,
+                site=AllocSite("sk_page_frag_refill", 0x5D, 0x160))
+            self.kernel.cpu_write(frag_kva, payload,
+                                  site=AllocSite("skb_do_copy_data_nocache"))
+            paddr = self.kernel.addr_space.paddr_of_kva(frag_kva)
+            skb.add_frag(paddr >> 12, paddr & 0xFFF, len(payload))
+            skb.owned_frag_kvas.append(frag_kva)
+        skb.dst_ip = dst_ip
+        skb.src_ip = next(iter(self.local_ips))
+        skb.protocol = proto
+        skb.flow_id = flow_id
+        skb.dst_port = dst_port
+        skb.source = "tx"
+        skb.dev = nic.name
+        if zerocopy:
+            self._attach_zerocopy_ubuf(skb, cpu)
+        nic.start_xmit(skb, cpu=cpu)
+        return skb
+
+    def _attach_zerocopy_ubuf(self, skb: SkBuff, cpu: int) -> None:
+        """Legitimate MSG_ZEROCOPY setup: a real ubuf_info + callback."""
+        ubuf_kva = self.kernel.slab.kmalloc(
+            UBUF_INFO.size, cpu=cpu,
+            site=AllocSite("sock_zerocopy_alloc", 0x2E, 0xB0))
+        paddr = self.kernel.addr_space.paddr_of_kva(ubuf_kva)
+        ubuf = UBUF_INFO.bind(self.kernel.phys, paddr)
+        callback = self.kernel.symbol_address("sock_def_write_space")
+        if self.pointer_blinding is not None:
+            callback = self.pointer_blinding.blind(callback)
+        ubuf.write("callback", callback)
+        ubuf.write("ctx", skb.skb_kva)
+        ubuf.write("desc", 0)
+        info = skb.shared_info()
+        info.write("tx_flags", info.read("tx_flags") | SKBTX_DEV_ZEROCOPY)
+        info.write("destructor_arg", ubuf_kva)
+        skb.ubuf_kva = ubuf_kva
+
+    # -- release (the detonation point) ------------------------------------------
+
+    def kfree_skb(self, skb: SkBuff) -> None:
+        """Release an skb, running the zerocopy callback if flagged."""
+        if skb.freed:
+            raise NetStackError(f"double free of skb {skb.skb_id}")
+        info = skb.shared_info()
+        dataref = info.read("dataref")
+        if dataref > 1:
+            info.write("dataref", dataref - 1)
+            self.kernel.slab.kfree(skb.skb_kva)
+            skb.freed = True
+            return
+        tx_flags = info.read("tx_flags")
+        if tx_flags & SKBTX_DEV_ZEROCOPY:
+            self._run_zerocopy_callback(skb, info.read("destructor_arg"))
+        if info.read("nr_frags") and not skb.gro_members \
+                and not skb.owned_frag_kvas:
+            # Linux would put_page() each frag here; pages nobody
+            # accounted for corrupt page refcounts ("the OS will try
+            # freeing the pages, indicated by skb_shared_info",
+            # section 5.5) -- which is why the surveillance attack must
+            # undo its frags spoof before TX completion.
+            self._oops(f"skb {skb.skb_id}: freeing skb with "
+                       f"{info.read('nr_frags')} unaccounted frags "
+                       f"(bad page state)")
+        for member in skb.gro_members:
+            self.kfree_skb(member)
+        for frag_kva in skb.owned_frag_kvas:
+            self.kernel.page_frag.free(frag_kva, cpu=skb.cpu)
+        if skb.ubuf_kva:
+            self.kernel.slab.kfree(skb.ubuf_kva)
+        self.kernel.skb_alloc.free_skb_memory(skb)
+        skb.freed = True
+        self.stats.skbs_freed += 1
+
+    def _run_zerocopy_callback(self, skb: SkBuff, ubuf_ptr: int) -> None:
+        """Figure 4 step (d): "When the sk_buff is released, the callback
+        is invoked." All loads here come from simulated memory, so the
+        device's writes (if any) are what the CPU acts on."""
+        if ubuf_ptr == 0:
+            return
+        try:
+            ubuf_paddr = self.kernel.addr_space.paddr_of_kva(ubuf_ptr)
+        except TranslationFault:
+            self._oops(f"skb {skb.skb_id}: destructor_arg {ubuf_ptr:#x} "
+                       f"is not a valid KVA")
+            return
+        callback = UBUF_INFO.bind(self.kernel.phys, ubuf_paddr).read(
+            "callback")
+        if self.pointer_blinding is not None:
+            callback = self.pointer_blinding.unblind(callback)
+        if callback == 0:
+            return
+        self.stats.zerocopy_callbacks += 1
+        try:
+            result = self.kernel.executor.invoke_callback(
+                callback, rdi=ubuf_ptr)
+        except (NxViolation, ControlFlowViolation, ExecutionFault,
+                TranslationFault) as exc:
+            self._oops(f"skb {skb.skb_id}: callback fault: {exc}")
+            return
+        self._event("callback",
+                    f"skb {skb.skb_id}: {','.join(result.functions_called)}")

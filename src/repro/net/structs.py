@@ -1,0 +1,218 @@
+"""In-memory kernel struct layouts used by the network stack.
+
+These structs live at real offsets inside real simulated pages. The CPU
+(kernel code in this package) and devices (through the IOMMU) read and
+write the same bytes, so a device flipping ``destructor_arg`` is
+genuinely observed by the kernel's skb-release path -- the mechanism of
+Figure 4.
+
+Field offsets track Linux 5.0's ``struct skb_shared_info`` closely
+enough that the exploited facts hold: the struct sits at the end of
+every skb data buffer, ``destructor_arg`` is a pointer the release path
+dereferences, and ``frags[]`` entries are (struct page*, offset, size)
+triples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import NetStackError
+from repro.mem.phys import PhysicalMemory
+
+#: L1 cache line; Linux's SKB_DATA_ALIGN rounds to this.
+SMP_CACHE_BYTES = 64
+
+#: Max frags per skb (MAX_SKB_FRAGS with 4 KiB pages and 64 KiB GSO).
+MAX_SKB_FRAGS = 17
+
+
+@dataclass(frozen=True)
+class Field:
+    name: str
+    offset: int
+    size: int
+    #: marks pointers that, if attacker-controlled, redirect control flow
+    is_callback: bool = False
+
+
+class StructLayout:
+    """A named struct layout: ordered fields with fixed offsets."""
+
+    def __init__(self, name: str, fields: list[Field], size: int) -> None:
+        self.name = name
+        self.size = size
+        self._fields = {f.name: f for f in fields}
+        for f in fields:
+            if f.offset + f.size > size:
+                raise NetStackError(
+                    f"{name}.{f.name} overflows struct of size {size}")
+
+    def field(self, name: str) -> Field:
+        try:
+            return self._fields[name]
+        except KeyError:
+            raise NetStackError(
+                f"struct {self.name} has no field {name!r}") from None
+
+    def fields(self) -> list[Field]:
+        return sorted(self._fields.values(), key=lambda f: f.offset)
+
+    def callback_fields(self) -> list[Field]:
+        return [f for f in self.fields() if f.is_callback]
+
+    def bind(self, phys: PhysicalMemory, paddr: int) -> "BoundStruct":
+        return BoundStruct(self, phys, paddr)
+
+
+class BoundStruct:
+    """A struct layout bound to a physical address: field accessors."""
+
+    def __init__(self, layout: StructLayout, phys: PhysicalMemory,
+                 paddr: int) -> None:
+        self.layout = layout
+        self._phys = phys
+        self.paddr = paddr
+
+    def _loc(self, field_name: str) -> tuple[int, int]:
+        f = self.layout.field(field_name)
+        return self.paddr + f.offset, f.size
+
+    def read(self, field_name: str) -> int:
+        paddr, size = self._loc(field_name)
+        readers = {1: self._phys.read_u8, 2: self._phys.read_u16,
+                   4: self._phys.read_u32, 8: self._phys.read_u64}
+        return readers[size](paddr)
+
+    def write(self, field_name: str, value: int) -> None:
+        paddr, size = self._loc(field_name)
+        writers = {1: self._phys.write_u8, 2: self._phys.write_u16,
+                   4: self._phys.write_u32, 8: self._phys.write_u64}
+        writers[size](paddr, value)
+
+    def zero(self) -> None:
+        self._phys.write(self.paddr, bytes(self.layout.size))
+
+    def field_paddr(self, field_name: str) -> int:
+        return self._loc(field_name)[0]
+
+
+def _frag_fields() -> list[Field]:
+    """frags[i]: bio_vec-style {struct page *page; u32 offset; u32 size}."""
+    fields = []
+    base = 48
+    for i in range(MAX_SKB_FRAGS):
+        off = base + i * 16
+        fields.append(Field(f"frags[{i}].page", off, 8))
+        fields.append(Field(f"frags[{i}].page_offset", off + 8, 4))
+        fields.append(Field(f"frags[{i}].size", off + 12, 4))
+    return fields
+
+
+#: struct skb_shared_info (Linux 5.0 layout, 48-byte header + frag array).
+SKB_SHARED_INFO = StructLayout(
+    "skb_shared_info",
+    [
+        Field("__unused", 0, 1),
+        Field("meta_len", 1, 1),
+        Field("nr_frags", 2, 1),
+        Field("tx_flags", 3, 1),
+        Field("gso_size", 4, 2),
+        Field("gso_segs", 6, 2),
+        Field("frag_list", 8, 8),
+        Field("hwtstamps", 16, 8),
+        Field("gso_type", 24, 4),
+        Field("tskey", 28, 4),
+        Field("dataref", 32, 4),
+        Field("__pad", 36, 4),
+        # The callback-bearing pointer the attacks hijack (Figure 4):
+        # points to a struct ubuf_info whose first field is a function
+        # pointer invoked on skb release.
+        Field("destructor_arg", 40, 8, is_callback=True),
+    ] + _frag_fields(),
+    size=48 + MAX_SKB_FRAGS * 16,
+)
+
+#: struct ubuf_info: the zerocopy completion descriptor destructor_arg
+#: points at. ``callback`` is the function pointer the CPU will call.
+UBUF_INFO = StructLayout(
+    "ubuf_info",
+    [
+        Field("callback", 0, 8, is_callback=True),
+        Field("ctx", 8, 8),
+        Field("desc", 16, 8),
+        Field("refcnt", 24, 8),
+    ],
+    size=32,
+)
+
+
+def randomized_shared_info_layout(rng) -> StructLayout:
+    """A ``__randomize_layout`` variant of skb_shared_info.
+
+    Footnote 2 of the paper: "The Linux kernel randomizes the layout of
+    some data structures with __randomize_layout annotation." Like the
+    GCC plugin, this permutes *all* fields: the header scalars are laid
+    out in a random order (natural alignment preserved) and the frags
+    array lands wherever the permutation puts it, so an attacker writing
+    at the *stock* offsets corrupts arbitrary other fields instead of
+    ``destructor_arg``.
+
+    Real ``__randomize_layout`` uses a build-time seed; the defense's
+    value rests on that seed being secret (self-built kernels). Here
+    the permutation derives from the boot RNG and is withheld from
+    :class:`AttackerKnowledge`, modeling the same secrecy assumption.
+    """
+    stock_destructor = SKB_SHARED_INFO.field("destructor_arg").offset
+    frags_size = MAX_SKB_FRAGS * 16
+    header_size = SKB_SHARED_INFO.size - frags_size
+    while True:
+        # Swap the header block and the frags array half the time, and
+        # permute each same-size field group within the header (packing
+        # stays exact, so the struct never outgrows its reservation).
+        header_base = 0 if rng.random() < 0.5 else frags_size
+        frags_base = header_size if header_base == 0 else 0
+        groups: dict[int, list] = {}
+        for f in SKB_SHARED_INFO.fields():
+            if f.name.startswith("frags["):
+                continue
+            groups.setdefault(f.size, []).append(f)
+        fields: list[Field] = []
+        for size, members in groups.items():
+            slots = [header_base + f.offset for f in members]
+            rng.shuffle(slots)
+            for f, offset in zip(members, slots):
+                fields.append(Field(f.name, offset, f.size,
+                                    f.is_callback))
+        for f in SKB_SHARED_INFO.fields():
+            if f.name.startswith("frags["):
+                fields.append(Field(
+                    f.name, frags_base + f.offset - header_size,
+                    f.size, f.is_callback))
+        layout = StructLayout("skb_shared_info(randomized)", fields,
+                              SKB_SHARED_INFO.size)
+        # The build system rejects a permutation identical in the field
+        # that matters (otherwise 1-in-6 builds ship the stock offset).
+        if layout.field("destructor_arg").offset != stock_destructor:
+            return layout
+
+
+def skb_data_align(size: int) -> int:
+    """SKB_DATA_ALIGN: round up to the cache-line size."""
+    return -(-size // SMP_CACHE_BYTES) * SMP_CACHE_BYTES
+
+
+def skb_shared_info_offset(data_size: int) -> int:
+    """Offset of skb_shared_info inside a data buffer of *data_size*.
+
+    Linux places the shared info at ``SKB_DATA_ALIGN(size)``; the total
+    buffer is that plus the (aligned) struct itself. Because the struct
+    trails the payload on the same page(s), it is "always mapped to the
+    device" with the packet's permissions (section 5.1).
+    """
+    return skb_data_align(data_size)
+
+
+def skb_truesize(data_size: int) -> int:
+    """Total buffer footprint: aligned payload + shared info."""
+    return skb_data_align(data_size) + skb_data_align(SKB_SHARED_INFO.size)

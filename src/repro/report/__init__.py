@@ -1,0 +1,5 @@
+"""Rendering helpers for experiment output."""
+
+from repro.report.tables import PaperComparison, render_table
+
+__all__ = ["PaperComparison", "render_table"]

@@ -1,0 +1,52 @@
+"""Paper-vs-measured table rendering for the benchmark harness.
+
+Every experiment prints rows of "what the paper reports" next to "what
+this reproduction measures", so EXPERIMENTS.md can quote the harness
+output directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class PaperComparison:
+    """One experiment's paper-vs-measured rows."""
+
+    title: str
+    rows: list[tuple[str, str, str]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add(self, metric: str, paper: object, measured: object) -> None:
+        self.rows.append((metric, str(paper), str(measured)))
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
+
+    def render(self) -> str:
+        width = max([len(m) for m, _p, _o in self.rows] + [6])
+        paper_width = max([len(p) for _m, p, _o in self.rows] + [5])
+        lines = [f"== {self.title} ==",
+                 f"{'metric':{width}s}  {'paper':>{paper_width}s}"
+                 f"  measured"]
+        for metric, paper, measured in self.rows:
+            lines.append(f"{metric:{width}s}  {paper:>{paper_width}s}"
+                         f"  {measured}")
+        for note in self.notes:
+            lines.append(f"   note: {note}")
+        return "\n".join(lines)
+
+
+def render_table(headers: list[str], rows: list[list[str]]) -> str:
+    """Fixed-width text table."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(str(cell)))
+    def fmt(row):
+        return "  ".join(f"{str(cell):{widths[i]}s}"
+                         for i, cell in enumerate(row))
+    lines = [fmt(headers), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)

@@ -1,0 +1,6 @@
+"""Simulation scaffolding: clock, deterministic RNG, kernel facade."""
+
+from repro.sim.clock import SimClock
+from repro.sim.rng import DeterministicRng
+
+__all__ = ["SimClock", "DeterministicRng"]

@@ -1,0 +1,191 @@
+"""Synthetic workloads.
+
+The D-KASAN evaluation (section 4.2) "cloned a large project from a
+Git repository and compiled it concurrently with light network traffic
+(i.e., ICMP ping)". :func:`run_compile_and_ping` reproduces that mix:
+a stream of short-lived kernel allocations from the code paths the
+paper's Figure 3 names (``load_elf_phdrs``, ``sock_alloc_inode``,
+``assoc_array_insert``, ...) interleaved with echo round-trips that
+keep DMA mappings churning over the same slab and page_frag pages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.mem.accounting import AllocSite
+from repro.net.proto import PROTO_UDP, make_packet
+from repro.net.stack import ECHO_PORT
+
+if TYPE_CHECKING:
+    from repro.net.nic import Nic
+    from repro.sim.kernel import Kernel
+
+#: (size, allocating site) pairs modeled on Figure 3 and common
+#: kernel paths exercised by an exec+compile workload.
+COMPILE_ALLOC_SITES: tuple[tuple[int, AllocSite], ...] = (
+    (512, AllocSite("load_elf_phdrs", 0xBF, 0x130)),
+    (512, AllocSite("__do_execve_file.isra.0", 0x287, 0x1080)),
+    (64, AllocSite("sock_alloc_inode", 0x4F, 0x120)),
+    (328, AllocSite("assoc_array_insert", 0xA9, 0x7E0)),
+    (256, AllocSite("getname_flags", 0x4F, 0x1E0)),
+    (192, AllocSite("alloc_pipe_info", 0x66, 0x150)),
+    (1024, AllocSite("seq_read", 0x9C, 0x4A0)),
+    (96, AllocSite("single_open", 0x2E, 0xA0)),
+)
+
+
+@dataclass
+class WorkloadStats:
+    allocations: int = 0
+    frees: int = 0
+    pings: int = 0
+    echoes: int = 0
+    cpu_accesses: int = 0
+
+
+def pump_device(nic: "Nic", *, cpu: int = 0) -> int:
+    """An honest device: fetch pending TX, complete, let kernel clean."""
+    fetched = nic.device_fetch_tx(cpu=cpu, complete=True)
+    nic.tx_clean(cpu=cpu)
+    return len(fetched)
+
+
+def run_compile_and_ping(kernel: "Kernel", nic: "Nic", *,
+                         rounds: int = 40, cpu: int = 0) -> WorkloadStats:
+    """Compile-like allocation churn under light echo traffic.
+
+    The interleaving is what produces the paper's dynamic exposures:
+    compile-path objects land on slab pages some of whose neighbours
+    are DMA-mapped skb data buffers (alloc-after-map /
+    map-after-alloc), the CPU touches mapped buffers while copying
+    payloads (access-after-map), and TX fragments share page_frag
+    pages with still-mapped RX buffers (multiple-map).
+    """
+    rng = kernel.rng.child("workload")
+    stats = WorkloadStats()
+    live: list[int] = []
+    ctrl_maps: list[tuple[int, int]] = []  # (iova, kva) awaiting unmap
+    for round_no in range(rounds):
+        # A burst of compile-path allocations...
+        for _ in range(rng.randint(2, 5)):
+            size, site = rng.choice(COMPILE_ALLOC_SITES)
+            kva = kernel.slab.kmalloc(size, cpu=cpu, site=site)
+            # objects carry pointers (namespaces, ops tables), exactly
+            # what makes their exposure dangerous
+            kernel.cpu_write(kva, kernel.init_net_address()
+                             .to_bytes(8, "little"), site=site)
+            stats.allocations += 1
+            stats.cpu_accesses += 1
+            live.append(kva)
+        # ...some frees (short object lifetimes)...
+        while len(live) > 24:
+            index = rng.randint(0, len(live) - 1)
+            kernel.slab.kfree(live.pop(index))
+            stats.frees += 1
+        # ...a ping: small echo round trip...
+        ping = make_packet(dst_ip=0x0A00_0001, dst_port=ECHO_PORT,
+                           proto=PROTO_UDP, flow_id=0x1000 + round_no,
+                           payload=b"ping-%03d" % round_no)
+        if nic.device_receive(ping, cpu=cpu):
+            stats.pings += 1
+            nic.napi_poll(cpu=cpu)
+            kernel.stack.process_backlog()
+            stats.echoes += pump_device(nic, cpu=cpu)
+        # ...a periodic driver control command: a kmalloc-512 buffer is
+        # DMA-mapped for a couple of rounds, exposing whatever
+        # compile-path objects share its slab page (type (d))...
+        if round_no % 4 == 1:
+            ctrl_kva = kernel.slab.kmalloc(
+                448, cpu=cpu, site=AllocSite("mlx5_cmd_exec", 0x11C,
+                                             0x5B0))
+            iova = kernel.dma.dma_map_single(
+                nic.name, ctrl_kva, 448, "DMA_TO_DEVICE",
+                site=AllocSite("mlx5_cmd_exec", 0x148, 0x5B0))
+            ctrl_maps.append((iova, ctrl_kva))
+        if len(ctrl_maps) > 2:
+            iova, ctrl_kva = ctrl_maps.pop(0)
+            kernel.dma.dma_unmap_single(nic.name, iova, 448,
+                                        "DMA_TO_DEVICE")
+            kernel.slab.kfree(ctrl_kva)
+        # ...and occasionally a bulk send, whose payload copy touches a
+        # page_frag page that may still back a mapped RX buffer.
+        if round_no % 5 == 4:
+            kernel.stack.send(b"B" * 1200, dst_ip=0x0A00_0002, nic=nic,
+                              flow_id=0x2000 + round_no, cpu=cpu)
+            pump_device(nic, cpu=cpu)
+        kernel.advance_time_us(250.0)
+    for iova, ctrl_kva in ctrl_maps:
+        kernel.dma.dma_unmap_single(nic.name, iova, 448, "DMA_TO_DEVICE")
+        kernel.slab.kfree(ctrl_kva)
+    for kva in live:
+        kernel.slab.kfree(kva)
+        stats.frees += 1
+    return stats
+
+
+@dataclass
+class StorageWorkloadStats:
+    commands: int = 0
+    bytes_transferred: int = 0
+
+
+def run_storage_workload(kernel: "Kernel", *, device_name: str = "nvme0",
+                         commands: int = 48,
+                         cpu: int = 0) -> StorageWorkloadStats:
+    """An NVMe-flavoured command loop: per-command struct-embedded
+    response buffers (the nvme_fc pattern of Figure 2) plus bulk data
+    pages, all mapped and unmapped at I/O rate.
+
+    Useful as a second D-KASAN scenario: the command structs are
+    kmalloc'd alongside ordinary kernel objects, so their DMA mappings
+    generate map-after-alloc/alloc-after-map churn in the 512-byte
+    cache that the network workload barely touches.
+    """
+    kernel.iommu.attach_device(device_name)
+    rng = kernel.rng.child("storage-workload")
+    stats = StorageWorkloadStats()
+    inflight: list[tuple[int, int, int, int]] = []
+    for index in range(commands):
+        # the command struct: embedded response area (type (a) pattern)
+        cmd_kva = kernel.slab.kmalloc(
+            384, cpu=cpu, site=AllocSite("nvme_fc_init_iod", 0x84,
+                                         0x2E0))
+        rsp_iova = kernel.dma.dma_map_single(
+            device_name, cmd_kva + 128, 128, "DMA_FROM_DEVICE",
+            site=AllocSite("nvme_fc_map_data", 0x99, 0x260))
+        # the data page
+        data_kva = kernel.slab.kmalloc(
+            4096, cpu=cpu, site=AllocSite("blk_mq_get_request", 0x14A,
+                                          0x3D0))
+        direction = rng.choice(["DMA_TO_DEVICE", "DMA_FROM_DEVICE"])
+        data_iova = kernel.dma.dma_map_single(
+            device_name, data_kva, 4096, direction,
+            site=AllocSite("nvme_map_data", 0x6B, 0x2A0))
+        if direction == "DMA_TO_DEVICE":
+            kernel.iommu.device_read(device_name, data_iova, 4096)
+        else:
+            kernel.iommu.device_write(device_name, data_iova,
+                                      bytes(512))
+        kernel.iommu.device_write(device_name, rsp_iova, b"\x00" * 16)
+        inflight.append((rsp_iova, cmd_kva, data_iova, data_kva,
+                         direction))
+        stats.commands += 1
+        stats.bytes_transferred += 4096
+        # complete the oldest command once a small queue depth builds
+        if len(inflight) > 4:
+            rsp, cmd, dio, dkva, dma_dir = inflight.pop(0)
+            kernel.dma.dma_unmap_single(device_name, rsp, 128,
+                                        "DMA_FROM_DEVICE")
+            kernel.dma.dma_unmap_single(device_name, dio, 4096, dma_dir)
+            kernel.slab.kfree(cmd)
+            kernel.slab.kfree(dkva)
+        kernel.advance_time_us(80.0)
+    for rsp, cmd, dio, dkva, dma_dir in inflight:
+        kernel.dma.dma_unmap_single(device_name, rsp, 128,
+                                    "DMA_FROM_DEVICE")
+        kernel.dma.dma_unmap_single(device_name, dio, 4096, dma_dir)
+        kernel.slab.kfree(cmd)
+        kernel.slab.kfree(dkva)
+    return stats

@@ -1,0 +1,45 @@
+"""Shared fixtures.
+
+Expensive artifacts (the generated corpus, the parsed SPADE index) are
+session-scoped: they are deterministic, so sharing them across tests
+loses nothing.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus import CorpusGenerator
+from repro.sim.kernel import Kernel
+
+
+@pytest.fixture()
+def kernel() -> Kernel:
+    """A small, deterministic victim kernel with one NIC."""
+    k = Kernel(seed=7, phys_mb=256, boot_jitter_pages=0,
+               boot_jitter_blocks=0)
+    k.add_nic("eth0")
+    return k
+
+
+@pytest.fixture()
+def bare_kernel() -> Kernel:
+    """A kernel without NICs, for allocator/IOMMU-level tests."""
+    return Kernel(seed=7, phys_mb=256, boot_jitter_pages=0,
+                  boot_jitter_blocks=0)
+
+
+@pytest.fixture(scope="session")
+def corpus():
+    """(tree, manifest) of the full Linux-5.0-shaped corpus."""
+    return CorpusGenerator(seed=2021).generate()
+
+
+@pytest.fixture(scope="session")
+def spade_results(corpus):
+    """(spade, findings) over the session corpus."""
+    from repro.core.spade import Spade
+
+    tree, _manifest = corpus
+    spade = Spade(tree)
+    return spade, spade.analyze()

@@ -1,0 +1,207 @@
+"""End-to-end attacks: single-step, RingFlood, Poisoned TX, Forward
+Thinking, surveillance, blinding bypass."""
+
+import pytest
+
+from repro.core.attacks.blinding_bypass import run_blinding_bypass
+from repro.core.attacks.device import AttackerKnowledge, MaliciousDevice
+from repro.core.attacks.forward import run_forward_thinking
+from repro.core.attacks.kaslr_leak import break_kaslr_via_tx
+from repro.core.attacks.payload import (UBUF_PAYLOAD_SIZE,
+                                        blob_callback_value,
+                                        build_attack_blob)
+from repro.core.attacks.poisoned_tx import run_poisoned_tx
+from repro.core.attacks.ringflood import (make_attacker,
+                                          profile_replica_boots,
+                                          run_ringflood)
+from repro.core.attacks.singlestep import LegacyCmdDriver, run_single_step
+from repro.core.attacks.surveillance import read_arbitrary_pages
+from repro.errors import AttackFailed
+from repro.sim.kernel import Kernel
+
+
+def make_victim(**kwargs):
+    kwargs.setdefault("seed", 23)
+    kwargs.setdefault("boot_index", 5)
+    kwargs.setdefault("phys_mb", 512)
+    victim = Kernel(**kwargs)
+    nic = victim.add_nic("eth0")
+    return victim, nic, make_attacker(victim, "eth0")
+
+
+def test_attacker_knowledge_from_public_build():
+    kernel = Kernel(seed=23, phys_mb=128)
+    knowledge = AttackerKnowledge.from_public_build(kernel.image)
+    assert knowledge.pivot_const == 0x10
+    assert "init_net" in knowledge.symbol_offsets
+    assert not knowledge.kaslr_broken
+    with pytest.raises(AttackFailed):
+        knowledge.symbol_kva("commit_creds")
+
+
+def test_payload_requires_broken_kaslr():
+    kernel = Kernel(seed=23, phys_mb=128)
+    knowledge = AttackerKnowledge.from_public_build(kernel.image)
+    with pytest.raises(AttackFailed):
+        build_attack_blob(knowledge)
+
+
+def test_payload_layout():
+    kernel = Kernel(seed=23, phys_mb=128)
+    knowledge = AttackerKnowledge.from_public_build(kernel.image)
+    knowledge.text_base = kernel.addr_space.text_base
+    blob = build_attack_blob(knowledge)
+    assert len(blob) == UBUF_PAYLOAD_SIZE
+    assert blob_callback_value(blob) == knowledge.gadget_kva("pivot")
+
+
+def test_kaslr_break_via_tx_leaks():
+    """Stage 1 of every compound attack: exact slide recovery."""
+    victim, nic, device = make_victim()
+    assert break_kaslr_via_tx(victim, nic, device)
+    assert device.knowledge.text_base == victim.addr_space.text_base
+    assert device.knowledge.page_offset_base == \
+        victim.addr_space.page_offset_base
+
+
+def test_single_step_attack():
+    victim, _nic, _dev = make_victim()
+    driver = LegacyCmdDriver(victim)
+    device = make_attacker(victim, "fw0")
+    report = run_single_step(victim, driver, device)
+    assert report.escalated
+    assert report.attributes.complete
+    assert victim.executor.creds.is_root
+
+
+def test_ringflood_attack():
+    profile = profile_replica_boots(30, seed=23, nr_slots=16)
+    victim, nic, device = make_victim()
+    report = run_ringflood(victim, nic, device, profile, nr_slots=16)
+    assert report.slots_flooded > 0
+    assert report.slots_hijacked > 0
+    if report.correct_pfn_guesses:
+        assert report.escalated
+        assert victim.executor.creds.is_root
+    assert victim.stack.stats.oopses == 0
+
+
+def test_ringflood_depends_on_pfn_profile_quality():
+    """A replica with a mismatched configuration (different page_frag
+    chunk order => different physical layout) yields wrong guesses.
+
+    Note a replica with merely a different *seed* often still guesses
+    right: boot layouts depend mostly on configuration, not identity --
+    which is the paper's whole point about deterministic boots.
+    """
+    bad_profile = profile_replica_boots(
+        5, seed=23, nr_slots=4,
+        kernel_config={"page_frag_chunk_order": 2, "phys_mb": 512})
+    victim, nic, device = make_victim()
+    report = run_ringflood(victim, nic, device, bad_profile, nr_slots=4)
+    assert report.correct_pfn_guesses == 0
+    assert not report.escalated
+
+
+def test_poisoned_tx_attack():
+    victim, nic, device = make_victim()
+    report = run_poisoned_tx(victim, nic, device)
+    assert report.escalated
+    assert report.ubuf_kva is not None
+    # the blob KVA was derived from the leaked struct page, and it is
+    # correct: the chain only fires if the pointer was exact
+    assert victim.executor.creds.is_root
+    assert victim.stack.stats.oopses == 0
+    assert report.attributes.complete
+
+
+def test_poisoned_tx_needs_no_boot_profile():
+    """Distinguishing property vs RingFlood (section 5.4): no prior
+    knowledge of the physical setup."""
+    victim, nic, device = make_victim(boot_index=12345)
+    report = run_poisoned_tx(victim, nic, device)
+    assert report.escalated
+
+
+def test_forward_thinking_attack():
+    victim, nic, device = make_victim(forwarding=True)
+    report = run_forward_thinking(victim, nic, device)
+    assert report.escalated
+    assert victim.executor.creds.is_root
+    assert victim.stack.stats.oopses == 0
+
+
+def test_forward_thinking_requires_forwarding():
+    victim, nic, device = make_victim(forwarding=False)
+    report = run_forward_thinking(victim, nic, device)
+    assert not report.escalated
+    assert "does not forward" in report.stage_log[0]
+
+
+def test_surveillance_reads_arbitrary_pages():
+    victim, nic, device = make_victim(forwarding=True)
+    assert break_kaslr_via_tx(victim, nic, device)
+    if device.knowledge.vmemmap_base is None:
+        device.knowledge.vmemmap_base = victim.addr_space.vmemmap_base
+    secret_kva = victim.slab.kmalloc(64)
+    victim.cpu_write(secret_kva, b"TOP-SECRET-BYTES")
+    pfn = victim.addr_space.pfn_of_kva(secret_kva)
+    report = read_arbitrary_pages(victim, nic, device, [pfn])
+    assert b"TOP-SECRET-BYTES" in report.pages_read[pfn]
+    assert report.undone
+    assert victim.stack.stats.oopses == 0
+
+
+def test_surveillance_without_undo_crashes_victim():
+    """Section 5.5's stability requirement, demonstrated."""
+    victim, nic, device = make_victim(forwarding=True)
+    assert break_kaslr_via_tx(victim, nic, device)
+    if device.knowledge.vmemmap_base is None:
+        device.knowledge.vmemmap_base = victim.addr_space.vmemmap_base
+    read_arbitrary_pages(victim, nic, device, [300], undo=False)
+    assert victim.stack.stats.oopses >= 1
+
+
+def test_surveillance_needs_vmemmap():
+    victim, nic, device = make_victim(forwarding=True)
+    with pytest.raises(AttackFailed):
+        read_arbitrary_pages(victim, nic, device, [300])
+
+
+def test_surveillance_frag_limit():
+    victim, nic, device = make_victim(forwarding=True)
+    device.knowledge.vmemmap_base = victim.addr_space.vmemmap_base
+    with pytest.raises(AttackFailed):
+        read_arbitrary_pages(victim, nic, device, list(range(20)))
+
+
+def test_blinding_bypass():
+    victim = Kernel(seed=23, boot_index=5, phys_mb=512, forwarding=True,
+                    pointer_blinding=True, zerocopy_threshold=512)
+    nic = victim.add_nic("eth0")
+    device = make_attacker(victim, "eth0")
+    report = run_blinding_bypass(victim, nic, device)
+    assert report.cookie_recovered == \
+        victim.stack.pointer_blinding.cookie_for_test()
+    assert report.escalated
+    assert victim.stack.stats.oopses == 0
+
+
+def test_blinding_without_bypass_blocks():
+    """The naked hijack fails against blinding (oops, no escalation)."""
+    victim = Kernel(seed=23, boot_index=5, phys_mb=512,
+                    pointer_blinding=True)
+    nic = victim.add_nic("eth0")
+    device = make_attacker(victim, "eth0")
+    report = run_poisoned_tx(victim, nic, device)
+    assert not report.escalated
+    assert victim.stack.stats.oopses >= 1
+
+
+def test_attack_is_dma_only():
+    """Threat-model check: the attack used only device DMA (plus the
+    public build); every access went through the IOMMU."""
+    victim, nic, device = make_victim()
+    run_poisoned_tx(victim, nic, device)
+    assert device.dma_reads > 0 and device.dma_writes > 0
+    assert victim.iommu.stats.device_reads >= device.dma_reads

@@ -1,0 +1,140 @@
+"""BuddyAllocator: splitting, merging, per-CPU hot reuse."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import AllocatorError, OutOfMemoryError
+from repro.mem.buddy import MAX_ORDER, BuddyAllocator
+from repro.mem.phys import PhysicalMemory
+
+
+def make_buddy(nr_pages=4096, reserved=256, **kwargs):
+    return BuddyAllocator(PhysicalMemory(nr_pages),
+                          reserved_low_pages=reserved, **kwargs)
+
+
+def test_alloc_returns_unreserved_pfn():
+    buddy = make_buddy()
+    pfn = buddy.alloc_page()
+    assert pfn >= 256
+
+
+def test_alloc_marks_pages_allocated():
+    buddy = make_buddy()
+    pfn = buddy.alloc_pages(2)
+    for i in range(4):
+        assert buddy.is_allocated(pfn + i)
+
+
+def test_higher_order_is_aligned():
+    buddy = make_buddy()
+    for order in range(MAX_ORDER + 1):
+        pfn = buddy.alloc_pages(order)
+        assert pfn % (1 << order) == 0
+
+
+def test_free_then_alloc_reuses_hot_page():
+    """Per-CPU LIFO: the most recently freed page comes back first."""
+    buddy = make_buddy()
+    first = buddy.alloc_page(cpu=0)
+    second = buddy.alloc_page(cpu=0)
+    buddy.free_pages(first)
+    buddy.free_pages(second)
+    assert buddy.alloc_page(cpu=0) == second
+    assert buddy.alloc_page(cpu=0) == first
+
+
+def test_pcp_caches_are_per_cpu():
+    buddy = make_buddy(nr_cpus=2)
+    pfn = buddy.alloc_page(cpu=0)
+    buddy.free_pages(pfn, cpu=0)
+    # CPU 1 does not see CPU 0's hot page first
+    other = buddy.alloc_page(cpu=1)
+    assert other != pfn
+
+
+def test_double_free_rejected():
+    buddy = make_buddy()
+    pfn = buddy.alloc_page()
+    buddy.free_pages(pfn)
+    with pytest.raises(AllocatorError):
+        buddy.free_pages(pfn)
+
+
+def test_free_wrong_order_rejected():
+    buddy = make_buddy()
+    pfn = buddy.alloc_pages(2)
+    with pytest.raises(AllocatorError):
+        buddy.free_pages(pfn, 1)
+    buddy.free_pages(pfn, 2)  # still freeable with the right order
+
+
+def test_bad_order_rejected():
+    buddy = make_buddy()
+    with pytest.raises(AllocatorError):
+        buddy.alloc_pages(MAX_ORDER + 1)
+
+
+def test_out_of_memory():
+    buddy = make_buddy(nr_pages=512, reserved=256)
+    with pytest.raises(OutOfMemoryError):
+        for _ in range(1000):
+            buddy.alloc_pages(4)
+
+
+def test_buddy_merge_restores_large_blocks():
+    """Freeing both buddies coalesces them back for large allocations."""
+    buddy = make_buddy(nr_pages=1024, reserved=0)
+    pfns = [buddy.alloc_pages(9) for _ in range(2)]  # split the 1024 block
+    with pytest.raises(OutOfMemoryError):
+        buddy.alloc_pages(10)
+    for pfn in pfns:
+        buddy.free_pages(pfn)
+    assert buddy.alloc_pages(10) == 0  # merged back to one max block
+
+
+def test_free_count_tracks():
+    buddy = make_buddy()
+    before = buddy.nr_free_pages
+    pfn = buddy.alloc_pages(3)
+    assert buddy.nr_free_pages == before - 8
+    buddy.free_pages(pfn)
+    assert buddy.nr_free_pages == before
+
+
+def test_reserved_exceeding_memory_rejected():
+    with pytest.raises(ValueError):
+        BuddyAllocator(PhysicalMemory(64), reserved_low_pages=64)
+
+
+def test_deterministic_allocation_sequence():
+    """Identical construction yields identical allocation order -- the
+    boot determinism RingFlood leans on (section 5.3)."""
+    a = make_buddy()
+    b = make_buddy()
+    seq_a = [a.alloc_pages(order) for order in (0, 3, 0, 2, 1, 3)]
+    seq_b = [b.alloc_pages(order) for order in (0, 3, 0, 2, 1, 3)]
+    assert seq_a == seq_b
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.integers(0, 4), min_size=1, max_size=40))
+def test_property_no_overlapping_allocations(orders):
+    """Live allocations never overlap, and free+realloc conserves pages."""
+    buddy = make_buddy()
+    live: list[tuple[int, int]] = []
+    total_free = buddy.nr_free_pages
+    for i, order in enumerate(orders):
+        pfn = buddy.alloc_pages(order)
+        span = range(pfn, pfn + (1 << order))
+        for other_pfn, other_order in live:
+            other = range(other_pfn, other_pfn + (1 << other_order))
+            assert set(span).isdisjoint(other)
+        live.append((pfn, order))
+        if i % 3 == 2:  # free every third allocation
+            old_pfn, old_order = live.pop(0)
+            buddy.free_pages(old_pfn)
+    for pfn, _order in live:
+        buddy.free_pages(pfn)
+    assert buddy.nr_free_pages == total_free

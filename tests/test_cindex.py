@@ -1,0 +1,71 @@
+"""CodeIndex: symbol cross-references over a source tree."""
+
+from repro.core.spade.cindex import CodeIndex
+from repro.corpus.generate import SourceTree
+
+
+def make_tree():
+    tree = SourceTree()
+    tree.add("a.c", """
+struct widget {
+    u32 id;
+};
+static int helper(void *buf, u32 len)
+{
+    return 0;
+}
+static int caller_one(struct widget *w)
+{
+    helper(w, 4);
+    return 0;
+}
+""")
+    tree.add("b.c", """
+static int caller_two(void *p)
+{
+    helper(p, 8);
+    return 0;
+}
+""")
+    tree.add("notes.txt", "not C, must be ignored")
+    return tree
+
+
+def test_functions_and_structs_indexed():
+    index = CodeIndex(make_tree())
+    assert "widget" in index.structs
+    assert "helper" in index.functions
+    assert index.nr_files == 2  # the .txt is skipped
+    assert index.nr_functions == 3
+
+
+def test_callers_cross_file():
+    index = CodeIndex(make_tree())
+    callers = index.callers_of("helper")
+    assert {r.caller.name for r in callers} == {"caller_one",
+                                                "caller_two"}
+    assert {r.file for r in callers} == {"a.c", "b.c"}
+    only_a = index.calls_to("helper", within="a.c")
+    assert len(only_a) == 1 and only_a[0].caller.name == "caller_one"
+
+
+def test_unknown_function_no_callers():
+    index = CodeIndex(make_tree())
+    assert index.callers_of("ghost") == []
+
+
+def test_first_struct_definition_wins():
+    tree = SourceTree()
+    tree.add("a.c", "struct s { u32 first; };")
+    tree.add("b.c", "struct s { u64 second; };")
+    index = CodeIndex(tree)
+    assert index.structs["s"].fields[0].name == "first"
+
+
+def test_parse_errors_collected_not_fatal():
+    tree = SourceTree()
+    tree.add("bad.c", "/* unterminated comment")
+    tree.add("good.c", "static int ok(void)\n{\n    return 1;\n}\n")
+    index = CodeIndex(tree)
+    assert "bad.c" in index.parse_errors
+    assert "ok" in index.functions

@@ -1,0 +1,60 @@
+"""CLI: audit traces, single-step and stale-reuse paths, parser."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_cli_audit_with_trace(capsys):
+    assert main(["audit", "--trace", "nvme"]) == 0
+    out = capsys.readouterr().out
+    assert "SPOOFABLE 931" in out
+    assert "precision 1.000" in out
+
+
+def test_cli_audit_trace_no_match(capsys):
+    assert main(["audit", "--trace", "zz-no-such-driver"]) == 0
+    out = capsys.readouterr().out
+    assert "no findings in files matching" in out
+
+
+def test_cli_single_step(capsys):
+    assert main(["attack", "single-step"]) == 0
+    out = capsys.readouterr().out
+    assert "escalated: True" in out
+
+
+def test_cli_stale_reuse_strict_blocked(capsys):
+    code = main(["attack", "stale-reuse", "--iommu-mode", "strict"])
+    assert code == 1
+    out = capsys.readouterr().out
+    assert "FAULTED" in out
+
+
+def test_cli_memdump(capsys):
+    assert main(["attack", "memdump"]) == 0
+    out = capsys.readouterr().out
+    assert "dumped" in out
+
+
+def test_cli_forward_requires_forwarding(capsys):
+    code = main(["attack", "forward"])  # victim not forwarding
+    assert code == 1
+
+
+def test_cli_forward_with_forwarding(capsys):
+    assert main(["attack", "forward", "--forwarding"]) == 0
+
+
+def test_parser_rejects_unknown_attack():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["attack", "teleport"])
+
+
+def test_parser_victim_flags():
+    args = build_parser().parse_args(
+        ["attack", "ringflood", "--iommu-mode", "strict", "--cet",
+         "--damn", "--unmap-order", "skb_first"])
+    assert args.iommu_mode == "strict"
+    assert args.cet and args.damn
+    assert args.unmap_order == "skb_first"

@@ -1,0 +1,111 @@
+"""SimClock: timers, periodic firing, cycle charging."""
+
+import pytest
+
+from repro.sim.clock import CYCLES_PER_US, SimClock
+
+
+def test_time_starts_at_zero():
+    assert SimClock().now_us == 0.0
+
+
+def test_advance_moves_time():
+    clock = SimClock()
+    clock.advance_us(12.5)
+    assert clock.now_us == 12.5
+
+
+def test_advance_rejects_negative():
+    with pytest.raises(ValueError):
+        SimClock().advance_us(-1.0)
+
+
+def test_one_shot_timer_fires_at_deadline():
+    clock = SimClock()
+    fired = []
+    clock.call_at(5.0, lambda: fired.append(clock.now_us))
+    clock.advance_us(4.9)
+    assert fired == []
+    clock.advance_us(0.2)
+    assert fired == [5.0]
+
+
+def test_call_after_is_relative():
+    clock = SimClock()
+    clock.advance_us(10.0)
+    fired = []
+    clock.call_after(3.0, lambda: fired.append(clock.now_us))
+    clock.advance_us(3.0)
+    assert fired == [13.0]
+
+
+def test_timer_in_past_rejected():
+    clock = SimClock()
+    clock.advance_us(10.0)
+    with pytest.raises(ValueError):
+        clock.call_at(5.0, lambda: None)
+
+
+def test_timers_fire_in_deadline_order():
+    clock = SimClock()
+    order = []
+    clock.call_at(7.0, lambda: order.append("b"))
+    clock.call_at(3.0, lambda: order.append("a"))
+    clock.call_at(9.0, lambda: order.append("c"))
+    clock.advance_us(10.0)
+    assert order == ["a", "b", "c"]
+
+
+def test_periodic_timer_fires_every_period():
+    clock = SimClock()
+    fired = []
+    clock.call_every(2.0, lambda: fired.append(clock.now_us))
+    clock.advance_us(7.0)
+    assert fired == [2.0, 4.0, 6.0]
+
+
+def test_cancelled_timer_does_not_fire():
+    clock = SimClock()
+    fired = []
+    handle = clock.call_at(5.0, lambda: fired.append(1))
+    handle.cancel()
+    clock.advance_us(10.0)
+    assert fired == []
+    assert handle.cancelled
+
+
+def test_cancelled_periodic_stops():
+    clock = SimClock()
+    fired = []
+    handle = clock.call_every(1.0, lambda: fired.append(clock.now_us))
+    clock.advance_us(2.5)
+    handle.cancel()
+    clock.advance_us(5.0)
+    assert fired == [1.0, 2.0]
+
+
+def test_charge_cycles_advances_time():
+    clock = SimClock()
+    clock.charge_cycles(CYCLES_PER_US * 3)
+    assert clock.now_us == pytest.approx(3.0)
+    assert clock.cycles == CYCLES_PER_US * 3
+
+
+def test_charge_negative_cycles_rejected():
+    with pytest.raises(ValueError):
+        SimClock().charge_cycles(-1)
+
+
+def test_timer_callback_sees_deadline_time():
+    """Time observed inside a callback is the deadline, not the target."""
+    clock = SimClock()
+    seen = []
+    clock.call_at(2.0, lambda: seen.append(clock.now_us))
+    clock.advance_us(100.0)
+    assert seen == [2.0]
+    assert clock.now_us == 100.0
+
+
+def test_periodic_zero_period_rejected():
+    with pytest.raises(ValueError):
+        SimClock().call_every(0.0, lambda: None)

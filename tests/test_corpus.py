@@ -1,0 +1,89 @@
+"""Corpus generator: composition, determinism, ground truth."""
+
+from repro.corpus import CorpusGenerator
+from repro.corpus.linux50 import LINUX50_COMPOSITION, expected_table2
+from repro.corpus.nvme_fc import NVME_FC_PATH
+
+
+def test_composition_matches_paper_marginals():
+    """The spec itself realizes Table 2's numbers."""
+    expected = expected_table2()
+    assert expected["total"] == (1019, 447)
+    assert expected["callbacks_exposed"] == (156, 57)
+    assert expected["skb_shared_info_mapped"] == (464, 232)
+    assert expected["callbacks_exposed_directly"] == (54, 28)
+    assert expected["private_data_mapped"] == (19, 7)
+    assert expected["stack_mapped"] == (3, 3)
+    assert expected["type_c"] == (344, 227)
+    assert expected["build_skb_used"] == (46, 40)
+    assert expected["vulnerable"][0] == 742
+
+
+def test_manifest_matches_composition(corpus):
+    _tree, manifest = corpus
+    rows = manifest.table2_rows()
+    expected = expected_table2()
+    for key in ("total", "callbacks_exposed", "skb_shared_info_mapped",
+                "callbacks_exposed_directly", "private_data_mapped",
+                "stack_mapped", "type_c", "build_skb_used"):
+        assert rows[key] == expected[key], key
+    assert rows["vulnerable"][0] == 742
+
+
+def test_tree_shape(corpus):
+    tree, manifest = corpus
+    assert len(tree.paths(suffix=".c")) == 447
+    assert len(tree.paths(suffix=".h")) == 6
+    assert manifest.nr_calls == 1019
+    assert tree.total_lines > 20_000
+
+
+def test_generation_is_deterministic():
+    a_tree, a_manifest = CorpusGenerator(seed=99).generate()
+    b_tree, b_manifest = CorpusGenerator(seed=99).generate()
+    assert a_tree.files == b_tree.files
+    assert [(s.path, s.line, s.category) for s in a_manifest.sites] == \
+        [(s.path, s.line, s.category) for s in b_manifest.sites]
+
+
+def test_different_seeds_differ():
+    a_tree, _ = CorpusGenerator(seed=1).generate()
+    b_tree, _ = CorpusGenerator(seed=2).generate()
+    assert a_tree.files != b_tree.files
+
+
+def test_nvme_fc_included_once(corpus):
+    tree, manifest = corpus
+    assert NVME_FC_PATH in tree.files
+    sites = manifest.by_path(NVME_FC_PATH)
+    assert len(sites) == 2
+    assert all(s.category == "callback_direct" for s in sites)
+    assert all("callback_spoof" in s.exposures for s in sites)
+
+
+def test_call_site_lines_point_at_calls(corpus):
+    tree, manifest = corpus
+    for site in manifest.sites[:100]:
+        line_text = tree.read(site.path).splitlines()[site.line - 1]
+        assert "dma_map_single(" in line_text
+
+
+def test_every_file_tokenizes(corpus):
+    from repro.core.spade.ctokens import tokenize
+    tree, _ = corpus
+    for path in tree.paths(suffix=".c"):
+        assert tokenize(tree.read(path))
+
+
+def test_categories_cover_expected_counts(corpus):
+    _tree, manifest = corpus
+    counts = manifest.category_counts()
+    for spec in LINUX50_COMPOSITION:
+        assert counts[spec.name] == spec.nr_calls
+
+
+def test_write_to_dir(tmp_path, corpus):
+    tree, _ = corpus
+    tree.write_to_dir(str(tmp_path))
+    assert (tmp_path / NVME_FC_PATH).exists()
+    assert (tmp_path / "include/linux/skbuff.h").exists()

@@ -1,0 +1,136 @@
+"""The C tokenizer and parser."""
+
+import pytest
+
+from repro.core.spade.cparse import parse_file
+from repro.core.spade.ctokens import TokKind, tokenize
+from repro.errors import AnalysisError
+
+
+def test_tokenizer_basics():
+    tokens = tokenize("int x = 42; // comment\nfoo(a->b);")
+    texts = [t.text for t in tokens]
+    assert texts == ["int", "x", "=", "42", ";", "foo", "(", "a", "->",
+                     "b", ")", ";"]
+
+
+def test_tokenizer_lines_and_preproc():
+    tokens = tokenize('#include <x.h>\nint y;\n')
+    assert tokens[0].kind == TokKind.PREPROC
+    assert tokens[1].line == 2
+
+
+def test_tokenizer_block_comment_spans_lines():
+    tokens = tokenize("/* a\nb\nc */ int z;")
+    assert tokens[0].text == "int"
+    assert tokens[0].line == 3
+
+
+def test_tokenizer_string_and_char():
+    tokens = tokenize('char *s = "hi;there"; char c = \'x\';')
+    kinds = [t.kind for t in tokens if t.kind in (TokKind.STRING,
+                                                  TokKind.CHAR)]
+    assert kinds == [TokKind.STRING, TokKind.CHAR]
+
+
+def test_tokenizer_unterminated_comment_raises():
+    with pytest.raises(AnalysisError):
+        tokenize("/* never ends")
+
+
+def test_parse_struct_fields():
+    parsed = parse_file("t.c", """
+struct demo {
+    struct other *ptr;
+    u32 count;
+    u8 buf[64];
+    void (*handler)(int x);
+    void (*table[8])(void);
+    struct nested inner;
+};
+""")
+    fields = {f.name: f for f in parsed.structs["demo"].fields}
+    assert fields["ptr"].type.base == "other"
+    assert fields["ptr"].type.pointer_level == 1
+    assert fields["buf"].type.array_len == 64
+    assert fields["handler"].is_func_ptr
+    assert fields["table"].is_func_ptr
+    assert fields["table"].func_ptr_count == 8
+    assert fields["inner"].type.pointer_level == 0
+
+
+def test_parse_function_with_everything():
+    parsed = parse_file("t.c", """
+static int work(struct dev *d, void *buf)
+{
+    struct item *it;
+    u8 local[16];
+    dma_addr_t a;
+
+    it = lookup(d, 5);
+    a = dma_map_single(d->dma, &it->payload, 64, DMA_TO_DEVICE);
+    if (!a)
+        return -1;
+    submit(d, a);
+    return 0;
+}
+""")
+    func = parsed.functions["work"]
+    assert [p.name for p in func.params] == ["d", "buf"]
+    assert func.params[1].type.base == "void"
+    local_names = {d.name for d in func.locals}
+    assert local_names == {"it", "local", "a"}
+    assert func.find_var("local")[1].type.array_len == 16
+    callees = {c.callee for c in func.calls}
+    assert callees == {"lookup", "dma_map_single", "submit"}
+    map_call = next(c for c in func.calls
+                    if c.callee == "dma_map_single")
+    assert map_call.args[1] == "& it -> payload"
+    assigns = func.assignments_to("it")
+    assert assigns[0].rhs_call.callee == "lookup"
+
+
+def test_parse_declaration_with_initializer():
+    parsed = parse_file("t.c", """
+static void f(void)
+{
+    struct sk_buff *skb = netdev_alloc_skb(dev, 1500);
+    use(skb);
+}
+""")
+    func = parsed.functions["f"]
+    assert func.find_var("skb")[0] == "local"
+    assert func.assignments_to("skb")[0].rhs_call.callee == \
+        "netdev_alloc_skb"
+
+
+def test_method_style_calls_not_confused():
+    parsed = parse_file("t.c", """
+static void f(struct ops *o)
+{
+    run(o);
+}
+""")
+    assert {c.callee for c in parsed.functions["f"].calls} == {"run"}
+
+
+def test_prototypes_and_forward_decls_skipped():
+    parsed = parse_file("t.c", """
+struct fwd;
+int proto(struct fwd *f);
+typedef unsigned int myint;
+""")
+    assert parsed.structs == {}
+    assert parsed.functions == {}
+
+
+def test_param_index():
+    parsed = parse_file("t.c", """
+static int g(struct a *x, void *y, u32 z)
+{
+    return 0;
+}
+""")
+    func = parsed.functions["g"]
+    assert func.param_index("y") == 1
+    assert func.param_index("nope") is None

@@ -1,0 +1,150 @@
+"""DmaApi: mapping semantics, page granularity, registry tracking."""
+
+import pytest
+
+from repro.errors import DmaApiError, IommuFault
+from repro.mem.phys import PAGE_SIZE
+
+
+def test_map_preserves_page_offset(bare_kernel):
+    k = bare_kernel
+    k.iommu.attach_device("dev0")
+    kva = k.slab.kmalloc(512)
+    iova = k.dma.dma_map_single("dev0", kva, 512, "DMA_TO_DEVICE")
+    assert iova & 0xFFF == kva & 0xFFF
+
+
+def test_whole_page_exposed_not_just_buffer(bare_kernel):
+    """Section 9.1: "the whole page is accessible" despite the length
+    argument."""
+    k = bare_kernel
+    k.iommu.attach_device("dev0")
+    kva = k.slab.kmalloc(64)
+    neighbour = k.slab.kmalloc(64)  # same slab page
+    k.cpu_write(neighbour, b"SECRET42")
+    iova = k.dma.dma_map_single("dev0", kva, 64, "DMA_TO_DEVICE")
+    page_iova = iova & ~(PAGE_SIZE - 1)
+    page = k.iommu.device_read("dev0", page_iova, PAGE_SIZE)
+    assert b"SECRET42" in page
+
+
+def test_multi_page_buffer_fully_mapped(bare_kernel):
+    k = bare_kernel
+    k.iommu.attach_device("dev0")
+    kva = k.slab.kmalloc(8192)
+    iova = k.dma.dma_map_single("dev0", kva, 8192, "DMA_FROM_DEVICE")
+    k.iommu.device_write("dev0", iova + 8000, b"tail")
+    paddr = k.addr_space.paddr_of_kva(kva)
+    assert k.phys.read(paddr + 8000, 4) == b"tail"
+
+
+def test_unmap_removes_translation_strict():
+    from repro.sim.kernel import Kernel
+    k = Kernel(seed=7, phys_mb=128, iommu_mode="strict")
+    k.iommu.attach_device("dev0")
+    kva = k.slab.kmalloc(256)
+    iova = k.dma.dma_map_single("dev0", kva, 256, "DMA_FROM_DEVICE")
+    k.iommu.device_write("dev0", iova, b"x")
+    k.dma.dma_unmap_single("dev0", iova, 256, "DMA_FROM_DEVICE")
+    with pytest.raises(IommuFault):
+        k.iommu.device_write("dev0", iova, b"y")
+
+
+def test_unmap_size_mismatch_rejected(bare_kernel):
+    k = bare_kernel
+    k.iommu.attach_device("dev0")
+    kva = k.slab.kmalloc(256)
+    iova = k.dma.dma_map_single("dev0", kva, 256, "DMA_TO_DEVICE")
+    with pytest.raises(DmaApiError):
+        k.dma.dma_unmap_single("dev0", iova, 128, "DMA_TO_DEVICE")
+    with pytest.raises(DmaApiError):
+        k.dma.dma_unmap_single("dev0", iova, 256, "DMA_FROM_DEVICE")
+
+
+def test_unmap_unknown_iova_rejected(bare_kernel):
+    k = bare_kernel
+    k.iommu.attach_device("dev0")
+    with pytest.raises(DmaApiError):
+        k.dma.dma_unmap_single("dev0", 0xF000, 64, "DMA_TO_DEVICE")
+
+
+def test_bad_direction_rejected(bare_kernel):
+    k = bare_kernel
+    kva = k.slab.kmalloc(64)
+    with pytest.raises(DmaApiError):
+        k.dma.dma_map_single("dev0", kva, 64, "DMA_SIDEWAYS")
+
+
+def test_zero_size_rejected(bare_kernel):
+    k = bare_kernel
+    kva = k.slab.kmalloc(64)
+    with pytest.raises(DmaApiError):
+        k.dma.dma_map_single("dev0", kva, 0, "DMA_TO_DEVICE")
+
+
+def test_registry_tracks_live_mappings(bare_kernel):
+    k = bare_kernel
+    k.iommu.attach_device("dev0")
+    kva = k.slab.kmalloc(512)
+    iova = k.dma.dma_map_single("dev0", kva, 512, "DMA_TO_DEVICE")
+    mapping = k.dma.registry.lookup("dev0", iova)
+    assert mapping is not None and mapping.active
+    assert mapping.size == 512
+    pfn = k.addr_space.paddr_of_kva(kva) >> 12
+    assert mapping in k.dma.registry.mappings_on_pfn(pfn)
+    k.dma.dma_unmap_single("dev0", iova, 512, "DMA_TO_DEVICE")
+    assert not mapping.active
+    assert k.dma.registry.mappings_on_pfn(pfn) == []
+    assert mapping.unmapped_at_us is not None
+
+
+def test_registry_detects_type_c(bare_kernel):
+    """Two mappings covering the same frame show up together."""
+    k = bare_kernel
+    k.iommu.attach_device("dev0")
+    a = k.page_frag.alloc(1024)
+    b = k.page_frag.alloc(1024)  # same chunk page
+    ia = k.dma.dma_map_single("dev0", a, 1024, "DMA_FROM_DEVICE")
+    ib = k.dma.dma_map_single("dev0", b, 1024, "DMA_FROM_DEVICE")
+    pfn = k.addr_space.paddr_of_kva(a) >> 12
+    assert len(k.dma.registry.mappings_on_pfn(pfn)) == 2
+
+
+def test_dma_map_page(bare_kernel):
+    k = bare_kernel
+    k.iommu.attach_device("dev0")
+    kva = k.slab.kmalloc(4096)
+    pfn = k.addr_space.pfn_of_kva(kva)
+    iova = k.dma.dma_map_page("dev0", pfn, 0x100, 64, "DMA_TO_DEVICE")
+    assert iova & 0xFFF == 0x100
+    k.dma.dma_unmap_page("dev0", iova, 64, "DMA_TO_DEVICE")
+
+
+def test_scatter_gather(bare_kernel):
+    k = bare_kernel
+    k.iommu.attach_device("dev0")
+    buffers = [(k.slab.kmalloc(256), 256), (k.slab.kmalloc(512), 512)]
+    entries = k.dma.dma_map_sg("dev0", buffers, "DMA_TO_DEVICE")
+    assert len(entries) == 2
+    for (kva, size), entry in zip(buffers, entries):
+        assert entry.size == size
+        assert entry.iova & 0xFFF == kva & 0xFFF
+    k.dma.dma_unmap_sg("dev0", entries, "DMA_TO_DEVICE")
+    assert k.dma.registry.nr_live == 0
+
+
+def test_deferred_iova_not_reused_before_flush(bare_kernel):
+    """The flush-queue semantics: a freed IOVA range is recycled only
+    after the invalidation lands (prevents permission confusion)."""
+    k = bare_kernel
+    k.iommu.attach_device("dev0")
+    kva = k.slab.kmalloc(256)
+    iova = k.dma.dma_map_single("dev0", kva, 256, "DMA_TO_DEVICE")
+    k.dma.dma_unmap_single("dev0", iova, 256, "DMA_TO_DEVICE")
+    kva2 = k.slab.kmalloc(256)
+    iova2 = k.dma.dma_map_single("dev0", kva2, 256, "DMA_FROM_DEVICE")
+    assert iova2 & ~0xFFF != iova & ~0xFFF
+    k.advance_time_ms(11.0)  # flush fires, range recycled
+    kva3 = k.slab.kmalloc(256)
+    iova3 = k.dma.dma_map_single("dev0", kva3, 256, "DMA_FROM_DEVICE")
+    assert iova3 & ~0xFFF == iova & ~0xFFF

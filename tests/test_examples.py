@@ -1,0 +1,39 @@
+"""The shipped examples run end to end (they are integration tests)."""
+
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = [
+    ("examples/quickstart.py", []),
+    ("examples/runtime_sanitizer.py", []),
+    ("examples/invalidation_tradeoff.py", []),
+    ("examples/audit_drivers.py", []),
+    ("examples/full_attack_chain.py", ["--quick"]),
+]
+
+
+@pytest.mark.parametrize("path,argv",
+                         EXAMPLES, ids=[p for p, _ in EXAMPLES])
+def test_example_runs(path, argv, capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", [path] + argv)
+    runpy.run_path(path, run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{path} produced no output"
+
+
+def test_quickstart_demonstrates_escalation(capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", ["examples/quickstart.py"])
+    runpy.run_path("examples/quickstart.py", run_name="__main__")
+    out = capsys.readouterr().out
+    assert "root=True" in out
+    assert "kernel secret" in out
+
+
+def test_audit_example_reports_table2(capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", ["examples/audit_drivers.py"])
+    runpy.run_path("examples/audit_drivers.py", run_name="__main__")
+    out = capsys.readouterr().out
+    assert "742 dma-map calls (72.8%)" in out
+    assert "SPOOFABLE 931" in out

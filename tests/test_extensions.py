@@ -1,0 +1,188 @@
+"""Extensions: stale-reuse attack, device-side D-KASAN events,
+__randomize_layout, the section-7 OS scenarios, and the CLI."""
+
+import pytest
+
+from repro.core.attacks.other_os import (run_freebsd_scenario,
+                                         run_macos_scenario,
+                                         run_windows_scenario)
+from repro.core.attacks.ringflood import make_attacker
+from repro.core.attacks.stale_reuse import run_stale_reuse
+from repro.core.dkasan import DKasan
+from repro.net.structs import (SKB_SHARED_INFO,
+                               randomized_shared_info_layout)
+from repro.sim.kernel import Kernel
+from repro.sim.rng import DeterministicRng
+
+
+# -- stale reuse (section 5.2.1) ------------------------------------------------
+
+def test_stale_reuse_corrupts_under_deferred():
+    kernel = Kernel(seed=71, phys_mb=256, iommu_mode="deferred")
+    device = make_attacker(kernel, "dma0")
+    report = run_stale_reuse(kernel, device)
+    assert report.page_reused
+    assert report.victim_corrupted
+    assert not report.write_faulted
+
+
+def test_stale_reuse_blocked_under_strict():
+    kernel = Kernel(seed=71, phys_mb=256, iommu_mode="strict")
+    device = make_attacker(kernel, "dma0")
+    report = run_stale_reuse(kernel, device)
+    assert report.write_faulted
+    assert not report.victim_corrupted
+
+
+# -- device-side D-KASAN events ----------------------------------------------------
+
+def make_instrumented(**kwargs):
+    dkasan = DKasan(256 << 20)
+    kernel = Kernel(seed=9, phys_mb=256, sink=dkasan, **kwargs)
+    kernel.iommu.attach_device("dev0")
+    return dkasan, kernel
+
+
+def test_device_access_after_unmap_event():
+    dkasan, kernel = make_instrumented(iommu_mode="deferred")
+    buf = kernel.slab.kmalloc(512)
+    iova = kernel.dma.dma_map_single("dev0", buf, 512,
+                                     "DMA_FROM_DEVICE")
+    kernel.iommu.device_write("dev0", iova, b"warm")
+    assert dkasan.events_of("device-access-after-unmap") == []
+    kernel.dma.dma_unmap_single("dev0", iova, 512, "DMA_FROM_DEVICE")
+    kernel.iommu.device_write("dev0", iova, b"stale")
+    events = dkasan.events_of("device-access-after-unmap")
+    assert events and events[0].device == "dev0"
+    assert events[0].perms == ("WRITE",)
+
+
+def test_device_access_after_free_event():
+    dkasan, kernel = make_instrumented(iommu_mode="deferred")
+    buf = kernel.slab.kmalloc(512)
+    iova = kernel.dma.dma_map_single("dev0", buf, 512,
+                                     "DMA_FROM_DEVICE")
+    kernel.iommu.device_write("dev0", iova, b"warm")
+    kernel.dma.dma_unmap_single("dev0", iova, 512, "DMA_FROM_DEVICE")
+    kernel.slab.kfree(buf)
+    kernel.iommu.device_write("dev0", iova, b"uaf!")
+    assert dkasan.events_of("device-access-after-free")
+
+
+def test_legit_device_access_silent():
+    dkasan, kernel = make_instrumented()
+    buf = kernel.slab.kmalloc(512)
+    iova = kernel.dma.dma_map_single("dev0", buf, 512,
+                                     "DMA_FROM_DEVICE")
+    kernel.iommu.device_write("dev0", iova, b"fine")
+    assert dkasan.events_of("device-access-after-unmap") == []
+    assert dkasan.events_of("device-access-after-free") == []
+
+
+# -- __randomize_layout (footnote 2) -------------------------------------------------
+
+def test_randomized_layout_preserves_fields_and_size():
+    layout = randomized_shared_info_layout(DeterministicRng(3))
+    assert layout.size == SKB_SHARED_INFO.size
+    names = {f.name for f in layout.fields()}
+    assert names == {f.name for f in SKB_SHARED_INFO.fields()}
+    # destructor_arg never lands at the stock offset...
+    assert layout.field("destructor_arg").offset != 40
+    # ...and the frags block is either before or after the header
+    assert layout.field("frags[0].page").offset in (0, 48)
+
+
+def test_randomized_layout_varies_across_boots():
+    offsets = {randomized_shared_info_layout(DeterministicRng(seed))
+               .field("destructor_arg").offset for seed in range(24)}
+    assert len(offsets) >= 4
+
+
+def test_randomized_kernel_still_networks():
+    kernel = Kernel(seed=23, phys_mb=256, randomize_struct_layout=True)
+    nic = kernel.add_nic("eth0")
+    from repro.net.proto import PROTO_UDP, make_packet
+    nic.device_receive(make_packet(dst_ip=0x0A00_0001, proto=PROTO_UDP,
+                                   dst_port=7, payload=b"Z" * 700))
+    kernel.poll_and_process()
+    nic.device_fetch_tx()
+    nic.tx_clean()
+    assert kernel.stack.stats.echoed == 1
+    assert kernel.stack.stats.oopses == 0
+
+
+def test_randomized_layout_blocks_fixed_offset_hijack():
+    from repro.core.attacks.poisoned_tx import run_poisoned_tx
+    victim = Kernel(seed=23, boot_index=5, phys_mb=512,
+                    randomize_struct_layout=True)
+    nic = victim.add_nic("eth0")
+    device = make_attacker(victim, "eth0")
+    report = run_poisoned_tx(victim, nic, device)
+    assert not report.escalated
+
+
+# -- section 7 OS scenarios ------------------------------------------------------------
+
+def test_windows_net_buffer_single_step():
+    kernel = Kernel(seed=81, phys_mb=256)
+    report = run_windows_scenario(kernel, make_attacker(kernel, "nic0"))
+    assert report.single_step_escalated
+
+
+def test_freebsd_mbuf_single_step():
+    kernel = Kernel(seed=81, phys_mb=256)
+    report = run_freebsd_scenario(kernel, make_attacker(kernel, "nic0"))
+    assert report.single_step_escalated
+
+
+def test_macos_blinding_stops_single_step_not_compound():
+    kernel = Kernel(seed=81, phys_mb=256)
+    report = run_macos_scenario(kernel, make_attacker(kernel, "nic0"))
+    assert not report.single_step_escalated
+    assert "blinded" in report.single_step_blocked_reason
+    assert report.compound_escalated
+
+
+def test_macos_without_kaslr_break_stays_safe():
+    kernel = Kernel(seed=81, phys_mb=256)
+    report = run_macos_scenario(kernel, make_attacker(kernel, "nic0"),
+                                kaslr_already_broken=False)
+    assert not report.single_step_escalated
+    assert report.compound_escalated is None
+
+
+# -- CLI --------------------------------------------------------------------------------
+
+def test_cli_attack_poisoned_tx(capsys):
+    from repro.cli import main
+    code = main(["attack", "poisoned-tx", "--seed", "23",
+                 "--boot-index", "5"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "escalated: True" in out
+
+
+def test_cli_attack_blocked_returns_nonzero(capsys):
+    from repro.cli import main
+    code = main(["attack", "poisoned-tx", "--bounce-buffers"])
+    assert code == 1
+
+
+def test_cli_oscompare(capsys):
+    from repro.cli import main
+    assert main(["oscompare"]) == 0
+    out = capsys.readouterr().out
+    assert "FreeBSD" in out and "macOS" in out and "Windows" in out
+
+
+def test_cli_sanitize(capsys):
+    from repro.cli import main
+    assert main(["sanitize", "--rounds", "6"]) == 0
+    out = capsys.readouterr().out
+    assert "D-KASAN report" in out
+
+
+def test_cli_requires_subcommand():
+    from repro.cli import main
+    with pytest.raises(SystemExit):
+        main([])

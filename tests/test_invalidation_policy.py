@@ -1,0 +1,103 @@
+"""Invalidation policies and IOTLB internals, tested directly."""
+
+import pytest
+
+from repro.iommu.domain import IovaEntry
+from repro.iommu.invalidation import (DeferredInvalidation,
+                                      StrictInvalidation)
+from repro.iommu.iotlb import Iotlb
+from repro.iommu.perms import DmaPerm
+from repro.sim.clock import SimClock
+
+
+def test_strict_invalidates_synchronously():
+    clock = SimClock()
+    iotlb = Iotlb()
+    policy = StrictInvalidation(clock, iotlb)
+    iotlb.insert(1, IovaEntry(0x10, 5, DmaPerm.READ))
+    policy.on_unmap(1, 0x10)
+    assert not iotlb.contains(1, 0x10)
+    assert policy.stats.sync_invalidations == 1
+    assert policy.stats.cycles_spent == 2000
+    assert policy.max_window_us() == 0.0
+
+
+def test_strict_post_flush_runs_immediately():
+    policy = StrictInvalidation(SimClock(), Iotlb())
+    ran = []
+    policy.queue_post_flush(lambda: ran.append(1))
+    assert ran == [1]
+
+
+def test_deferred_batches_until_timer():
+    clock = SimClock()
+    iotlb = Iotlb()
+    policy = DeferredInvalidation(clock, iotlb, flush_period_us=1000.0)
+    for i in range(5):
+        iotlb.insert(1, IovaEntry(0x10 + i, 5 + i, DmaPerm.READ))
+        policy.on_unmap(1, 0x10 + i)
+    assert policy.nr_pending == 5
+    assert len(iotlb) == 5  # nothing invalidated yet
+    clock.advance_us(1001.0)
+    assert len(iotlb) == 0
+    assert policy.stats.flushes == 1
+    # one batch = one invalidation cost, amortized over 5 unmaps
+    assert policy.stats.cycles_spent == 2000
+
+
+def test_deferred_post_flush_runs_at_flush():
+    clock = SimClock()
+    policy = DeferredInvalidation(clock, Iotlb(), flush_period_us=500.0)
+    ran = []
+    policy.queue_post_flush(lambda: ran.append(1))
+    assert ran == []
+    clock.advance_us(501.0)
+    assert ran == [1]
+
+
+def test_deferred_idle_flush_is_free():
+    clock = SimClock()
+    policy = DeferredInvalidation(clock, Iotlb(), flush_period_us=100.0)
+    clock.advance_us(1000.0)
+    assert policy.stats.flushes == 0
+    assert policy.stats.cycles_spent == 0
+
+
+def test_deferred_shutdown_stops_timer():
+    clock = SimClock()
+    iotlb = Iotlb()
+    policy = DeferredInvalidation(clock, iotlb, flush_period_us=100.0)
+    policy.shutdown()
+    iotlb.insert(1, IovaEntry(0x10, 5, DmaPerm.READ))
+    policy.on_unmap(1, 0x10)
+    clock.advance_us(1000.0)
+    assert iotlb.contains(1, 0x10)  # no flush ever fires
+
+
+def test_deferred_bad_period_rejected():
+    with pytest.raises(ValueError):
+        DeferredInvalidation(SimClock(), Iotlb(), flush_period_us=0.0)
+
+
+def test_iotlb_stats_hits_misses():
+    iotlb = Iotlb()
+    iotlb.insert(1, IovaEntry(0x10, 5, DmaPerm.READ))
+    assert iotlb.lookup(1, 0x10) is not None
+    assert iotlb.lookup(1, 0x99) is None
+    assert iotlb.stats.hits == 1
+    assert iotlb.stats.misses == 1
+    assert iotlb.flush_all() == 1
+    assert iotlb.stats.global_flushes == 1
+
+
+def test_iotlb_capacity_validation():
+    with pytest.raises(ValueError):
+        Iotlb(capacity=0)
+
+
+def test_iotlb_per_domain_keys():
+    iotlb = Iotlb()
+    iotlb.insert(1, IovaEntry(0x10, 5, DmaPerm.READ))
+    assert not iotlb.contains(2, 0x10)
+    assert iotlb.invalidate(2, 0x10) is False
+    assert iotlb.invalidate(1, 0x10) is True

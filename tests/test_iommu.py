@@ -1,0 +1,185 @@
+"""IOMMU core: translation, permissions, faults, IOTLB behaviour."""
+
+import pytest
+
+from repro.errors import DmaApiError, IommuFault
+from repro.iommu.iommu import Iommu
+from repro.iommu.iotlb import Iotlb
+from repro.iommu.iova import IovaAllocator
+from repro.iommu.perms import DmaPerm
+from repro.mem.phys import PAGE_SIZE, PhysicalMemory
+from repro.sim.clock import SimClock
+
+
+def make_iommu(mode="strict"):
+    phys = PhysicalMemory(1024)
+    clock = SimClock()
+    iommu = Iommu(phys, clock, mode=mode)
+    iommu.attach_device("dev0")
+    return phys, clock, iommu
+
+
+def test_perm_semantics():
+    """"WRITE access does not grant a DMA device READ access" (§2.2)."""
+    assert DmaPerm.WRITE.allows_write
+    assert not DmaPerm.WRITE.allows_read
+    assert DmaPerm.READ.allows_read
+    assert not DmaPerm.READ.allows_write
+    assert DmaPerm.BIDIRECTIONAL.allows_read
+    assert DmaPerm.BIDIRECTIONAL.allows_write
+
+
+def test_direction_mapping():
+    assert DmaPerm.from_dma_direction("DMA_TO_DEVICE") is DmaPerm.READ
+    assert DmaPerm.from_dma_direction("DMA_FROM_DEVICE") is DmaPerm.WRITE
+    with pytest.raises(ValueError):
+        DmaPerm.from_dma_direction("sideways")
+
+
+def test_device_write_lands_in_physical_memory():
+    phys, _clock, iommu = make_iommu()
+    iommu.map_page("dev0", 0x100, 7, DmaPerm.WRITE)
+    iommu.device_write("dev0", (0x100 << 12) | 0x20, b"abcd")
+    assert phys.read(7 * PAGE_SIZE + 0x20, 4) == b"abcd"
+
+
+def test_device_read_sees_physical_memory():
+    phys, _clock, iommu = make_iommu()
+    phys.write(9 * PAGE_SIZE + 5, b"hello")
+    iommu.map_page("dev0", 0x200, 9, DmaPerm.READ)
+    assert iommu.device_read("dev0", (0x200 << 12) + 5, 5) == b"hello"
+
+
+def test_unmapped_access_faults_and_logs():
+    _phys, _clock, iommu = make_iommu()
+    with pytest.raises(IommuFault):
+        iommu.device_read("dev0", 0x300 << 12, 8)
+    assert iommu.stats.faults == 1
+    assert iommu.fault_log[0].reason == "no translation"
+
+
+def test_write_via_read_mapping_faults():
+    _phys, _clock, iommu = make_iommu()
+    iommu.map_page("dev0", 0x100, 7, DmaPerm.READ)
+    with pytest.raises(IommuFault) as info:
+        iommu.device_write("dev0", 0x100 << 12, b"x")
+    assert "denies write" in str(info.value)
+
+
+def test_read_via_write_mapping_faults():
+    _phys, _clock, iommu = make_iommu()
+    iommu.map_page("dev0", 0x100, 7, DmaPerm.WRITE)
+    with pytest.raises(IommuFault):
+        iommu.device_read("dev0", 0x100 << 12, 8)
+
+
+def test_cross_page_device_access():
+    phys, _clock, iommu = make_iommu()
+    iommu.map_page("dev0", 0x10, 3, DmaPerm.WRITE)
+    iommu.map_page("dev0", 0x11, 4, DmaPerm.WRITE)
+    iommu.device_write("dev0", (0x10 << 12) + PAGE_SIZE - 2, b"abcd")
+    assert phys.read(3 * PAGE_SIZE + PAGE_SIZE - 2, 2) == b"ab"
+    assert phys.read(4 * PAGE_SIZE, 2) == b"cd"
+
+
+def test_strict_unmap_closes_access_immediately():
+    _phys, _clock, iommu = make_iommu(mode="strict")
+    iommu.map_page("dev0", 0x100, 7, DmaPerm.WRITE)
+    iommu.device_write("dev0", 0x100 << 12, b"x")  # warm the IOTLB
+    iommu.unmap_page("dev0", 0x100)
+    with pytest.raises(IommuFault):
+        iommu.device_write("dev0", 0x100 << 12, b"y")
+
+
+def test_deferred_unmap_leaves_stale_window():
+    """Figure 6: the device retains access until the periodic flush."""
+    _phys, clock, iommu = make_iommu(mode="deferred")
+    iommu.map_page("dev0", 0x100, 7, DmaPerm.WRITE)
+    iommu.device_write("dev0", 0x100 << 12, b"x")
+    iommu.unmap_page("dev0", 0x100)
+    iommu.device_write("dev0", 0x100 << 12, b"y")  # stale hit succeeds
+    assert iommu.stats.stale_translations == 1
+    clock.advance_ms(11.0)  # periodic flush fires
+    with pytest.raises(IommuFault):
+        iommu.device_write("dev0", 0x100 << 12, b"z")
+
+
+def test_deferred_without_iotlb_entry_faults():
+    """If the translation was never cached, unmap is effective even in
+    deferred mode -- the window requires a warm IOTLB."""
+    _phys, _clock, iommu = make_iommu(mode="deferred")
+    iommu.map_page("dev0", 0x100, 7, DmaPerm.WRITE)
+    iommu.unmap_page("dev0", 0x100)  # never accessed -> never cached
+    with pytest.raises(IommuFault):
+        iommu.device_write("dev0", 0x100 << 12, b"y")
+
+
+def test_multiple_iova_same_pfn():
+    """Type (c): two IOVAs for one frame; one unmap does not revoke."""
+    phys, _clock, iommu = make_iommu(mode="strict")
+    iommu.map_page("dev0", 0x100, 7, DmaPerm.WRITE)
+    iommu.map_page("dev0", 0x200, 7, DmaPerm.WRITE)
+    domain = iommu.domain_of("dev0")
+    assert domain.iova_pfns_of_pfn(7) == frozenset({0x100, 0x200})
+    iommu.unmap_page("dev0", 0x100)
+    iommu.device_write("dev0", 0x200 << 12, b"still here")
+    assert phys.read(7 * PAGE_SIZE, 10) == b"still here"
+
+
+def test_device_can_access_probe():
+    _phys, _clock, iommu = make_iommu()
+    iommu.map_page("dev0", 0x100, 7, DmaPerm.READ)
+    assert iommu.device_can_access("dev0", 0x100 << 12, write=False)
+    assert not iommu.device_can_access("dev0", 0x100 << 12, write=True)
+    assert not iommu.device_can_access("dev0", 0x300 << 12, write=False)
+
+
+def test_domains_are_isolated():
+    phys, _clock, iommu = make_iommu()
+    iommu.attach_device("dev1")
+    iommu.map_page("dev0", 0x100, 7, DmaPerm.BIDIRECTIONAL)
+    with pytest.raises(IommuFault):
+        iommu.device_read("dev1", 0x100 << 12, 4)
+
+
+def test_unknown_device_rejected():
+    _phys, _clock, iommu = make_iommu()
+    with pytest.raises(DmaApiError):
+        iommu.domain_of("ghost")
+
+
+def test_double_map_same_iova_rejected():
+    _phys, _clock, iommu = make_iommu()
+    iommu.map_page("dev0", 0x100, 7, DmaPerm.READ)
+    with pytest.raises(DmaApiError):
+        iommu.map_page("dev0", 0x100, 8, DmaPerm.READ)
+
+
+def test_bad_mode_rejected():
+    with pytest.raises(ValueError):
+        Iommu(PhysicalMemory(16), SimClock(), mode="relaxed")
+
+
+def test_iotlb_lru_eviction():
+    iotlb = Iotlb(capacity=2)
+    from repro.iommu.domain import IovaEntry
+    iotlb.insert(1, IovaEntry(0x1, 1, DmaPerm.READ))
+    iotlb.insert(1, IovaEntry(0x2, 2, DmaPerm.READ))
+    iotlb.lookup(1, 0x1)  # touch 0x1 so 0x2 becomes LRU
+    iotlb.insert(1, IovaEntry(0x3, 3, DmaPerm.READ))
+    assert iotlb.contains(1, 0x1)
+    assert not iotlb.contains(1, 0x2)
+    assert iotlb.stats.evictions == 1
+
+
+def test_iova_allocator_reuse_and_errors():
+    allocator = IovaAllocator()
+    a = allocator.alloc(2)
+    b = allocator.alloc(2)
+    assert a != b
+    allocator.free(a)
+    assert allocator.alloc(2) == a  # exact-size reuse
+    with pytest.raises(DmaApiError):
+        allocator.free(0x1234)
+    with pytest.raises(DmaApiError):
+        allocator.alloc(0)

@@ -1,0 +1,151 @@
+"""KASLR: Table 1 layout, randomization alignments, translation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import BadAddressError, TranslationFault
+from repro.kaslr.layout import (LAYOUT_REGIONS, STRUCT_PAGE_SIZE,
+                                looks_like_kernel_pointer, region,
+                                region_of)
+from repro.kaslr.randomize import (BASE_ALIGN_BITS, KERNEL_IMAGE_SIZE,
+                                   TEXT_ALIGN_BITS, randomize)
+from repro.kaslr.translate import AddressSpace
+from repro.sim.rng import DeterministicRng
+
+_TB = 1 << 40
+_GB = 1 << 30
+_MB = 1 << 20
+
+
+def test_table1_regions_match_paper():
+    """The exact rows of Table 1."""
+    expected = {
+        "direct_map": (0xFFFF_8880_0000_0000, 64 * _TB,
+                       0xFFFF_C87F_FFFF_FFFF),
+        "vmalloc": (0xFFFF_C900_0000_0000, 32 * _TB,
+                    0xFFFF_E8FF_FFFF_FFFF),
+        "vmemmap": (0xFFFF_EA00_0000_0000, 1 * _TB,
+                    0xFFFF_EAFF_FFFF_FFFF),
+        "kasan_shadow": (0xFFFF_EC00_0000_0000, 16 * _TB,
+                         0xFFFF_FBFF_FFFF_FFFF),
+        "kernel_text": (0xFFFF_FFFF_8000_0000, 512 * _MB,
+                        0xFFFF_FFFF_9FFF_FFFF),
+        "modules": (0xFFFF_FFFF_A000_0000, 1520 * _MB,
+                    0xFFFF_FFFF_FEFF_FFFF),
+    }
+    for name, (start, size, end) in expected.items():
+        reg = region(name)
+        assert reg.start == start
+        assert reg.size == size
+        assert reg.end == end
+
+
+def test_region_of_classifies():
+    assert region_of(0xFFFF_8880_1234_5678).name == "direct_map"
+    assert region_of(0xFFFF_FFFF_8100_0000).name == "kernel_text"
+    assert region_of(0x0000_7FFF_0000_0000) is None
+    assert looks_like_kernel_pointer(0xFFFF_EA00_0000_0040)
+    assert not looks_like_kernel_pointer(42)
+
+
+def test_text_base_alignment_2mb():
+    """"KASLR kernel text is aligned to 2 MB borders" (section 2.4)."""
+    for seed in range(20):
+        state = randomize(DeterministicRng(seed), phys_bytes=1 << 30)
+        assert state.text_base % (1 << TEXT_ALIGN_BITS) == 0
+        assert region("kernel_text").contains(state.text_base)
+        assert state.text_base + KERNEL_IMAGE_SIZE - 1 <= \
+            region("kernel_text").end
+
+
+def test_base_alignment_1gb():
+    """page_offset_base and vmemmap_base slide at 1 GiB granularity."""
+    for seed in range(20):
+        state = randomize(DeterministicRng(seed), phys_bytes=1 << 30)
+        assert state.page_offset_base % (1 << BASE_ALIGN_BITS) == 0
+        assert state.vmemmap_base % (1 << BASE_ALIGN_BITS) == 0
+        assert region("direct_map").contains(state.page_offset_base)
+        assert region("vmemmap").contains(state.vmemmap_base)
+
+
+def test_kaslr_disabled_uses_region_starts():
+    state = randomize(DeterministicRng(1), enabled=False)
+    assert state.text_base == region("kernel_text").start
+    assert state.page_offset_base == region("direct_map").start
+    assert not state.enabled
+
+
+def test_different_boots_different_slides():
+    states = {randomize(DeterministicRng(seed),
+                        phys_bytes=1 << 30).text_base
+              for seed in range(16)}
+    assert len(states) > 8
+
+
+def make_space(seed=3, phys_bytes=256 << 20) -> AddressSpace:
+    return AddressSpace(randomize(DeterministicRng(seed),
+                                  phys_bytes=phys_bytes), phys_bytes)
+
+
+def test_kva_paddr_roundtrip():
+    space = make_space()
+    kva = space.kva_of_paddr(0x1234)
+    assert space.paddr_of_kva(kva) == 0x1234
+    assert space.is_direct_map_kva(kva)
+
+
+def test_paddr_out_of_range():
+    space = make_space()
+    with pytest.raises(BadAddressError):
+        space.kva_of_paddr(1 << 40)
+    with pytest.raises(TranslationFault):
+        space.paddr_of_kva(0xFFFF_8880_0000_0000 - 8)
+
+
+def test_struct_page_roundtrip():
+    space = make_space()
+    ptr = space.struct_page_of_pfn(77)
+    assert space.pfn_of_struct_page(ptr) == 77
+    assert space.is_struct_page_ptr(ptr)
+    assert ptr == space.vmemmap_base + 77 * STRUCT_PAGE_SIZE
+
+
+def test_struct_page_rejects_misaligned():
+    space = make_space()
+    ptr = space.struct_page_of_pfn(5)
+    with pytest.raises(TranslationFault):
+        space.pfn_of_struct_page(ptr + 4)
+    assert not space.is_struct_page_ptr(ptr + 4)
+
+
+def test_kva_of_struct_page_translation():
+    """Section 2.4's struct page -> KVA arithmetic (Poisoned TX step 3)."""
+    space = make_space()
+    ptr = space.struct_page_of_pfn(123)
+    assert space.kva_of_struct_page(ptr, 0x400) == \
+        space.kva_of_pfn(123, 0x400)
+    with pytest.raises(BadAddressError):
+        space.kva_of_struct_page(ptr, 1 << 13)
+
+
+def test_symbol_kva_within_image():
+    space = make_space()
+    assert space.symbol_kva(0x1000) == space.text_base + 0x1000
+    with pytest.raises(BadAddressError):
+        space.symbol_kva(KERNEL_IMAGE_SIZE)
+
+
+def test_is_text_kva():
+    space = make_space()
+    assert space.is_text_kva(space.text_base)
+    assert not space.is_text_kva(space.text_base + KERNEL_IMAGE_SIZE)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(0, 2**16 - 1), st.integers(0, 4095))
+def test_property_low_bits_invariant(pfn, offset):
+    """The low 12 bits of a KVA equal the page offset (footnote 5)."""
+    space = make_space()
+    kva = space.kva_of_pfn(pfn, offset)
+    assert kva & 0xFFF == offset

@@ -1,0 +1,127 @@
+"""LeakScanner: pointer classification and KASLR recovery arithmetic."""
+
+import struct
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kaslr.layout import region
+from repro.kaslr.leak import LeakScanner
+from repro.kaslr.randomize import randomize
+from repro.kaslr.translate import AddressSpace
+from repro.sim.rng import DeterministicRng
+
+PHYS = 256 << 20
+
+
+def make_space(seed):
+    return AddressSpace(randomize(DeterministicRng(seed),
+                                  phys_bytes=PHYS), PHYS)
+
+
+def page_with(values_at: dict[int, int]) -> bytes:
+    page = bytearray(4096)
+    for offset, value in values_at.items():
+        struct.pack_into("<Q", page, offset, value)
+    return bytes(page)
+
+
+def test_scan_finds_planted_pointers():
+    space = make_space(1)
+    page = page_with({64: space.kva_of_paddr(0x5000),
+                      128: space.struct_page_of_pfn(9),
+                      256: space.text_base + 0x1234,
+                      512: 0x1234})  # not a kernel pointer
+    leaks = LeakScanner().scan(page)
+    regions = {leak.offset: leak.region.name for leak in leaks}
+    assert regions[64] == "direct_map"
+    assert regions[128] == "vmemmap"
+    assert regions[256] == "kernel_text"
+    assert 512 not in regions
+
+
+def test_scan_reports_base_offset():
+    space = make_space(1)
+    page = page_with({8: space.text_base})
+    leaks = LeakScanner().scan(page, base_offset=0x1000)
+    assert leaks[0].offset == 0x1008
+
+
+def test_text_base_recovery_via_symbol():
+    """The init_net technique: low 21 bits identify the symbol."""
+    space = make_space(2)
+    init_net_offset = 0x805FC0
+    leaked = space.text_base + init_net_offset
+    leaks = LeakScanner().scan(page_with({0: leaked}))
+    recovered = LeakScanner().recover_text_base(leaks, init_net_offset)
+    assert recovered == space.text_base
+
+
+def test_text_base_recovery_rejects_mismatched_low_bits():
+    space = make_space(2)
+    wrong = space.text_base + 0x805FC8  # low bits off by 8
+    leaks = LeakScanner().scan(page_with({0: wrong}))
+    assert LeakScanner().recover_text_base(leaks, 0x805FC0) is None
+
+
+def test_text_base_recovery_none_without_text_leaks():
+    space = make_space(2)
+    leaks = LeakScanner().scan(page_with({0: space.kva_of_paddr(0)}))
+    assert LeakScanner().recover_text_base(leaks, 0x1000) is None
+
+
+def test_vmemmap_base_recovery():
+    """Rounding a struct page pointer down to 1 GiB (<=64 GiB RAM)."""
+    space = make_space(3)
+    ptr = space.struct_page_of_pfn(4321)
+    scanner = LeakScanner()
+    assert scanner.recover_vmemmap_base(ptr) == space.vmemmap_base
+    assert scanner.pfn_of_leaked_struct_page(ptr) == 4321
+
+
+def test_direct_map_leak_yields_base_and_pfn():
+    """Section 2.4: 30-bit arithmetic on a sub-1-GiB direct-map KVA."""
+    space = make_space(4)
+    kva = space.kva_of_pfn(777, 0x123)
+    base, pfn = LeakScanner().recover_bases_from_direct_map_leak(kva)
+    assert base == space.page_offset_base
+    assert pfn == 777
+
+
+def test_page_offset_base_from_pair():
+    space = make_space(5)
+    kva = space.kva_of_pfn(99, 0x88)
+    scanner = LeakScanner()
+    assert scanner.page_offset_base_from_pair(99, kva) == \
+        space.page_offset_base
+
+
+def test_page_offset_base_voting_filters_bad_guesses():
+    """Wrong PFN guesses fail the 1 GiB alignment filter; the right
+    guess wins even when outnumbered (RingFlood recovery)."""
+    space = make_space(6)
+    kva = space.kva_of_pfn(500, 0x40)
+    pairs = [(1, kva), (2, kva), (500, kva), (777, kva), (12345, kva)]
+    recovered = LeakScanner().recover_page_offset_base(pairs)
+    assert recovered == space.page_offset_base
+
+
+def test_page_offset_base_voting_empty():
+    assert LeakScanner().recover_page_offset_base([]) is None
+
+
+def test_scanner_alignment_validation():
+    import pytest
+    with pytest.raises(ValueError):
+        LeakScanner(alignment=3)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(0, 2**31), st.integers(0, PHYS // 4096 - 1))
+def test_property_recovery_matches_any_boot(seed, pfn):
+    """For any KASLR state and frame, the 30-bit arithmetic recovers
+    the exact base and PFN (physical memory < 1 GiB)."""
+    space = make_space(seed)
+    kva = space.kva_of_pfn(pfn)
+    base, got_pfn = LeakScanner().recover_bases_from_direct_map_leak(kva)
+    assert (base, got_pfn) == (space.page_offset_base, pfn)

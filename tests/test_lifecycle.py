@@ -1,0 +1,85 @@
+"""Object lifecycle edge cases across the stack."""
+
+import pytest
+
+from repro.net.gro import FLAG_PUSH
+from repro.net.proto import PROTO_TCP, PROTO_UDP, make_packet
+from repro.sim.kernel import Kernel
+
+
+def test_dropped_gro_aggregate_frees_members():
+    """A GRO aggregate that gets dropped (no forwarding) releases its
+    member skbs' memory cleanly."""
+    kernel = Kernel(seed=7, phys_mb=256, forwarding=False)
+    nic = kernel.add_nic("eth0")
+    live_before = kernel.slab.nr_live_objects
+    for i in range(3):
+        nic.device_receive(make_packet(
+            dst_ip=0x0B00_0001, proto=PROTO_TCP, flow_id=44,
+            flags=FLAG_PUSH if i == 2 else 0, dst_port=80,
+            payload=b"m" * 80))
+        nic.napi_poll()
+    kernel.stack.process_backlog()
+    assert kernel.stack.stats.dropped == 1
+    assert kernel.stack.stats.skbs_freed == 4  # aggregate + 3 members
+    # sk_buff structs all returned (ring refills may add live objects,
+    # so compare the skb-struct count indirectly via no oopses)
+    assert kernel.stack.stats.oopses == 0
+
+
+def test_echo_with_frags_frees_owned_buffers():
+    kernel = Kernel(seed=7, phys_mb=256)
+    nic = kernel.add_nic("eth0")
+    nic.device_receive(make_packet(dst_ip=0x0A00_0001, proto=PROTO_UDP,
+                                   dst_port=7, payload=b"Q" * 900))
+    kernel.poll_and_process()
+    nic.device_fetch_tx()
+    nic.tx_clean()
+    # RX buffer + its skb, TX skb + its frag: all freed without error
+    assert kernel.stack.stats.skbs_freed == 2
+    assert kernel.stack.stats.oopses == 0
+
+
+def test_clone_then_double_release():
+    kernel = Kernel(seed=7, phys_mb=256)
+    kernel.add_nic("eth0")
+    skb = kernel.skb_alloc.alloc_skb(256)
+    skb.clone_ref()
+    kernel.stack.kfree_skb(skb)  # drops dataref to 1, frees skb struct
+    assert skb.freed
+    assert skb.get_dataref() == 1
+
+
+def test_corrupt_nr_frags_is_an_oops_not_a_crash():
+    """A device scribbling an impossible frag count triggers the BUG
+    path (recorded oops), never an unhandled simulation error."""
+    kernel = Kernel(seed=7, phys_mb=256, forwarding=True)
+    nic = kernel.add_nic("eth0")
+    nic.device_receive(make_packet(dst_ip=0x0B00_0001, proto=PROTO_UDP,
+                                   dst_port=53, payload=b"x" * 32))
+    nic.napi_poll()
+    skb, _nic = kernel.stack.rx_backlog[0]
+    info = skb.shared_info()
+    info.write("nr_frags", 99)
+    kernel.stack.process_backlog()
+    assert kernel.stack.stats.oopses == 1
+
+
+def test_bounce_unmap_unknown_rejected():
+    from repro.errors import DmaApiError
+    kernel = Kernel(seed=7, phys_mb=256, bounce_buffers=True)
+    kernel.iommu.attach_device("dev0")
+    with pytest.raises(DmaApiError):
+        kernel.dma.dma_unmap_single("dev0", 0xF000, 64, "DMA_TO_DEVICE")
+
+
+def test_bounce_map_page_roundtrip():
+    kernel = Kernel(seed=7, phys_mb=256, bounce_buffers=True)
+    kernel.iommu.attach_device("dev0")
+    kva = kernel.slab.kmalloc(4096)
+    pfn = kernel.addr_space.pfn_of_kva(kva)
+    iova = kernel.dma.dma_map_page("dev0", pfn, 0x40, 64,
+                                   "DMA_FROM_DEVICE")
+    kernel.iommu.device_write("dev0", iova, b"bounced!")
+    kernel.dma.dma_unmap_page("dev0", iova, 64, "DMA_FROM_DEVICE")
+    assert kernel.cpu_read(kva + 0x40, 8) == b"bounced!"

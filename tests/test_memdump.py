@@ -1,0 +1,64 @@
+"""The §3.1 memory-dump TOCTTOU attack."""
+
+from repro.core.attacks.kaslr_leak import break_kaslr_via_tx
+from repro.core.attacks.memdump import (CommandQueueDriver,
+                                        run_memory_dump)
+from repro.core.attacks.ringflood import make_attacker
+from repro.mem.accounting import AllocSite
+from repro.sim.kernel import Kernel
+
+
+def make_setup():
+    kernel = Kernel(seed=91, phys_mb=256)
+    kernel.add_nic("eth0")
+    driver = CommandQueueDriver(kernel)
+    device = make_attacker(kernel, "hba0")
+    return kernel, driver, device
+
+
+def test_memory_dump_reads_planted_secret():
+    kernel, driver, device = make_setup()
+    # the attacker needs page_offset_base; the TX leak supplies it
+    nic_device = make_attacker(kernel, "eth0")
+    assert break_kaslr_via_tx(kernel, kernel.nics["eth0"], nic_device)
+    device.knowledge.page_offset_base = \
+        nic_device.knowledge.page_offset_base
+
+    secret_kva = kernel.slab.kmalloc(64, site=AllocSite("vault"))
+    kernel.cpu_write(secret_kva, b"DUMPME-SECRET-0123")
+    secret_pfn = kernel.addr_space.pfn_of_kva(secret_kva)
+
+    report = run_memory_dump(kernel, driver, device,
+                             start_pfn=secret_pfn, nr_pages=2)
+    assert report.pages_dumped == 2
+    # re-dump the exact page and look for the secret
+    target_kva = device.knowledge.kva_of_pfn(secret_pfn)
+    driver.submit_io(0, secret_kva, 64)
+    base = driver.ctrl_iova
+    device.dma_write_u64(base, target_kva)
+    device.dma_write_u64(base + 8, 4096)
+    iova, length = driver.kick_io(0)
+    page = device.dma_read(iova, length)
+    driver.complete_io(iova, length)
+    assert b"DUMPME-SECRET-0123" in page
+
+
+def test_toc_tou_window_is_the_bug():
+    """Without the device's interference the driver maps what it
+    intended -- the vulnerability is the post-check modification."""
+    kernel, driver, device = make_setup()
+    buf = kernel.slab.kmalloc(64, site=AllocSite("honest_io"))
+    kernel.cpu_write(buf, b"honest-payload!!")
+    driver.submit_io(0, buf, 64)
+    iova, length = driver.kick_io(0)
+    assert device.dma_read(iova, 16) == b"honest-payload!!"
+    driver.complete_io(iova, length)
+
+
+def test_dump_is_read_only_no_escalation():
+    kernel, driver, device = make_setup()
+    device.knowledge.page_offset_base = \
+        kernel.addr_space.page_offset_base
+    run_memory_dump(kernel, driver, device, nr_pages=4)
+    assert not kernel.executor.creds.is_root
+    assert kernel.stack.stats.oopses == 0

@@ -1,0 +1,149 @@
+"""Coverage for smaller behaviours not exercised elsewhere."""
+
+import pytest
+
+from repro.errors import NetStackError
+from repro.net.proto import (HEADER_LEN, PROTO_TCP, PROTO_UDP,
+                             decode_header, encode_packet, make_packet,
+                             PacketHeader)
+from repro.sim.kernel import Kernel
+
+
+# -- wire protocol ---------------------------------------------------------------
+
+def test_encode_decode_roundtrip():
+    header = PacketHeader(0x0A00_0001, 0x0B00_0002, PROTO_TCP, 1,
+                          0x1234, 5, 443)
+    wire = encode_packet(header, b"hello")
+    assert decode_header(wire) == header
+    assert wire[HEADER_LEN:] == b"hello"
+
+
+def test_encode_length_mismatch_rejected():
+    header = PacketHeader(1, 2, PROTO_UDP, 0, 0, 99, 0)
+    with pytest.raises(NetStackError):
+        encode_packet(header, b"short")
+
+
+def test_decode_short_packet_rejected():
+    with pytest.raises(NetStackError):
+        decode_header(b"tiny")
+
+
+def test_make_packet_defaults():
+    header = decode_header(make_packet(dst_ip=7, payload=b"xy"))
+    assert header.dst_ip == 7
+    assert header.proto == PROTO_TCP
+    assert header.payload_len == 2
+
+
+# -- GRO flush_all / LRO RX path ------------------------------------------------------
+
+def test_gro_flush_all_drains_pending():
+    kernel = Kernel(seed=7, phys_mb=256, forwarding=True)
+    nic = kernel.add_nic("eth0")
+    for flow in (61, 62):
+        nic.device_receive(make_packet(dst_ip=0x0B00_0001,
+                                       proto=PROTO_TCP, flow_id=flow,
+                                       dst_port=80, payload=b"x" * 64))
+        nic.napi_poll()
+    assert kernel.stack.rx_backlog == []
+    kernel.gro.flush_all(nic)
+    assert len(kernel.stack.rx_backlog) == 2
+    kernel.stack.process_backlog()
+
+
+def test_lro_rx_end_to_end():
+    kernel = Kernel(seed=7, phys_mb=512)
+    nic = kernel.add_nic("eth0", hw_lro=True, rx_ring_size=8)
+    big = make_packet(dst_ip=0x0A00_0001, proto=PROTO_UDP, dst_port=7,
+                      payload=b"J" * 30_000)
+    assert nic.device_receive(big)
+    kernel.poll_and_process()
+    [(desc, wire)] = nic.device_fetch_tx()
+    assert wire[HEADER_LEN:] == b"J" * 30_000
+    nic.tx_clean()
+    assert kernel.stack.stats.oopses == 0
+
+
+def test_oversized_packet_rejected(kernel):
+    nic = kernel.nics["eth0"]
+    too_big = make_packet(dst_ip=1, proto=PROTO_UDP,
+                          payload=b"x" * 4000)
+    with pytest.raises(NetStackError):
+        nic.device_receive(too_big)
+
+
+def test_rx_ring_starvation_returns_false():
+    kernel = Kernel(seed=7, phys_mb=256)
+    nic = kernel.add_nic("eth1", rx_ring_size=4)
+    sent = 0
+    while nic.device_receive(make_packet(dst_ip=1, proto=PROTO_UDP,
+                                         payload=b"x")):
+        sent += 1
+        assert sent < 10
+    assert sent == 3  # ring keeps one slot unposted
+
+
+# -- finding trace rendering -----------------------------------------------------------
+
+def test_trace_rendering_for_clean_finding():
+    from repro.core.spade.findings import Finding
+    from repro.core.spade.report import format_finding_trace
+    finding = Finding("drivers/x/x.c", 10, "buf")
+    finding.note("step one")
+    text = format_finding_trace(finding)
+    assert "no static exposure found" in text
+    assert "[1] step one" in text
+
+
+# -- vuln classification on multi-page mappings ------------------------------------------
+
+def test_classify_multipage_mapping(bare_kernel):
+    from repro.core.vulns import classify_page_exposures
+    k = bare_kernel
+    k.iommu.attach_device("dev0")
+    big = k.slab.kmalloc(8192)
+    k.dma.dma_map_single("dev0", big, 8192, "DMA_TO_DEVICE")
+    first_pfn = k.addr_space.pfn_of_kva(big)
+    for pfn in (first_pfn, first_pfn + 1):
+        # single mapping, no bystanders: nothing to report
+        assert classify_page_exposures(pfn, k.dma.registry,
+                                       k.slab) == []
+
+
+# -- iotlb stats through the kernel -----------------------------------------------------
+
+def test_iotlb_hit_rate_accumulates(kernel):
+    nic = kernel.nics["eth0"]
+    for i in range(4):
+        nic.device_receive(make_packet(dst_ip=0x0A00_0001,
+                                       proto=PROTO_UDP, dst_port=9999,
+                                       flow_id=i, payload=b"y" * 900))
+        kernel.poll_and_process()
+    stats = kernel.iommu.iotlb.stats
+    assert stats.misses > 0
+    assert stats.invalidations == 0  # deferred mode defers everything
+
+
+# -- executor call log ------------------------------------------------------------------
+
+def test_executor_call_log_accumulates(kernel):
+    kernel.executor.invoke_callback(kernel.symbol_address("kfree_skb"))
+    kernel.executor.invoke_callback(
+        kernel.symbol_address("tcp_write_space"))
+    assert kernel.executor.call_log == ["kfree_skb", "tcp_write_space"]
+
+
+# -- corpus SourceTree errors -------------------------------------------------------------
+
+def test_source_tree_errors():
+    from repro.corpus.generate import SourceTree
+    from repro.errors import CorpusError
+    tree = SourceTree()
+    tree.add("a.c", "int x;")
+    with pytest.raises(CorpusError):
+        tree.add("a.c", "again")
+    with pytest.raises(CorpusError):
+        tree.read("missing.c")
+    assert tree.paths(suffix=".c") == ["a.c"]

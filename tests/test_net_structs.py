@@ -1,0 +1,77 @@
+"""net.structs: layouts match the exploited geometry."""
+
+import pytest
+
+from repro.errors import NetStackError
+from repro.mem.phys import PhysicalMemory
+from repro.net.structs import (MAX_SKB_FRAGS, SKB_SHARED_INFO, UBUF_INFO,
+                               Field, StructLayout, skb_data_align,
+                               skb_shared_info_offset, skb_truesize)
+
+
+def test_destructor_arg_is_a_callback_field():
+    field = SKB_SHARED_INFO.field("destructor_arg")
+    assert field.is_callback
+    assert field.offset == 40
+    assert field.size == 8
+
+
+def test_frags_layout():
+    assert SKB_SHARED_INFO.field("frags[0].page").offset == 48
+    assert SKB_SHARED_INFO.field("frags[1].page").offset == 64
+    assert SKB_SHARED_INFO.field("frags[16].size").offset == \
+        48 + 16 * 16 + 12
+    assert SKB_SHARED_INFO.size == 48 + MAX_SKB_FRAGS * 16
+
+
+def test_ubuf_info_callback_first():
+    """ubuf_info.callback is the first qword: exactly what the hijack
+    overwrites (Figure 4)."""
+    assert UBUF_INFO.field("callback").offset == 0
+    assert UBUF_INFO.field("callback").is_callback
+    assert UBUF_INFO.size == 32
+
+
+def test_unknown_field_rejected():
+    with pytest.raises(NetStackError):
+        SKB_SHARED_INFO.field("no_such_field")
+
+
+def test_field_overflow_rejected():
+    with pytest.raises(NetStackError):
+        StructLayout("bad", [Field("x", 8, 8)], size=12)
+
+
+def test_skb_data_align_cacheline():
+    assert skb_data_align(1) == 64
+    assert skb_data_align(64) == 64
+    assert skb_data_align(65) == 128
+    assert skb_data_align(1500) == 1536
+
+
+def test_shared_info_offset_and_truesize():
+    assert skb_shared_info_offset(1536) == 1536
+    assert skb_truesize(1536) == 1536 + skb_data_align(
+        SKB_SHARED_INFO.size)
+
+
+def test_bound_struct_reads_and_writes_memory():
+    phys = PhysicalMemory(4)
+    bound = SKB_SHARED_INFO.bind(phys, 0x100)
+    bound.zero()
+    bound.write("nr_frags", 3)
+    bound.write("destructor_arg", 0xFFFF_8880_0000_1234)
+    assert bound.read("nr_frags") == 3
+    assert phys.read_u8(0x100 + 2) == 3
+    assert phys.read_u64(0x100 + 40) == 0xFFFF_8880_0000_1234
+
+
+def test_bound_struct_field_paddr():
+    phys = PhysicalMemory(4)
+    bound = UBUF_INFO.bind(phys, 0x200)
+    assert bound.field_paddr("desc") == 0x210
+
+
+def test_callback_fields_listing():
+    names = [f.name for f in SKB_SHARED_INFO.callback_fields()]
+    assert names == ["destructor_arg"]

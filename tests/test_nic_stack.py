@@ -1,0 +1,190 @@
+"""NIC + stack integration: RX, echo, TX, forwarding, release paths."""
+
+import pytest
+
+from repro.errors import NetStackError
+from repro.net.nic import LRO_RX_BUF_SIZE
+from repro.net.proto import (HEADER_LEN, PROTO_TCP, PROTO_UDP,
+                             decode_header, make_packet)
+from repro.net.stack import ECHO_PORT
+from repro.net.structs import skb_truesize
+from repro.sim.kernel import Kernel
+
+
+def udp(dst_port=ECHO_PORT, payload=b"ping", flow=1, dst=0x0A00_0001):
+    return make_packet(dst_ip=dst, proto=PROTO_UDP, dst_port=dst_port,
+                       flow_id=flow, payload=payload)
+
+
+def test_rx_to_echo_to_tx(kernel):
+    nic = kernel.nics["eth0"]
+    assert nic.device_receive(udp(payload=b"hello"))
+    kernel.poll_and_process()
+    fetched = nic.device_fetch_tx()
+    assert len(fetched) == 1
+    _desc, wire = fetched[0]
+    assert wire[HEADER_LEN:] == b"hello"
+    assert nic.tx_clean() == 1
+    assert kernel.stack.stats.echoed == 1
+    assert kernel.stack.stats.skbs_freed == 2
+
+
+def test_rx_payload_travels_through_memory(kernel):
+    """The bytes the device wrote are what the stack parses."""
+    nic = kernel.nics["eth0"]
+    packet = udp(dst_port=4000, payload=b"ABCDEFG")
+    nic.device_receive(packet)
+    skbs = nic.napi_poll()
+    assert len(skbs) == 1
+    header = decode_header(skbs[0].data())
+    assert header.dst_port == 4000
+    assert skbs[0].data()[HEADER_LEN:] == b"ABCDEFG"
+    kernel.stack.process_backlog()
+
+
+def test_non_local_dropped_without_forwarding(kernel):
+    nic = kernel.nics["eth0"]
+    nic.device_receive(udp(dst=0x0B00_0001, dst_port=80))
+    kernel.poll_and_process()
+    assert kernel.stack.stats.dropped == 1
+
+
+def test_forwarding_retransmits():
+    k = Kernel(seed=7, phys_mb=256, forwarding=True)
+    nic = k.add_nic("eth0")
+    nic.device_receive(udp(dst=0x0B00_0001, dst_port=80, payload=b"fw"))
+    k.poll_and_process()
+    assert k.stack.stats.forwarded == 1
+    fetched = nic.device_fetch_tx()
+    assert fetched and fetched[0][1][HEADER_LEN:] == b"fw"
+    nic.tx_clean()
+    assert k.stack.stats.oopses == 0
+
+
+def test_rx_refill_keeps_ring_posted(kernel):
+    nic = kernel.nics["eth0"]
+    ring = nic.rx_rings[0]
+    posted_before = len(ring.posted_descriptors())
+    for i in range(5):
+        nic.device_receive(udp(dst_port=4000 + i))
+    nic.napi_poll()
+    kernel.stack.process_backlog()
+    assert len(ring.posted_descriptors()) == posted_before
+
+
+def test_large_echo_uses_frags(kernel):
+    nic = kernel.nics["eth0"]
+    nic.device_receive(udp(payload=b"Z" * 800))
+    kernel.poll_and_process()
+    fetched = nic.device_fetch_tx()
+    desc, wire = fetched[0]
+    assert desc.frag_iovas, "large echo should carry page frags"
+    assert wire[HEADER_LEN:] == b"Z" * 800
+    nic.tx_clean()
+    assert kernel.stack.stats.oopses == 0
+
+
+def test_zerocopy_send_invokes_callback(kernel):
+    nic = kernel.nics["eth0"]
+    kernel.stack.send(b"q" * 300, dst_ip=0x0B00_0001, nic=nic,
+                      zerocopy=True)
+    nic.device_fetch_tx()
+    nic.tx_clean()
+    assert kernel.stack.stats.zerocopy_callbacks == 1
+    assert "sock_def_write_space" in kernel.executor.call_log
+
+
+def test_zerocopy_threshold_config():
+    k = Kernel(seed=7, phys_mb=256, zerocopy_threshold=256)
+    nic = k.add_nic("eth0")
+    k.stack.send(b"small", dst_ip=0x0B00_0001, nic=nic)
+    k.stack.send(b"L" * 300, dst_ip=0x0B00_0001, nic=nic)
+    nic.device_fetch_tx()
+    nic.tx_clean()
+    assert k.stack.stats.zerocopy_callbacks == 1
+
+
+def test_double_free_detected(kernel):
+    skb = kernel.skb_alloc.alloc_skb(128)
+    kernel.stack.kfree_skb(skb)
+    with pytest.raises(NetStackError):
+        kernel.stack.kfree_skb(skb)
+
+
+def test_unaccounted_frags_oops(kernel):
+    """Freeing an skb whose frags nobody owns models the bad-page-state
+    crash the surveillance attack must avoid (section 5.5)."""
+    skb = kernel.skb_alloc.alloc_skb(128)
+    skb.add_frag(50, 0, 64)
+    kernel.stack.kfree_skb(skb)
+    assert kernel.stack.stats.oopses == 1
+
+
+def test_buggy_unmap_order_fires_race_hook():
+    k = Kernel(seed=7, phys_mb=256)
+    nic = k.add_nic("eth1", unmap_order="skb_first")
+    seen = []
+    nic.rx_race_hook = lambda skb, desc: seen.append(
+        k.iommu.device_can_access("eth1", desc.iova, write=True))
+    nic.device_receive(udp(dst_port=4000))
+    nic.napi_poll()
+    k.stack.process_backlog()
+    # Path (i): during the race window the ORIGINAL mapping is live.
+    assert seen == [True]
+
+
+def test_correct_order_has_no_hook():
+    k = Kernel(seed=7, phys_mb=256)
+    nic = k.add_nic("eth1", unmap_order="unmap_first")
+    seen = []
+    nic.rx_race_hook = lambda skb, desc: seen.append(True)
+    nic.device_receive(udp(dst_port=4000))
+    nic.napi_poll()
+    k.stack.process_backlog()
+    assert seen == []
+
+
+def test_bad_unmap_order_rejected(kernel):
+    with pytest.raises(NetStackError):
+        kernel.add_nic("bad", unmap_order="whenever")
+
+
+def test_lro_uses_page_allocations():
+    k = Kernel(seed=7, phys_mb=512)
+    nic = k.add_nic("eth0", hw_lro=True, rx_ring_size=8)
+    desc = nic.rx_rings[0].posted_descriptors()[0]
+    assert desc.buf_size == LRO_RX_BUF_SIZE
+    assert desc.alloc_method == "pages"
+    assert skb_truesize(desc.buf_size) > 32768
+
+
+def test_tx_timeout_watchdog():
+    k = Kernel(seed=7, phys_mb=256)
+    nic = k.add_nic("eth0")
+    k.stack.send(b"stuck", dst_ip=0x0B00_0001, nic=nic)
+    nic.device_fetch_tx(complete=False)  # device withholds completion
+    k.advance_time_us(6_000_000)
+    assert nic.check_tx_timeout()
+    assert nic.stats.tx_timeouts == 1
+    nic.tx_clean()
+
+
+def test_socket_carries_init_net_pointer(kernel):
+    """The KASLR leak source: sockets point at init_net (section 2.4)."""
+    sock = kernel.stack.sockets[0]
+    paddr = kernel.addr_space.paddr_of_kva(sock.kva)
+    stored = kernel.phys.read_u64(paddr + 0x30)
+    assert stored == kernel.init_net_address()
+
+
+def test_sock_shares_slab_page_with_tx_buffers(kernel):
+    """Socket objects and small TX linear buffers share kmalloc-1024
+    pages -- the co-location the TX leak harvesting rides on."""
+    nic = kernel.nics["eth0"]
+    skb = kernel.stack.send(b"x", dst_ip=0x0B00_0001, nic=nic)
+    sock = kernel.stack.sockets[0]
+    sock_pfn = kernel.addr_space.pfn_of_kva(sock.kva)
+    data_pfn = kernel.addr_space.pfn_of_kva(skb.head_kva)
+    assert sock_pfn == data_pfn
+    nic.device_fetch_tx()
+    nic.tx_clean()

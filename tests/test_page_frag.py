@@ -1,0 +1,99 @@
+"""PageFragAllocator: Figure 5's descending-offset allocation."""
+
+import pytest
+
+from repro.errors import AllocatorError
+from repro.mem.buddy import BuddyAllocator
+from repro.mem.page_frag import PageFragAllocator, PageFragCache
+from repro.mem.phys import PAGE_SIZE, PhysicalMemory
+from repro.mem.virt import IdentityTranslator
+
+
+def make_cache(chunk_order=3):
+    phys = PhysicalMemory(4096)
+    buddy = BuddyAllocator(phys, reserved_low_pages=16)
+    return buddy, PageFragCache(buddy, IdentityTranslator(),
+                                chunk_order=chunk_order)
+
+
+def test_allocations_walk_down_from_chunk_end():
+    """"An allocation request for B bytes subtracts B bytes from the
+    offset pointer" (Figure 5)."""
+    _buddy, cache = make_cache()
+    first = cache.alloc(1000)
+    second = cache.alloc(1000)
+    assert second == first - 1024  # aligned to 64
+    assert (first + 1024) % cache.chunk_size == 0  # first sits at the end
+
+
+def test_consecutive_buffers_share_pages():
+    """The type (c) enabler: sub-page buffers co-reside on pages."""
+    _buddy, cache = make_cache()
+    a = cache.alloc(1856)
+    b = cache.alloc(1856)
+    pages_a = {a // PAGE_SIZE, (a + 1855) // PAGE_SIZE}
+    pages_b = {b // PAGE_SIZE, (b + 1855) // PAGE_SIZE}
+    assert pages_a & pages_b
+
+
+def test_exhausted_chunk_triggers_refill():
+    _buddy, cache = make_cache(chunk_order=0)  # 4 KiB chunks
+    a = cache.alloc(3000)
+    b = cache.alloc(3000)
+    assert a // PAGE_SIZE != b // PAGE_SIZE
+
+
+def test_oversized_rejected():
+    _buddy, cache = make_cache(chunk_order=0)
+    with pytest.raises(AllocatorError):
+        cache.alloc(PAGE_SIZE + 1)
+
+
+def test_non_positive_rejected():
+    _buddy, cache = make_cache()
+    with pytest.raises(AllocatorError):
+        cache.alloc(0)
+
+
+def test_free_unknown_rejected():
+    _buddy, cache = make_cache()
+    with pytest.raises(AllocatorError):
+        cache.free(0x5000)
+
+
+def test_chunk_freed_when_all_frags_released():
+    buddy, cache = make_cache(chunk_order=0)
+    before = buddy.nr_free_pages
+    a = cache.alloc(2048)
+    b = cache.alloc(2048)
+    c = cache.alloc(2048)  # new chunk; old chunk loses its bias
+    cache.free(a)
+    cache.free(b)
+    cache.free(c)
+    # old chunk fully freed; current chunk still holds its bias
+    assert buddy.nr_free_pages == before - 1
+
+
+def test_per_cpu_caches_use_distinct_chunks():
+    phys = PhysicalMemory(4096)
+    buddy = BuddyAllocator(phys, reserved_low_pages=16, nr_cpus=2)
+    allocator = PageFragAllocator(buddy, IdentityTranslator(), nr_cpus=2)
+    a = allocator.alloc(512, cpu=0)
+    b = allocator.alloc(512, cpu=1)
+    assert abs(a - b) >= allocator.cache(0).chunk_size // 2
+
+
+def test_unknown_cpu_rejected():
+    phys = PhysicalMemory(1024)
+    buddy = BuddyAllocator(phys, reserved_low_pages=16)
+    allocator = PageFragAllocator(buddy, IdentityTranslator(), nr_cpus=1)
+    with pytest.raises(AllocatorError):
+        allocator.alloc(64, cpu=3)
+
+
+def test_current_chunk_span():
+    _buddy, cache = make_cache()
+    assert cache.current_chunk_span() is None
+    cache.alloc(100)
+    base_pfn, nr = cache.current_chunk_span()
+    assert nr == 8

@@ -1,0 +1,161 @@
+"""PaholeDb: layouts, direct and spoofable callback accounting."""
+
+import pytest
+
+from repro.core.spade.cparse import parse_file
+from repro.core.spade.pahole import PaholeDb
+from repro.errors import AnalysisError
+
+
+def db_from(source: str) -> PaholeDb:
+    return PaholeDb(parse_file("t.c", source).structs)
+
+
+def test_scalar_layout_with_padding():
+    db = db_from("""
+struct s {
+    u8 a;
+    u32 b;
+    u8 c;
+    u64 d;
+};
+""")
+    layout = db.layout("s")
+    offsets = {f.name: f.offset for f in layout.fields}
+    assert offsets == {"a": 0, "b": 4, "c": 8, "d": 16}
+    assert layout.size == 24
+
+
+def test_array_and_pointer_sizes():
+    db = db_from("""
+struct s {
+    u8 buf[100];
+    struct s *next;
+};
+""")
+    layout = db.layout("s")
+    assert layout.fields[0].size == 100
+    assert layout.fields[1].offset == 104
+    assert layout.size == 112
+
+
+def test_nested_by_value():
+    db = db_from("""
+struct inner {
+    u64 x;
+    void (*cb)(void);
+};
+struct outer {
+    u32 tag;
+    struct inner in;
+};
+""")
+    layout = db.layout("outer")
+    assert layout.size == 8 + 16
+    assert db.direct_callbacks("outer") == [("in.cb", 1)]
+
+
+def test_function_pointer_arrays_count_length():
+    db = db_from("""
+struct table {
+    void (*vec[12])(void);
+};
+""")
+    assert db.direct_callback_count("table") == 12
+    assert db.layout("table").size == 96
+
+
+def test_spoofable_walks_pointer_graph_once():
+    db = db_from("""
+struct ops {
+    int (*a)(void);
+    int (*b)(void);
+};
+struct left {
+    struct ops *ops;
+};
+struct right {
+    struct ops *ops;
+    struct left *back;
+};
+struct root {
+    struct left *l;
+    struct right *r;
+    u8 buf[32];
+};
+""")
+    total, visited = db.spoofable_callbacks("root")
+    # ops visited once despite two pointers to it
+    assert total == 2
+    assert set(visited) == {"left", "right", "ops"}
+
+
+def test_spoofable_excludes_root_direct():
+    db = db_from("""
+struct ops {
+    int (*f)(void);
+};
+struct root {
+    void (*own)(void);
+    struct ops *ops;
+};
+""")
+    assert db.direct_callback_count("root") == 1
+    total, _ = db.spoofable_callbacks("root")
+    assert total == 1  # only ops.f
+
+
+def test_cyclic_pointer_graph_terminates():
+    db = db_from("""
+struct a {
+    struct b *peer;
+    void (*cb)(void);
+};
+struct b {
+    struct a *peer;
+};
+""")
+    total, visited = db.spoofable_callbacks("a")
+    assert total == 0  # b has no callbacks; a's own cb is direct
+    assert visited == ["b"]
+
+
+def test_unknown_struct_raises():
+    db = db_from("struct s { u8 x; };")
+    with pytest.raises(AnalysisError):
+        db.layout("ghost")
+
+
+def test_recursive_by_value_rejected():
+    db = db_from("""
+struct s {
+    struct s inner;
+};
+""")
+    with pytest.raises(AnalysisError):
+        db.layout("s")
+
+
+def test_nvme_fc_reaches_exactly_931(corpus):
+    """The Figure 2 headline number."""
+    from repro.core.spade.cindex import CodeIndex
+    tree, _ = corpus
+    index = CodeIndex(tree)
+    db = PaholeDb(index.structs)
+    assert db.direct_callback_count("nvme_fc_fcp_op") == 1
+    assert db.direct_callbacks("nvme_fc_fcp_op") == [("fcp_req.done", 1)]
+    total, _visited = db.spoofable_callbacks("nvme_fc_fcp_op")
+    assert total == 931
+
+
+def test_skb_shared_info_header_layout(corpus):
+    """The parsed header reproduces the runtime layout's offsets."""
+    from repro.core.spade.cindex import CodeIndex
+    tree, _ = corpus
+    db = PaholeDb(CodeIndex(tree).structs)
+    layout = db.layout("skb_shared_info")
+    offsets = {f.name: f.offset for f in layout.fields}
+    assert offsets["nr_frags"] == 2
+    assert offsets["tx_flags"] == 3
+    assert offsets["destructor_arg"] == 40
+    assert offsets["frags"] == 48

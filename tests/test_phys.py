@@ -1,0 +1,120 @@
+"""PhysicalMemory: byte-accurate pages, cross-page access, bounds."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import BadAddressError
+from repro.mem.phys import (PAGE_SIZE, PhysicalMemory, page_offset,
+                            paddr_to_pfn, pfn_to_paddr)
+
+
+def test_pfn_paddr_roundtrip():
+    assert paddr_to_pfn(pfn_to_paddr(123)) == 123
+    assert pfn_to_paddr(1) == PAGE_SIZE
+
+
+def test_page_offset_is_low_bits():
+    assert page_offset(0x12345) == 0x345
+
+
+def test_pages_start_zeroed():
+    mem = PhysicalMemory(4)
+    assert mem.read(0, 16) == bytes(16)
+
+
+def test_write_then_read():
+    mem = PhysicalMemory(4)
+    mem.write(100, b"hello")
+    assert mem.read(100, 5) == b"hello"
+
+
+def test_cross_page_write_and_read():
+    mem = PhysicalMemory(4)
+    data = bytes(range(100))
+    mem.write(PAGE_SIZE - 40, data)
+    assert mem.read(PAGE_SIZE - 40, 100) == data
+    # both pages hold their halves
+    assert mem.page(0).data[-40:] == data[:40]
+    assert mem.page(1).data[:60] == data[40:]
+
+
+def test_out_of_range_read_raises():
+    mem = PhysicalMemory(2)
+    with pytest.raises(BadAddressError):
+        mem.read(2 * PAGE_SIZE - 4, 8)
+
+
+def test_out_of_range_write_raises():
+    mem = PhysicalMemory(2)
+    with pytest.raises(BadAddressError):
+        mem.write(2 * PAGE_SIZE, b"x")
+
+
+def test_negative_length_rejected():
+    with pytest.raises(ValueError):
+        PhysicalMemory(2).read(0, -1)
+
+
+def test_bad_pfn_raises():
+    mem = PhysicalMemory(2)
+    with pytest.raises(BadAddressError):
+        mem.page(5)
+    with pytest.raises(BadAddressError):
+        mem.page(-1)
+
+
+def test_u64_little_endian():
+    mem = PhysicalMemory(2)
+    mem.write_u64(8, 0x0102030405060708)
+    assert mem.read(8, 8) == bytes([8, 7, 6, 5, 4, 3, 2, 1])
+    assert mem.read_u64(8) == 0x0102030405060708
+
+
+def test_u64_truncates_to_64_bits():
+    mem = PhysicalMemory(2)
+    mem.write_u64(0, 1 << 70 | 5)
+    assert mem.read_u64(0) == 5
+
+
+def test_fixed_width_helpers():
+    mem = PhysicalMemory(1)
+    mem.write_u8(0, 0xAB)
+    mem.write_u16(2, 0xBEEF)
+    mem.write_u32(4, 0xDEADBEEF)
+    assert mem.read_u8(0) == 0xAB
+    assert mem.read_u16(2) == 0xBEEF
+    assert mem.read_u32(4) == 0xDEADBEEF
+
+
+def test_nr_pages_must_be_positive():
+    with pytest.raises(ValueError):
+        PhysicalMemory(0)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.data())
+def test_property_write_read_roundtrip(data):
+    """Any in-bounds write is read back identically."""
+    mem = PhysicalMemory(8)
+    paddr = data.draw(st.integers(0, 8 * PAGE_SIZE - 1))
+    max_len = min(256, 8 * PAGE_SIZE - paddr)
+    payload = data.draw(st.binary(min_size=1, max_size=max_len))
+    mem.write(paddr, payload)
+    assert mem.read(paddr, len(payload)) == payload
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 8 * PAGE_SIZE - 9),
+                          st.integers(0, 2**64 - 1)),
+                min_size=1, max_size=24))
+def test_property_last_u64_write_wins(writes):
+    """Later writes to the same address shadow earlier ones."""
+    mem = PhysicalMemory(8)
+    last = {}
+    for paddr, value in writes:
+        paddr &= ~7  # aligned, so writes either alias fully or not at all
+        mem.write_u64(paddr, value)
+        last[paddr] = value
+    for paddr, value in last.items():
+        assert mem.read_u64(paddr) == value

@@ -1,0 +1,77 @@
+"""SkBuff: data, frags-in-memory, clone refcounting."""
+
+import pytest
+
+from repro.errors import NetStackError
+
+
+def make_skb(kernel, size=512):
+    return kernel.skb_alloc.alloc_skb(size)
+
+
+def test_put_and_data_roundtrip(kernel):
+    skb = make_skb(kernel)
+    skb.put(b"payload!")
+    assert skb.data() == b"payload!"
+    assert skb.len == 8
+
+
+def test_put_over_capacity_rejected(kernel):
+    skb = make_skb(kernel, 64)
+    with pytest.raises(NetStackError):
+        skb.put(b"x" * 65)
+
+
+def test_shared_info_lives_at_buffer_tail(kernel):
+    skb = make_skb(kernel, 512)
+    assert skb.shared_info_kva == skb.head_kva + 512
+    assert skb.get_dataref() == 1
+
+
+def test_device_visible_shared_info(kernel):
+    """A write to the shared-info bytes is what the kernel later reads:
+    the struct genuinely lives in the mapped buffer."""
+    skb = make_skb(kernel)
+    info = skb.shared_info()
+    paddr = kernel.addr_space.paddr_of_kva(skb.shared_info_kva)
+    kernel.phys.write_u64(paddr + 40, 0xDEAD)  # destructor_arg bytes
+    assert info.read("destructor_arg") == 0xDEAD
+
+
+def test_add_frag_writes_struct_page_pointer(kernel):
+    skb = make_skb(kernel)
+    skb.add_frag(100, 0x80, 256)
+    frags = skb.frags()
+    assert len(frags) == 1
+    assert frags[0].page_ptr == kernel.addr_space.struct_page_of_pfn(100)
+    assert frags[0].page_offset == 0x80
+    assert frags[0].size == 256
+    assert skb.frag_pfn(frags[0]) == 100
+    assert skb.data_len == 256
+
+
+def test_frag_bytes_reads_physical_memory(kernel):
+    skb = make_skb(kernel)
+    kernel.phys.write(100 * 4096 + 0x80, b"fragdata")
+    skb.add_frag(100, 0x80, 8)
+    assert skb.frag_bytes(skb.frags()[0]) == b"fragdata"
+
+
+def test_frags_array_capacity(kernel):
+    skb = make_skb(kernel)
+    for i in range(17):
+        skb.add_frag(10 + i, 0, 64)
+    with pytest.raises(NetStackError):
+        skb.add_frag(99, 0, 64)
+
+
+def test_clone_bumps_dataref(kernel):
+    skb = make_skb(kernel)
+    skb.clone_ref()
+    assert skb.get_dataref() == 2
+
+
+def test_skb_ids_unique(kernel):
+    a = make_skb(kernel)
+    b = make_skb(kernel)
+    assert a.skb_id != b.skb_id

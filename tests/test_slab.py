@@ -1,0 +1,146 @@
+"""SlabAllocator: size classes, on-page freelist metadata, reuse."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import AllocatorError
+from repro.mem.buddy import BuddyAllocator
+from repro.mem.phys import PAGE_SIZE, PhysicalMemory
+from repro.mem.slab import KMALLOC_SIZES, SlabAllocator
+from repro.mem.virt import IdentityTranslator
+
+
+def make_slab(nr_pages=4096):
+    phys = PhysicalMemory(nr_pages)
+    buddy = BuddyAllocator(phys, reserved_low_pages=16)
+    return phys, SlabAllocator(phys, buddy, IdentityTranslator())
+
+
+def test_size_class_rounding():
+    _phys, slab = make_slab()
+    assert slab.size_class(1) == 8
+    assert slab.size_class(8) == 8
+    assert slab.size_class(9) == 16
+    assert slab.size_class(100) == 128
+    assert slab.size_class(600) == 1024
+    assert slab.size_class(8192) == 8192
+
+
+def test_oversized_request_rejected():
+    _phys, slab = make_slab()
+    with pytest.raises(AllocatorError):
+        slab.kmalloc(8193)
+
+
+def test_non_positive_rejected():
+    _phys, slab = make_slab()
+    with pytest.raises(AllocatorError):
+        slab.kmalloc(0)
+
+
+def test_same_class_objects_share_a_page():
+    """Type (d)'s root cause: kmalloc packs same-class objects."""
+    _phys, slab = make_slab()
+    a = slab.kmalloc(100)
+    b = slab.kmalloc(100)
+    assert a // PAGE_SIZE == b // PAGE_SIZE
+    assert abs(a - b) == 128  # adjacent 128-byte slots
+
+
+def test_ksize_returns_class():
+    _phys, slab = make_slab()
+    kva = slab.kmalloc(100)
+    assert slab.ksize(kva) == 128
+
+
+def test_kfree_unknown_rejected():
+    _phys, slab = make_slab()
+    with pytest.raises(AllocatorError):
+        slab.kfree(0x1234000)
+
+
+def test_double_free_rejected():
+    _phys, slab = make_slab()
+    kva = slab.kmalloc(64)
+    slab.kfree(kva)
+    with pytest.raises(AllocatorError):
+        slab.kfree(kva)
+
+
+def test_freelist_pointers_live_on_the_page():
+    """SLUB-style metadata: free objects hold the next free object's
+    KVA *in page memory* -- the exposed OS metadata of Figure 1(b)."""
+    phys, slab = make_slab()
+    first = slab.kmalloc(512)
+    page_base = (first // PAGE_SIZE) * PAGE_SIZE
+    # the next two free 512-slots hold freelist links (KVAs)
+    links = [phys.read_u64(page_base + i * 512) for i in range(8)]
+    on_page_links = [v for v in links
+                     if v and page_base <= v < page_base + PAGE_SIZE]
+    assert on_page_links, "expected freelist KVAs on the slab page"
+
+
+def test_kfree_writes_link_into_freed_object():
+    phys, slab = make_slab()
+    a = slab.kmalloc(512)
+    b = slab.kmalloc(512)
+    slab.kfree(a)
+    slab.kfree(b)
+    # b now heads the freelist and links to a
+    assert phys.read_u64(b) == a
+
+
+def test_freed_object_reused_lifo():
+    _phys, slab = make_slab()
+    kva = slab.kmalloc(256)
+    slab.kfree(kva)
+    assert slab.kmalloc(256) == kva
+
+
+def test_allocation_scrubs_freelist_word():
+    phys, slab = make_slab()
+    a = slab.kmalloc(512)
+    slab.kfree(a)
+    again = slab.kmalloc(512)
+    assert phys.read_u64(again) == 0
+
+
+def test_full_slab_spills_to_new_page():
+    _phys, slab = make_slab()
+    kvas = [slab.kmalloc(2048) for _ in range(3)]  # 2 per page
+    pages = {kva // PAGE_SIZE for kva in kvas}
+    assert len(pages) == 2
+
+
+def test_live_objects_on_pfn():
+    _phys, slab = make_slab()
+    a = slab.kmalloc(1024)
+    b = slab.kmalloc(1024)
+    pfn = a // PAGE_SIZE
+    objs = slab.live_objects_on_pfn(pfn)
+    assert (a, 1024) in objs and (b, 1024) in objs
+
+
+def test_empty_surplus_slab_returns_to_buddy():
+    _phys, slab = make_slab()
+    first_batch = [slab.kmalloc(1024) for _ in range(8)]  # two slabs
+    for kva in first_batch:
+        slab.kfree(kva)
+    assert slab.nr_live_objects == 0
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.sampled_from(KMALLOC_SIZES), min_size=1, max_size=60))
+def test_property_objects_never_overlap(sizes):
+    """Live kmalloc objects are always disjoint byte ranges."""
+    _phys, slab = make_slab()
+    live: list[tuple[int, int]] = []
+    for i, size in enumerate(sizes):
+        kva = slab.kmalloc(size)
+        for other_kva, other_size in live:
+            assert kva + size <= other_kva or other_kva + other_size <= kva
+        live.append((kva, size))
+        if i % 4 == 3:
+            old = live.pop(0)
+            slab.kfree(old[0])
