@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""A tiny differential fuzzing campaign, end to end in a few seconds.
+
+Derives a handful of mutated driver corpora from the Table-2 base
+(scaled down ~12x so the whole run stays under five seconds), runs
+SPADE over each tree and D-KASAN over a manifest-replay kernel run,
+and prints the aggregate precision/recall scoreboard plus every
+static-vs-dynamic disagreement the campaign surfaced. One of the
+mutation kinds -- opaque-map-expr, which hides the mapped pointer
+behind cast+offset arithmetic -- reproduces the paper's section 4.3
+observation that "complex constructs" defeat static analysis, so the
+disagreement table is rarely empty.
+
+Run:  python examples/campaign_smoke.py
+"""
+
+from repro.campaign import (CampaignConfig, format_summary,
+                            run_campaign, shrink_seed)
+from repro.campaign.mutate import CorpusMutator, Mutation
+from repro.campaign.oracle import run_differential
+
+
+def main() -> None:
+    config = CampaignConfig(nr_seeds=6, jobs=1, mutations_per_seed=3,
+                            scale=0.08, output=None)
+    print(f"running a {config.nr_seeds}-seed differential campaign "
+          f"(scale={config.scale}, {config.mutations_per_seed} "
+          "mutations per seed)...\n")
+    summary = run_campaign(
+        config,
+        progress=lambda r: print(
+            f"  seed {r['seed']}: {r['status']}, "
+            f"{r.get('nr_sites', '?')} sites, "
+            f"{len(r.get('disagreements', ()))} disagreement(s)"))
+
+    print()
+    print(format_summary(summary))
+
+    # shrink one injected SPADE false negative down to its single cause
+    mutator = CorpusMutator(config.base_seed, scale=config.scale)
+    path = mutator._eligible_paths(mutator.base()[1])["opaque-map-expr"][0]
+    mutations = mutator.plan(99, 3) + [
+        Mutation("opaque-map-expr", path, detail="16")]
+    mutated = mutator.apply(mutations)
+    result = run_differential(mutated.tree, mutated.manifest, seed=99)
+    target = next(d for d in result.disagreements
+                  if d.verdict == "spade-miss")
+    shrunk = shrink_seed(mutator, 99, mutations, target)
+    print(f"\nshrinker: {len(mutations)} mutations -> "
+          f"{len(shrunk.mutations)} in {shrunk.evaluations} "
+          "evaluations; minimal reproducer:")
+    for mutation in shrunk.mutations:
+        print(f"  {mutation.kind} @ {mutation.path} "
+              f"(detail={mutation.detail or '-'})")
+
+    print("\nInterpretation: every spade-miss row is a call site the "
+          "static analyzer lost to pointer arithmetic but the runtime "
+          "sanitizer still flagged -- the differential oracle turns "
+          "that gap into a scored, shrinkable artifact.")
+
+
+if __name__ == "__main__":
+    main()

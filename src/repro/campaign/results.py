@@ -1,0 +1,191 @@
+"""Campaign result persistence and aggregation.
+
+One JSON record per seed, appended to ``results.jsonl`` as soon as the
+seed finishes -- a crashed or interrupted campaign loses at most the
+in-flight seeds, and ``--resume`` skips everything already recorded.
+The summary aggregates per-type precision/recall for both detectors
+across all completed seeds, Table-2 style.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.campaign.mutate import Mutation
+from repro.campaign.oracle import DetectorScore, DifferentialResult
+from repro.report.tables import format_precision_recall, render_table
+
+#: statuses that mean "this seed is done, do not rerun on --resume"
+COMPLETED_STATUSES = ("ok",)
+
+
+def result_record(result: DifferentialResult,
+                  mutations: list[Mutation], *,
+                  duration_s: float = 0.0) -> dict:
+    """Serialize one successful seed run to its JSONL record."""
+    return {
+        "seed": result.seed,
+        "status": "ok",
+        "duration_s": round(duration_s, 4),
+        "nr_sites": result.nr_sites,
+        "mutations": [m.to_json() for m in mutations],
+        "spade": result.spade.to_json(),
+        "dkasan": result.dkasan.to_json(),
+        "disagreements": [d.to_json() for d in result.disagreements],
+        "spade_fn_exemplars": result.spade_fn_exemplars,
+        "dkasan_fn_exemplars": result.dkasan_fn_exemplars,
+    }
+
+
+def failure_record(seed: int, status: str, error: str, *,
+                   duration_s: float = 0.0) -> dict:
+    return {"seed": seed, "status": status, "error": error,
+            "duration_s": round(duration_s, 4)}
+
+
+def append_record(path: str, record: dict) -> None:
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(json.dumps(record, sort_keys=True) + "\n")
+
+
+def load_records(path: str) -> dict[int, dict]:
+    """seed -> latest record. Tolerates a torn final line (the crash
+    case resume exists for)."""
+    records: dict[int, dict] = {}
+    if not os.path.exists(path):
+        return records
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(record, dict) and "seed" in record:
+                records[record["seed"]] = record
+    return records
+
+
+def completed_seeds(records: dict[int, dict]) -> set[int]:
+    return {seed for seed, record in records.items()
+            if record.get("status") in COMPLETED_STATUSES}
+
+
+@dataclass
+class CampaignSummary:
+    """Aggregate view over every recorded seed."""
+
+    nr_seeds: int = 0
+    nr_ok: int = 0
+    nr_failed: int = 0
+    nr_sites: int = 0
+    spade: DetectorScore = field(default_factory=DetectorScore)
+    dkasan: DetectorScore = field(default_factory=DetectorScore)
+    disagreements: Counter = field(default_factory=Counter)
+    disagreeing_seeds: list[int] = field(default_factory=list)
+    failures: list[tuple[int, str]] = field(default_factory=list)
+    spade_fn_exemplars: list[str] = field(default_factory=list)
+    dkasan_fn_exemplars: list[str] = field(default_factory=list)
+    mutation_kinds: Counter = field(default_factory=Counter)
+
+    @property
+    def all_ok(self) -> bool:
+        return self.nr_failed == 0
+
+
+def _merge_score(into: DetectorScore, record: dict) -> None:
+    into.tp += record["tp"]
+    into.fp += record["fp"]
+    into.fn += record["fn"]
+    for key, (tp, fp, fn) in record["per_type"].items():
+        slot = into.per_type.setdefault(key, [0, 0, 0])
+        slot[0] += tp
+        slot[1] += fp
+        slot[2] += fn
+
+
+def summarize(records: dict[int, dict], *,
+              max_exemplars: int = 8) -> CampaignSummary:
+    summary = CampaignSummary()
+    for seed in sorted(records):
+        record = records[seed]
+        summary.nr_seeds += 1
+        if record.get("status") != "ok":
+            summary.nr_failed += 1
+            # the last traceback line carries the exception message
+            error_lines = record.get("error", "").strip().splitlines()
+            detail = error_lines[-1][:200] if error_lines else ""
+            summary.failures.append(
+                (seed, f"{record.get('status')}: {detail}"))
+            continue
+        summary.nr_ok += 1
+        summary.nr_sites += record["nr_sites"]
+        _merge_score(summary.spade, record["spade"])
+        _merge_score(summary.dkasan, record["dkasan"])
+        for mutation in record.get("mutations", ()):
+            summary.mutation_kinds[mutation["kind"]] += 1
+        if record["disagreements"]:
+            summary.disagreeing_seeds.append(seed)
+        for disagreement in record["disagreements"]:
+            summary.disagreements[disagreement["verdict"]] += 1
+        for exemplar in record.get("spade_fn_exemplars", ()):
+            if len(summary.spade_fn_exemplars) < max_exemplars:
+                summary.spade_fn_exemplars.append(
+                    f"seed {seed}: {exemplar}")
+        for exemplar in record.get("dkasan_fn_exemplars", ()):
+            if len(summary.dkasan_fn_exemplars) < max_exemplars:
+                summary.dkasan_fn_exemplars.append(
+                    f"seed {seed}: {exemplar}")
+    return summary
+
+
+def format_summary(summary: CampaignSummary) -> str:
+    """The Table-2-style aggregate block the CLI prints."""
+    lines = [f"campaign: {summary.nr_seeds} seeds "
+             f"({summary.nr_ok} ok, {summary.nr_failed} failed), "
+             f"{summary.nr_sites} call sites scored"]
+    if summary.mutation_kinds:
+        kinds = ", ".join(f"{kind} x{count}" for kind, count
+                          in sorted(summary.mutation_kinds.items()))
+        lines.append(f"mutations applied: {kinds}")
+    lines.append("")
+
+    def score_rows(score: DetectorScore) -> list[tuple[str, int, int, int]]:
+        rows = [(key, tp, fp, fn) for key, (tp, fp, fn)
+                in sorted(score.per_type.items())]
+        rows.append(("overall", score.tp, score.fp, score.fn))
+        return rows
+
+    lines.append(format_precision_recall(
+        "SPADE (static, per exposure label)", score_rows(summary.spade)))
+    lines.append("")
+    lines.append(format_precision_recall(
+        "D-KASAN (dynamic, per corpus category)",
+        score_rows(summary.dkasan)))
+    lines.append("")
+
+    total = sum(summary.disagreements.values())
+    lines.append(f"static-vs-dynamic disagreements: {total} across "
+                 f"{len(summary.disagreeing_seeds)} seed(s)")
+    if total:
+        lines.append(render_table(
+            ["verdict", "count"],
+            [[verdict, str(count)] for verdict, count
+             in sorted(summary.disagreements.items())]))
+    if summary.spade_fn_exemplars:
+        lines.append("SPADE false-negative exemplars:")
+        lines.extend(f"  {e}" for e in summary.spade_fn_exemplars)
+    if summary.dkasan_fn_exemplars:
+        lines.append("D-KASAN false-negative exemplars:")
+        lines.extend(f"  {e}" for e in summary.dkasan_fn_exemplars)
+    for seed, error in summary.failures:
+        lines.append(f"seed {seed} FAILED: {error}")
+    return "\n".join(lines)

@@ -1,0 +1,162 @@
+"""The parallel campaign runner.
+
+Seeds fan out over a :class:`concurrent.futures.ProcessPoolExecutor`
+(``jobs`` workers) in bounded chunks; each worker enforces its own
+per-seed wall-clock timeout via ``SIGALRM`` and converts every failure
+-- timeout, exception, even a worker-pool collapse -- into a result
+record, so one pathological seed never kills the campaign. Results
+stream to JSONL the moment they arrive (see
+:mod:`repro.campaign.results`), which is what makes ``--resume``
+lossless.
+"""
+
+from __future__ import annotations
+
+import signal
+import time
+import traceback
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.campaign.mutate import CorpusMutator
+from repro.campaign.oracle import run_differential
+from repro.campaign.results import (CampaignSummary, append_record,
+                                    completed_seeds, failure_record,
+                                    load_records, result_record,
+                                    summarize)
+
+#: per-chunk submission factor: bounds peak queued futures while
+#: keeping every worker busy between chunk boundaries
+CHUNK_FACTOR = 4
+
+
+@dataclass
+class CampaignConfig:
+    """Everything one ``repro-dma campaign`` invocation needs."""
+
+    nr_seeds: int = 20
+    seed_base: int = 1
+    jobs: int = 1
+    base_seed: int = 2021
+    mutations_per_seed: int = 6
+    timeout_s: float = 120.0
+    scale: float = 1.0
+    phys_mb: int = 256
+    output: str | None = "campaign/results.jsonl"
+    resume: bool = False
+
+    @property
+    def seeds(self) -> list[int]:
+        return list(range(self.seed_base, self.seed_base + self.nr_seeds))
+
+
+class _SeedTimeout(Exception):
+    pass
+
+
+def _alarm_handler(_signum, _frame):
+    raise _SeedTimeout()
+
+
+def run_seed(seed: int, *, base_seed: int = 2021,
+             mutations_per_seed: int = 6, scale: float = 1.0,
+             phys_mb: int = 256) -> dict:
+    """Derive, analyze, replay, and score one campaign seed."""
+    start = time.monotonic()
+    mutator = CorpusMutator(base_seed, scale=scale)
+    mutated = mutator.derive(seed, mutations_per_seed)
+    result = run_differential(mutated.tree, mutated.manifest, seed=seed,
+                              phys_mb=phys_mb)
+    return result_record(result, mutated.mutations,
+                         duration_s=time.monotonic() - start)
+
+
+def _guarded_run_seed(seed: int, config: "CampaignConfig", *,
+                      use_alarm: bool) -> dict:
+    """run_seed with crash capture and (in workers) a hard timeout."""
+    start = time.monotonic()
+    previous = None
+    if use_alarm and hasattr(signal, "SIGALRM") and config.timeout_s:
+        previous = signal.signal(signal.SIGALRM, _alarm_handler)
+        signal.alarm(max(1, int(config.timeout_s)))
+    try:
+        return run_seed(seed, base_seed=config.base_seed,
+                        mutations_per_seed=config.mutations_per_seed,
+                        scale=config.scale, phys_mb=config.phys_mb)
+    except _SeedTimeout:
+        return failure_record(seed, "timeout",
+                              f"exceeded {config.timeout_s}s",
+                              duration_s=time.monotonic() - start)
+    except Exception:
+        return failure_record(seed, "error", traceback.format_exc(),
+                              duration_s=time.monotonic() - start)
+    finally:
+        if previous is not None:
+            signal.alarm(0)
+            signal.signal(signal.SIGALRM, previous)
+
+
+def _worker(payload: tuple[int, "CampaignConfig"]) -> dict:
+    seed, config = payload
+    return _guarded_run_seed(seed, config, use_alarm=True)
+
+
+def _chunks(items: list[int], size: int) -> list[list[int]]:
+    return [items[i:i + size] for i in range(0, len(items), size)]
+
+
+def run_campaign(config: CampaignConfig, *,
+                 progress: Callable[[dict], None] | None = None
+                 ) -> CampaignSummary:
+    """Run (or resume) a campaign; returns the aggregate summary."""
+    existing = load_records(config.output) if config.resume \
+        and config.output else {}
+    done = completed_seeds(existing)
+    pending = [seed for seed in config.seeds if seed not in done]
+    records = {seed: record for seed, record in existing.items()
+               if seed in config.seeds}
+
+    def record_result(record: dict) -> None:
+        records[record["seed"]] = record
+        if config.output:
+            append_record(config.output, record)
+        if progress is not None:
+            progress(record)
+
+    if config.jobs <= 1:
+        for seed in pending:
+            record_result(_guarded_run_seed(seed, config,
+                                            use_alarm=False))
+        return summarize(records)
+
+    remaining = list(pending)
+    while remaining:
+        executor = ProcessPoolExecutor(max_workers=config.jobs)
+        broken = False
+        try:
+            for chunk in _chunks(remaining,
+                                 config.jobs * CHUNK_FACTOR):
+                futures = {seed: executor.submit(_worker, (seed, config))
+                           for seed in chunk}
+                for seed, future in futures.items():
+                    try:
+                        record = future.result()
+                    except BrokenProcessPool:
+                        # the pool died (e.g. a worker was OOM-killed):
+                        # blame the seeds still in flight, then rebuild
+                        # the pool for whatever is left
+                        broken = True
+                        record = failure_record(
+                            seed, "crash",
+                            "worker process pool collapsed")
+                    record_result(record)
+                    remaining.remove(seed)
+                if broken:
+                    break
+        finally:
+            executor.shutdown(wait=False, cancel_futures=True)
+        if not broken:
+            break
+    return summarize(records)

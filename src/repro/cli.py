@@ -7,12 +7,47 @@ Subcommands mirror the paper's workflow:
 * ``attack``    -- run one attack against a configurable victim
 * ``matrix``    -- the attack-vs-defense matrix (sections 7-9)
 * ``oscompare`` -- the Windows/macOS/FreeBSD scenarios (section 7)
+* ``campaign``  -- parallel differential fuzzing: SPADE vs D-KASAN
+  over many mutated corpora, scored against ground truth
+
+Exit codes are uniform across subcommands: 0 success, 1 the
+experiment ran but its claim failed (attack blocked, seeds failed),
+2 bad input (argparse-style, message on stderr).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
+
+
+def _fail(message: str) -> int:
+    """Uniform bad-input path: argparse-style stderr message, exit 2."""
+    print(f"repro-dma: error: {message}", file=sys.stderr)
+    return 2
+
+
+def _positive_int(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid int value: {text!r}")
+    if value <= 0:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive integer, got {value}")
+    return value
+
+
+def _positive_float(text: str) -> float:
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid float value: {text!r}")
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be > 0, got {value}")
+    return value
 
 
 def _add_victim_args(parser: argparse.ArgumentParser) -> None:
@@ -56,8 +91,12 @@ def cmd_audit(args) -> int:
     from repro.corpus.generate import SourceTree
 
     if args.tree:
+        if not os.path.isdir(args.tree):
+            return _fail(f"--tree {args.tree}: not a directory")
         tree = SourceTree.from_dir(args.tree)
         manifest = None
+        if not tree.files:
+            return _fail(f"--tree {args.tree}: no C sources found")
         print(f"loaded {len(tree.paths(suffix='.c'))} C files from "
               f"{args.tree}")
     else:
@@ -195,10 +234,80 @@ def cmd_oscompare(args) -> int:
     return 0
 
 
+def cmd_campaign(args) -> int:
+    from repro.campaign import (CampaignConfig, CorpusMutator,
+                                Disagreement, format_summary,
+                                run_campaign, shrink_seed)
+    from repro.campaign.mutate import Mutation
+
+    config = CampaignConfig(
+        nr_seeds=args.seeds, seed_base=args.seed_base, jobs=args.jobs,
+        base_seed=args.base_seed,
+        mutations_per_seed=args.mutations, timeout_s=args.timeout,
+        scale=args.scale, output=args.output, resume=args.resume)
+
+    if config.output:
+        try:
+            parent = os.path.dirname(config.output)
+            if parent:
+                os.makedirs(parent, exist_ok=True)
+            with open(config.output, "a", encoding="utf-8"):
+                pass
+        except OSError as exc:
+            return _fail(f"--output {config.output}: "
+                         f"{exc.strerror or exc}")
+
+    def progress(record: dict) -> None:
+        status = record["status"]
+        extra = ""
+        if status == "ok":
+            extra = f" ({len(record['disagreements'])} disagreements)"
+        print(f"seed {record['seed']}: {status} "
+              f"in {record['duration_s']:.2f}s{extra}")
+
+    summary = run_campaign(config, progress=progress)
+    print()
+    print(format_summary(summary))
+
+    if args.shrink and summary.disagreeing_seeds:
+        from repro.campaign.results import load_records
+        records = load_records(config.output) if config.output else {}
+        seed = summary.disagreeing_seeds[0]
+        record = records.get(seed)
+        if record and record.get("disagreements"):
+            # prefer a mutation-induced disagreement (spade-miss) over
+            # the structural dkasan-miss/stack ones the base corpus
+            # already carries -- shrinking the latter is vacuous
+            raw = record["disagreements"]
+            chosen = next((d for d in raw if d["verdict"] == "spade-miss"),
+                          raw[0])
+            target = Disagreement.from_json(chosen)
+            mutations = [Mutation.from_json(m)
+                         for m in record["mutations"]]
+            mutator = CorpusMutator(config.base_seed,
+                                    scale=config.scale)
+            shrunk = shrink_seed(mutator, seed, mutations, target)
+            print(f"\nshrunk seed {seed}: {len(mutations)} -> "
+                  f"{len(shrunk.mutations)} mutation(s) in "
+                  f"{shrunk.evaluations} evaluations "
+                  f"(target: {target.verdict} @ {target.path})")
+            if not shrunk.mutations:
+                print("  disagreement exists in the unmutated base "
+                      "corpus; no mutation is responsible")
+            for mutation in shrunk.mutations:
+                print(f"  {mutation.kind} {mutation.path} "
+                      f"{mutation.detail}".rstrip())
+    return 0 if summary.all_ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
+    from repro import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro-dma",
         description="EuroSys '21 DMA-attack reproduction toolkit")
+    parser.add_argument("--version", action="version",
+                        version=f"%(prog)s {__version__}")
     sub = parser.add_subparsers(dest="command", required=True)
 
     audit = sub.add_parser("audit", help="SPADE static analysis")
@@ -213,16 +322,47 @@ def build_parser() -> argparse.ArgumentParser:
 
     sanitize = sub.add_parser("sanitize", help="D-KASAN runtime run")
     sanitize.add_argument("--seed", type=int, default=9)
-    sanitize.add_argument("--rounds", type=int, default=40)
+    sanitize.add_argument("--rounds", type=_positive_int, default=40)
     sanitize.set_defaults(func=cmd_sanitize)
 
     attack = sub.add_parser("attack", help="run one attack")
     attack.add_argument("name", choices=(
         "ringflood", "poisoned-tx", "forward", "blinding-bypass",
         "single-step", "stale-reuse", "memdump"))
-    attack.add_argument("--profile-boots", type=int, default=24)
+    attack.add_argument("--profile-boots", type=_positive_int,
+                        default=24)
     _add_victim_args(attack)
     attack.set_defaults(func=cmd_attack)
+
+    campaign = sub.add_parser(
+        "campaign",
+        help="differential SPADE-vs-D-KASAN fuzzing campaign")
+    campaign.add_argument("--seeds", type=_positive_int, default=20,
+                          help="number of campaign seeds")
+    campaign.add_argument("--seed-base", type=int, default=1,
+                          help="first campaign seed value")
+    campaign.add_argument("--jobs", type=_positive_int, default=1,
+                          help="parallel worker processes")
+    campaign.add_argument("--base-seed", type=int, default=2021,
+                          help="repro.corpus seed the mutants derive "
+                               "from")
+    campaign.add_argument("--mutations", type=_positive_int, default=6,
+                          help="mutations applied per seed")
+    campaign.add_argument("--timeout", type=_positive_float,
+                          default=120.0, metavar="SECONDS",
+                          help="per-seed timeout (worker mode)")
+    campaign.add_argument("--scale", type=_positive_float, default=1.0,
+                          help="corpus size factor (e.g. 0.1 for a "
+                               "fast smoke campaign)")
+    campaign.add_argument("--output", default="campaign/results.jsonl",
+                          help="JSONL results path")
+    campaign.add_argument("--resume", action="store_true",
+                          help="skip seeds already recorded as ok in "
+                               "--output")
+    campaign.add_argument("--shrink", action="store_true",
+                          help="ddmin the first disagreeing seed down "
+                               "to a minimal mutation set")
+    campaign.set_defaults(func=cmd_campaign)
 
     matrix = sub.add_parser("matrix", help="defense matrix")
     matrix.add_argument("--seed", type=int, default=1)
@@ -237,7 +377,11 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":

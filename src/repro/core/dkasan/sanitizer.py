@@ -217,6 +217,18 @@ class DKasan(MemEventSink):
     def events_of(self, kind: str) -> list[DKasanEvent]:
         return [e for e in self.events if e.kind == kind]
 
+    def detected_site_functions(self, *,
+                                kinds: tuple[str, ...] | None = None
+                                ) -> set[str]:
+        """Site-function names that triggered at least one event.
+
+        The campaign replay encodes ``path:line`` manifest identities
+        as the site-function string, so this set is the join key that
+        turns runtime events back into per-call-site detections.
+        """
+        return {e.site.function for e in self.events
+                if kinds is None or e.kind in kinds}
+
     def summary_counts(self) -> Counter:
         return Counter(e.kind for e in self.events)
 

@@ -1,8 +1,9 @@
 """SPADE: Sub-Page Analysis for DMA Exposure (section 4.1)."""
 
 from repro.core.spade.analyzer import Spade
-from repro.core.spade.findings import Finding, Table2Stats
+from repro.core.spade.findings import (Finding, Table2Stats,
+                                       exposures_by_site)
 from repro.core.spade.report import format_finding_trace, format_table2
 
-__all__ = ["Spade", "Finding", "Table2Stats", "format_finding_trace",
-           "format_table2"]
+__all__ = ["Spade", "Finding", "Table2Stats", "exposures_by_site",
+           "format_finding_trace", "format_table2"]

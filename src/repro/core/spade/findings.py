@@ -80,6 +80,16 @@ class Table2Stats:
         ]
 
 
+def exposures_by_site(findings: list["Finding"]
+                      ) -> dict[tuple[str, int], frozenset[str]]:
+    """Per-call-site exposure labels, keyed like the corpus manifest.
+
+    The campaign's differential oracle joins this map against
+    :class:`repro.corpus.manifest.Manifest` ground truth.
+    """
+    return {(f.file, f.line): frozenset(f.exposures) for f in findings}
+
+
 @dataclass
 class ValidationResult:
     """SPADE vs. the generator's ground truth."""

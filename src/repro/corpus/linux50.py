@@ -76,6 +76,33 @@ LINUX50_COMPOSITION: tuple[CategorySpec, ...] = (
 )
 
 
+def scaled_composition(scale: float, *,
+                       composition: tuple[CategorySpec, ...] =
+                       LINUX50_COMPOSITION) -> tuple[CategorySpec, ...]:
+    """A proportionally shrunken composition for fast campaign seeds.
+
+    Every category keeps at least one file (its first bucket), so the
+    full vulnerability-pattern mix survives even at tiny scales; file
+    counts in each bucket are rounded, calls-per-file are preserved.
+    ``scale >= 1.0`` returns *composition* unchanged.
+    """
+    if scale <= 0:
+        raise ValueError(f"bad composition scale {scale}")
+    if scale >= 1.0:
+        return composition
+    scaled = []
+    for spec in composition:
+        buckets = []
+        for index, (nr_files, calls_per_file) in enumerate(spec.buckets):
+            nr_scaled = round(nr_files * scale)
+            if index == 0:
+                nr_scaled = max(1, nr_scaled)
+            if nr_scaled:
+                buckets.append((nr_scaled, calls_per_file))
+        scaled.append(CategorySpec(spec.name, tuple(buckets)))
+    return tuple(scaled)
+
+
 def expected_table2() -> dict[str, tuple[int, int]]:
     """Table 2 rows implied by the composition: name -> (calls, files)."""
     by_name = {spec.name: spec for spec in LINUX50_COMPOSITION}

@@ -85,6 +85,15 @@ class AnalysisError(ReproError):
     """SPADE failed to parse or index a source file it must understand."""
 
 
+class CampaignError(ReproError):
+    """A differential-fuzzing campaign hit an inconsistent state.
+
+    Raised for unknown mutation kinds, mutations that desynchronize a
+    tree from its manifest, and shrink predicates that do not hold on
+    the full mutation list.
+    """
+
+
 class AttackFailed(ReproError):
     """An attack step could not complete.
 

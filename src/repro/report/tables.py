@@ -38,6 +38,27 @@ class PaperComparison:
         return "\n".join(lines)
 
 
+def precision_recall_row(label: str, tp: int, fp: int,
+                         fn: int) -> list[str]:
+    """One formatted row for a detector-quality table.
+
+    Empty denominators render as ``--`` rather than a fake 1.000, so
+    campaign summaries never claim perfection over zero samples.
+    """
+    precision = f"{tp / (tp + fp):.3f}" if tp + fp else "--"
+    recall = f"{tp / (tp + fn):.3f}" if tp + fn else "--"
+    return [label, str(tp), str(fp), str(fn), precision, recall]
+
+
+def format_precision_recall(title: str,
+                            rows: list[tuple[str, int, int, int]]) -> str:
+    """Render (label, tp, fp, fn) rows as a Table-2-style text block."""
+    table = render_table(
+        ["label", "tp", "fp", "fn", "precision", "recall"],
+        [precision_recall_row(*row) for row in rows])
+    return f"== {title} ==\n{table}"
+
+
 def render_table(headers: list[str], rows: list[list[str]]) -> str:
     """Fixed-width text table."""
     widths = [len(h) for h in headers]

@@ -126,6 +126,72 @@ def run_compile_and_ping(kernel: "Kernel", nic: "Nic", *,
 
 
 @dataclass
+class ReplayStats:
+    sites_replayed: int = 0
+    maps: int = 0
+    sub_page_maps: int = 0
+
+
+def run_manifest_replay(kernel: "Kernel", manifest, *,
+                        device_name: str = "camp0",
+                        max_sites: int | None = None,
+                        cpu: int = 0) -> ReplayStats:
+    """Drive the kernel through every dma-map call site of a corpus
+    manifest, so D-KASAN sees the same population SPADE analyzed.
+
+    Each :class:`~repro.corpus.manifest.CallSiteTruth` is replayed as a
+    page-sized slab object whose alloc site encodes the manifest
+    identity (``path:line``); the mapping shape follows the site's
+    ground-truth category:
+
+    * vulnerable struct/skb/page_frag sites map a *sub-range* of the
+      object, so the rest of the object is a co-located bystander on a
+      device-visible page -- D-KASAN's ``map-after-alloc`` signal;
+    * ``type_c`` sites additionally map a second overlapping window
+      (page_frag chunk sharing), adding ``multiple-map``;
+    * ``stack`` sites map the full page: the kernel stack is not an
+      allocator-tracked object, so a runtime allocator sanitizer is
+      structurally blind to them (SPADE-only territory);
+    * benign sites map exactly their buffer, which is the one shape
+      the DMA API makes safe at page granularity.
+
+    Objects are unmapped and freed site-by-site, keeping replays
+    independent of ordering and of physical page reuse.
+    """
+    from repro.mem.phys import PAGE_SIZE
+
+    kernel.iommu.attach_device(device_name)
+    stats = ReplayStats()
+    for site in manifest.sites:
+        if max_sites is not None and stats.sites_replayed >= max_sites:
+            break
+        alloc_site = AllocSite(f"{site.path}:{site.line}")
+        kva = kernel.slab.kmalloc(PAGE_SIZE, cpu=cpu, site=alloc_site)
+        windows: list[tuple[int, int]] = []
+        dynamic_visible = site.vulnerable \
+            and site.exposures != frozenset({"stack"})
+        if dynamic_visible:
+            windows.append((kva + PAGE_SIZE // 4, PAGE_SIZE // 4))
+            stats.sub_page_maps += 1
+            if "type_c" in site.exposures:
+                windows.append((kva + PAGE_SIZE // 2, PAGE_SIZE // 4))
+        else:
+            windows.append((kva, PAGE_SIZE))
+        iovas = []
+        for map_kva, map_len in windows:
+            iovas.append((kernel.dma.dma_map_single(
+                device_name, map_kva, map_len, "DMA_FROM_DEVICE",
+                site=alloc_site), map_len))
+            stats.maps += 1
+        for iova, map_len in iovas:
+            kernel.dma.dma_unmap_single(device_name, iova, map_len,
+                                        "DMA_FROM_DEVICE")
+        kernel.slab.kfree(kva)
+        stats.sites_replayed += 1
+    return stats
+
+
+@dataclass
 class StorageWorkloadStats:
     commands: int = 0
     bytes_transferred: int = 0

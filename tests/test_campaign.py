@@ -1,0 +1,209 @@
+"""Campaign subsystem: mutator, differential oracle, shrinker.
+
+Everything runs on a scaled-down composition so the whole module
+stays in the tier-1 time budget; the mutation/oracle/shrink semantics
+are scale-independent.
+"""
+
+import pytest
+
+from repro.campaign import (MUTATION_KINDS, CorpusMutator, Mutation,
+                            run_differential, shrink_seed)
+from repro.campaign.shrink import shrink_mutations
+from repro.errors import CampaignError
+
+SCALE = 0.1
+
+
+@pytest.fixture(scope="module")
+def mutator() -> CorpusMutator:
+    return CorpusMutator(2021, scale=SCALE)
+
+
+@pytest.fixture(scope="module")
+def eligible(mutator):
+    _tree, manifest = mutator.base()
+    return mutator._eligible_paths(manifest)
+
+
+# -- mutation planning and application ------------------------------------------
+
+
+def test_plan_is_deterministic(mutator):
+    assert mutator.plan(7, 6) == mutator.plan(7, 6)
+    assert mutator.plan(7, 6) != mutator.plan(8, 6)
+
+
+def test_plan_kinds_are_known(mutator):
+    for mutation in mutator.plan(3, 12):
+        assert mutation.kind in MUTATION_KINDS
+
+
+def test_derive_is_deterministic(mutator):
+    first = mutator.derive(5, 4)
+    second = mutator.derive(5, 4)
+    assert first.tree.files == second.tree.files
+    assert [(s.path, s.line, s.category, s.exposures)
+            for s in first.manifest.sites] == \
+        [(s.path, s.line, s.category, s.exposures)
+         for s in second.manifest.sites]
+
+
+def test_mutated_tree_differs_from_base(mutator):
+    base_tree, base_manifest = mutator.base()
+    mutated = mutator.derive(5, 4)
+    assert mutated.tree.files != base_tree.files
+    assert len(mutated.mutations) == 4
+
+
+def test_unknown_mutation_kind_rejected(mutator):
+    with pytest.raises(CampaignError):
+        mutator.apply([Mutation("teleport", "drivers/x/x_main.c")])
+
+
+def test_truth_preserving_mutations_keep_manifest_totals(mutator,
+                                                         eligible):
+    _base_tree, base_manifest = mutator.base()
+    mutations = [Mutation("pad-struct", eligible["pad-struct"][0]),
+                 Mutation("swap-direction",
+                          eligible["swap-direction"][1]),
+                 Mutation("move-callback", eligible["move-callback"][0])]
+    mutated = mutator.apply(mutations)
+    assert mutated.manifest.nr_calls == base_manifest.nr_calls
+    assert mutated.manifest.table2_rows() == base_manifest.table2_rows()
+
+
+def test_clone_benign_grows_manifest(mutator, eligible):
+    _tree, base_manifest = mutator.base()
+    path = eligible["clone-benign"][0]
+    mutated = mutator.apply([Mutation("clone-benign", path)])
+    assert mutated.manifest.nr_calls == base_manifest.nr_calls + 1
+    new_site = max(mutated.manifest.by_path(path),
+                   key=lambda s: s.line)
+    assert new_site.category == "benign"
+    assert not new_site.vulnerable
+
+
+def test_manifest_lines_track_mutated_text(mutator, eligible):
+    path = eligible["pad-struct"][0]
+    mutated = mutator.apply([Mutation("pad-struct", path)])
+    text_lines = mutated.tree.read(path).splitlines()
+    for site in mutated.manifest.by_path(path):
+        assert "dma_map_single(" in text_lines[site.line - 1]
+
+
+def test_opaque_map_expr_rewrites_call_site(mutator, eligible):
+    path = eligible["opaque-map-expr"][0]
+    mutated = mutator.apply([Mutation("opaque-map-expr", path,
+                                      detail="24")])
+    text = mutated.tree.read(path)
+    assert "mut_p0 = (u8 *)" in text
+    assert "+ 24;" in text
+    # ground truth is unchanged: the struct page is still exposed
+    base_sites = CorpusMutator(2021, scale=SCALE).base()[1].by_path(path)
+    assert [s.exposures for s in mutated.manifest.by_path(path)] == \
+        [s.exposures for s in base_sites]
+
+
+# -- differential oracle ----------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def clean_differential(mutator):
+    tree, manifest = mutator.base()
+    return run_differential(tree, manifest, seed=11)
+
+
+def test_clean_corpus_spade_is_perfect(clean_differential):
+    assert clean_differential.spade.precision == 1.0
+    assert clean_differential.spade.recall == 1.0
+
+
+def test_clean_corpus_dkasan_misses_only_stack(clean_differential):
+    score = clean_differential.dkasan
+    assert score.precision == 1.0
+    assert score.fn == score.per_type["stack"][2] > 0
+    for verdict in {d.verdict for d in clean_differential.disagreements}:
+        assert verdict == "dkasan-miss"
+    assert all(d.category == "stack"
+               for d in clean_differential.disagreements)
+
+
+def test_injected_spade_fn_surfaces_as_disagreement(mutator, eligible):
+    """The acceptance-criteria scenario: a mutated callback offset
+    makes SPADE blind while D-KASAN still sees the exposure."""
+    path = eligible["opaque-map-expr"][0]
+    mutated = mutator.apply([Mutation("opaque-map-expr", path,
+                                      detail="16")])
+    result = run_differential(mutated.tree, mutated.manifest, seed=11)
+    misses = [d for d in result.disagreements
+              if d.verdict == "spade-miss"]
+    assert len(misses) == 1
+    miss = misses[0]
+    assert miss.path == path
+    assert miss.dkasan_hit
+    assert not miss.spade_labels
+    assert set(miss.truth) & {"callback_direct", "callback_spoof"}
+    assert result.spade.recall < 1.0
+    assert any(path in exemplar
+               for exemplar in result.spade_fn_exemplars)
+
+
+# -- shrinker ---------------------------------------------------------------------
+
+
+def test_shrinker_minimizes_to_injected_mutation(mutator, eligible):
+    target_path = eligible["opaque-map-expr"][0]
+    mutations = [
+        Mutation("pad-struct", eligible["pad-struct"][0]),
+        Mutation("swap-direction", eligible["swap-direction"][1]),
+        Mutation("opaque-map-expr", target_path, detail="16"),
+        Mutation("clone-benign", eligible["clone-benign"][2]),
+        Mutation("move-callback", eligible["move-callback"][0]),
+    ]
+    mutated = mutator.apply(mutations)
+    result = run_differential(mutated.tree, mutated.manifest, seed=11)
+    target = next(d for d in result.disagreements
+                  if d.verdict == "spade-miss")
+    shrunk = shrink_seed(mutator, 11, mutations, target)
+    assert [(m.kind, m.path) for m in shrunk.mutations] == \
+        [("opaque-map-expr", target_path)]
+    # the minimal tree still reproduces the disagreement
+    minimal = run_differential(shrunk.corpus.tree,
+                               shrunk.corpus.manifest, seed=11)
+    assert any(d.verdict == "spade-miss" and d.path == target_path
+               for d in minimal.disagreements)
+
+
+def test_shrink_rejects_non_reproducing_target(mutator, eligible):
+    mutations = [Mutation("pad-struct", eligible["pad-struct"][0])]
+    with pytest.raises(CampaignError):
+        shrink_mutations(mutations, lambda _subset: False)
+
+
+def test_shrink_base_disagreement_yields_empty_set():
+    """A disagreement the unmutated corpus already produces must not
+    be pinned on an innocent mutation -- it shrinks to nothing."""
+    mutations = [Mutation("pad-struct", f"drivers/a/d{i}/d{i}_main.c")
+                 for i in range(4)]
+    minimal, evaluations, history = shrink_mutations(
+        mutations, lambda _subset: True)
+    assert minimal == []
+    assert evaluations == 2  # full list + empty set, nothing else
+    assert history == [4, 0]
+
+
+def test_shrink_keeps_all_when_all_needed():
+    calls = []
+
+    def predicate(subset):
+        calls.append(len(subset))
+        return len(subset) == 3
+
+    mutations = [Mutation("pad-struct", f"drivers/a/d{i}/d{i}_main.c")
+                 for i in range(3)]
+    minimal, evaluations, history = shrink_mutations(mutations,
+                                                     predicate)
+    assert len(minimal) == 3
+    assert evaluations == len(calls)
+    assert history == [3]

@@ -1,0 +1,103 @@
+"""CLI contract: --version, campaign subcommand, uniform exit codes.
+
+Bad input always exits 2 with a message on stderr, success exits 0 --
+regardless of which subcommand the bad input reached.
+"""
+
+import json
+
+import pytest
+
+from repro import __version__
+from repro.cli import build_parser, main
+
+
+def test_version_flag(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--version"])
+    assert excinfo.value.code == 0
+    assert f"repro-dma {__version__}" in capsys.readouterr().out
+
+
+def test_unknown_attack_exits_2(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["attack", "teleport"])
+    assert excinfo.value.code == 2
+    assert "invalid choice" in capsys.readouterr().err
+
+
+def test_audit_nonexistent_tree_exits_2(capsys, tmp_path):
+    code = main(["audit", "--tree", str(tmp_path / "nope")])
+    assert code == 2
+    assert "not a directory" in capsys.readouterr().err
+
+
+def test_audit_empty_tree_exits_2(capsys, tmp_path):
+    code = main(["audit", "--tree", str(tmp_path)])
+    assert code == 2
+    assert "no C sources" in capsys.readouterr().err
+
+
+@pytest.mark.parametrize("argv", [
+    ["sanitize", "--rounds", "0"],
+    ["sanitize", "--rounds", "-3"],
+    ["sanitize", "--rounds", "many"],
+    ["attack", "ringflood", "--profile-boots", "0"],
+    ["campaign", "--seeds", "0"],
+    ["campaign", "--jobs", "-1"],
+    ["campaign", "--timeout", "0"],
+    ["campaign", "--scale", "-0.5"],
+    ["campaign", "--mutations", "0"],
+])
+def test_bad_numeric_input_exits_2(capsys, argv):
+    with pytest.raises(SystemExit) as excinfo:
+        main(argv)
+    assert excinfo.value.code == 2
+    assert "error" in capsys.readouterr().err
+
+
+def test_campaign_unwritable_output_exits_2(capsys):
+    code = main(["campaign", "--seeds", "1",
+                 "--output", "/dev/null/x.jsonl"])
+    assert code == 2
+    assert "--output" in capsys.readouterr().err
+
+
+def test_campaign_parser_defaults():
+    args = build_parser().parse_args(["campaign"])
+    assert args.seeds == 20 and args.jobs == 1
+    assert args.timeout == 120.0 and args.scale == 1.0
+    assert args.output == "campaign/results.jsonl"
+    assert not args.resume and not args.shrink
+
+
+def test_cli_campaign_smoke(capsys, tmp_path):
+    out = tmp_path / "results.jsonl"
+    code = main(["campaign", "--seeds", "2", "--jobs", "1",
+                 "--scale", "0.08", "--mutations", "2",
+                 "--output", str(out)])
+    captured = capsys.readouterr().out
+    assert code == 0
+    assert "campaign: 2 seeds (2 ok, 0 failed)" in captured
+    assert "SPADE (static, per exposure label)" in captured
+    assert "D-KASAN (dynamic, per corpus category)" in captured
+    records = [json.loads(line)
+               for line in out.read_text().splitlines()]
+    assert [record["seed"] for record in records] == [1, 2]
+    assert all(record["status"] == "ok" for record in records)
+
+
+def test_cli_campaign_resume_and_shrink(capsys, tmp_path):
+    out = tmp_path / "results.jsonl"
+    base = ["campaign", "--seeds", "2", "--scale", "0.08",
+            "--mutations", "4", "--output", str(out)]
+    assert main(base) == 0
+    capsys.readouterr()
+    # resume: zero redundant work, shrink minimizes a disagreeing seed
+    code = main(base + ["--resume", "--shrink"])
+    captured = capsys.readouterr().out
+    assert code == 0
+    assert "seed 1:" not in captured.split("campaign:")[0]
+    if "shrunk seed" in captured:
+        assert "mutation(s) in" in captured
+    assert len(out.read_text().splitlines()) == 2

@@ -38,18 +38,37 @@ def test_tree_shape(corpus):
     assert tree.total_lines > 20_000
 
 
+def _manifest_identity(manifest):
+    return [(s.path, s.line, s.category, s.exposures, s.vulnerable)
+            for s in manifest.sites]
+
+
 def test_generation_is_deterministic():
+    """Same seed must give a byte-identical tree and manifest --
+    campaign resume and shrinking both rely on exact regeneration."""
     a_tree, a_manifest = CorpusGenerator(seed=99).generate()
     b_tree, b_manifest = CorpusGenerator(seed=99).generate()
-    assert a_tree.files == b_tree.files
-    assert [(s.path, s.line, s.category) for s in a_manifest.sites] == \
-        [(s.path, s.line, s.category) for s in b_manifest.sites]
+    assert a_tree.files == b_tree.files  # full text, every file
+    assert _manifest_identity(a_manifest) == _manifest_identity(b_manifest)
 
 
 def test_different_seeds_differ():
-    a_tree, _ = CorpusGenerator(seed=1).generate()
-    b_tree, _ = CorpusGenerator(seed=2).generate()
+    a_tree, a_manifest = CorpusGenerator(seed=1).generate()
+    b_tree, b_manifest = CorpusGenerator(seed=2).generate()
     assert a_tree.files != b_tree.files
+    assert _manifest_identity(a_manifest) != _manifest_identity(b_manifest)
+
+
+def test_scaled_generation_is_deterministic():
+    from repro.corpus.linux50 import scaled_composition
+    composition = scaled_composition(0.1)
+    a_tree, a_manifest = CorpusGenerator(
+        seed=7, composition=composition).generate()
+    b_tree, b_manifest = CorpusGenerator(
+        seed=7, composition=composition).generate()
+    assert a_tree.files == b_tree.files
+    assert _manifest_identity(a_manifest) == _manifest_identity(b_manifest)
+    assert 0 < a_manifest.nr_calls < 1019
 
 
 def test_nvme_fc_included_once(corpus):

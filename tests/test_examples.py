@@ -11,6 +11,7 @@ EXAMPLES = [
     ("examples/invalidation_tradeoff.py", []),
     ("examples/audit_drivers.py", []),
     ("examples/full_attack_chain.py", ["--quick"]),
+    ("examples/campaign_smoke.py", []),
 ]
 
 
