@@ -42,6 +42,52 @@ def spade_results(corpus):
     return spade, spade.analyze()
 
 
+@pytest.fixture()
+def traced_invalidation():
+    """Probe the post-unmap window with the flight recorder watching.
+
+    Returns a callable ``(mode, flush_period_us=None) ->
+    (probe_window_ms, InvalidationWindows)``: the same run measured
+    two independent ways -- by actively probing device writes until
+    they fault (the Figure-6 bench method) and by pairing
+    ``iommu/fq_defer``/``fq_drain`` events out of the trace. The
+    benches assert the two agree, so drift between the counter path
+    and the tracepoint path cannot go unnoticed.
+    """
+    from repro import trace
+    from repro.errors import IommuFault
+    from repro.sim.kernel import Kernel
+
+    def _measure(mode: str, flush_period_us=None,
+                 probe_step_ms: float = 0.5):
+        assert trace.active() is None, \
+            "traced_invalidation needs the recorder slot free"
+        kwargs = {"iommu_mode": mode}
+        if flush_period_us is not None:
+            kwargs["flush_period_us"] = flush_period_us
+        with trace.session(categories=("iommu", "dma")) as recorder:
+            kernel = Kernel(seed=3, phys_mb=128, **kwargs)
+            kernel.iommu.attach_device("dev0")
+            kva = kernel.slab.kmalloc(512)
+            iova = kernel.dma.dma_map_single("dev0", kva, 512,
+                                             "DMA_FROM_DEVICE")
+            kernel.iommu.device_write("dev0", iova, b"warm")
+            kernel.dma.dma_unmap_single("dev0", iova, 512,
+                                        "DMA_FROM_DEVICE")
+            window_ms = 0.0
+            while window_ms < 50.0:
+                try:
+                    kernel.iommu.device_write("dev0", iova, b"stale")
+                except IommuFault:
+                    break
+                kernel.advance_time_ms(probe_step_ms)
+                window_ms += probe_step_ms
+        windows = trace.derive_invalidation_windows(recorder.events)
+        return window_ms, windows
+
+    return _measure
+
+
 def pytest_terminal_summary(terminalreporter):
     if not _COMPARISONS:
         return

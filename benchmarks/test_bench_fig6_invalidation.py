@@ -86,6 +86,45 @@ def test_fig6_invalidation(benchmark, record):
     record(comparison)
 
 
+def test_fig6_trace_derived_window(traced_invalidation, record):
+    """The flight recorder recomputes Figure 6 from events alone.
+
+    ``iommu/fq_defer`` -> ``fq_drain`` gaps in the trace must agree
+    with the probe-derived window (within one probe step), and strict
+    mode must show only zero-width synchronous invalidations.
+    """
+    comparison = PaperComparison(
+        "E7c / Figure 6 cross-check: trace-derived window")
+    probe_ms, windows = traced_invalidation("deferred")
+    assert windows.nr_windows >= 1
+    assert windows.nr_unpaired == 0
+    assert abs(windows.max_ms - probe_ms) <= 0.6
+    comparison.add("deferred window, probe vs trace",
+                   "identical (two measurement paths)",
+                   f"{probe_ms:.1f} ms vs {windows.max_ms:.1f} ms")
+
+    strict_probe_ms, strict_windows = traced_invalidation("strict")
+    assert strict_probe_ms == 0.0
+    assert strict_windows.nr_sync >= 1
+    assert strict_windows.max_ms == 0.0
+    comparison.add("strict window, probe vs trace",
+                   "both zero",
+                   f"{strict_probe_ms:.1f} ms vs "
+                   f"{strict_windows.max_ms:.1f} ms "
+                   f"({strict_windows.nr_sync} sync invalidations)")
+
+    # The ablation sweep agrees too: the trace window tracks the
+    # flush period exactly as the probe does.
+    for period_ms in (1.0, 5.0, 20.0):
+        probe, traced = traced_invalidation(
+            "deferred", flush_period_us=period_ms * 1000)
+        assert abs(traced.max_ms - probe) <= 0.6
+        comparison.add(f"  ablation @ {period_ms:.0f} ms flush",
+                       "probe == trace",
+                       f"{probe:.1f} ms vs {traced.max_ms:.1f} ms")
+    record(comparison)
+
+
 def test_sec521_page_reuse(benchmark, record):
     """Section 5.2.1's second consequence: the freed page is reused by
     the OS while the device still holds a stale translation."""

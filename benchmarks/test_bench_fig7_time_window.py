@@ -81,3 +81,50 @@ def test_fig7_time_window(benchmark, record):
                     "paper's point that strict mode 'does not alleviate "
                     "the security threats'")
     record(comparison)
+
+
+def test_fig7_trace_cross_check(record):
+    """The flight recorder sees Figure 7's mechanisms directly.
+
+    Path (ii) is *made of* stale IOTLB hits, so a traced run of the
+    deferred/unmap_first probe must log ``iommu/stale_hit`` events and
+    open flush-queue windows; the strict run must instead log only
+    synchronous (zero-width) invalidations.
+    """
+    from repro import trace
+
+    with trace.session(categories=("iommu",)) as recorder:
+        kernel = Kernel(seed=17, phys_mb=256, iommu_mode="deferred",
+                        boot_jitter_pages=0, boot_jitter_blocks=0)
+        nic = kernel.add_nic("eth0", unmap_order="unmap_first")
+        device = MaliciousDevice(
+            kernel.iommu, "eth0",
+            AttackerKnowledge.from_public_build(kernel.image))
+        info_off = skb_shared_info_offset(nic.rx_buf_size)
+        packet = make_packet(dst_ip=0x0A00_0001, dst_port=9999,
+                             proto=PROTO_UDP, flow_id=0,
+                             payload=b"\x00" * 32)
+        window = open_rx_window(kernel, nic, device, packet)
+        used = window.write(info_off + 40, b"\x00" * 8)
+    assert "ii" in used
+    stale = trace.stale_access_count(recorder.events)
+    windows = trace.derive_invalidation_windows(recorder.events)
+    assert stale >= 1
+    assert windows.nr_windows + windows.nr_unpaired >= 1
+    assert windows.nr_sync == 0
+
+    with trace.session(categories=("iommu",)) as recorder:
+        strict_paths = probe_paths("strict", "unmap_first")
+    assert strict_paths == {"iii"}
+    strict_windows = trace.derive_invalidation_windows(recorder.events)
+    assert strict_windows.nr_sync >= 1
+    assert strict_windows.max_ms == 0.0
+    assert trace.stale_access_count(recorder.events) == 0
+
+    comparison = PaperComparison(
+        "E8b / Figure 7 cross-check: tracepoints see the mechanisms")
+    comparison.add("path (ii) stale IOTLB hits in the trace",
+                   ">= 1", stale)
+    comparison.add("strict run synchronous invalidations",
+                   ">= 1, zero-width", strict_windows.nr_sync)
+    record(comparison)

@@ -103,6 +103,9 @@ class DifferentialResult:
     disagreements: list[Disagreement]
     spade_fn_exemplars: list[str] = field(default_factory=list)
     dkasan_fn_exemplars: list[str] = field(default_factory=list)
+    #: last-N flight-recorder events from the dynamic replay, captured
+    #: only when the detectors disagreed (JSON dicts, oldest first)
+    trace_tail: list[dict] = field(default_factory=list)
 
     @property
     def agreement_rate(self) -> float:
@@ -113,8 +116,18 @@ class DifferentialResult:
 
 def run_differential(tree: SourceTree, manifest: Manifest, *,
                      seed: int = 0, max_exemplars: int = 5,
-                     phys_mb: int = 256) -> DifferentialResult:
-    """Run both detectors over one (tree, manifest) pair and score."""
+                     phys_mb: int = 256,
+                     trace_events: int = 0) -> DifferentialResult:
+    """Run both detectors over one (tree, manifest) pair and score.
+
+    ``trace_events > 0`` runs the dynamic replay under a bounded
+    flight recorder (dma/iommu/dkasan categories) whose last *N*
+    events are attached to the result when the detectors disagree --
+    the context a triager needs to see *why* D-KASAN fired (or stayed
+    silent) at the disputed call site. An already-installed recorder
+    (e.g. a surrounding ``repro-dma trace`` session) is reused as-is.
+    """
+    from repro import trace
     from repro.core.dkasan import DKasan
     from repro.core.spade import Spade, exposures_by_site
     from repro.sim.kernel import Kernel
@@ -122,11 +135,26 @@ def run_differential(tree: SourceTree, manifest: Manifest, *,
 
     spade_labels = exposures_by_site(Spade(tree).analyze())
 
-    dkasan = DKasan(phys_mb << 20)
-    kernel = Kernel(seed=seed, phys_mb=phys_mb, iommu_mode="strict",
-                    boot_jitter_pages=0, boot_jitter_blocks=0,
-                    sink=dkasan)
-    run_manifest_replay(kernel, manifest)
+    recorder = None
+    owns_recorder = False
+    if trace_events > 0:
+        recorder = trace.active()
+        if recorder is None:
+            # capacity == N: the drop-oldest ring natively keeps the
+            # last N events, bounding per-seed memory in big campaigns
+            recorder = trace.install(trace.TraceRecorder(
+                capacity=trace_events,
+                categories=("dma", "iommu", "dkasan")))
+            owns_recorder = True
+    try:
+        dkasan = DKasan(phys_mb << 20)
+        kernel = Kernel(seed=seed, phys_mb=phys_mb, iommu_mode="strict",
+                        boot_jitter_pages=0, boot_jitter_blocks=0,
+                        sink=dkasan)
+        run_manifest_replay(kernel, manifest)
+    finally:
+        if owns_recorder:
+            trace.uninstall()
     dynamic_hits = dkasan.detected_site_functions()
 
     spade_score = DetectorScore()
@@ -176,6 +204,10 @@ def run_differential(tree: SourceTree, manifest: Manifest, *,
             tuple(sorted(site.exposures)), tuple(sorted(predicted)),
             dkasan_hit, verdict))
 
+    trace_tail: list[dict] = []
+    if recorder is not None and disagreements:
+        trace_tail = [event.to_json()
+                      for event in recorder.tail(trace_events)]
     return DifferentialResult(seed, manifest.nr_calls, spade_score,
                               dkasan_score, disagreements,
-                              spade_fn, dkasan_fn)
+                              spade_fn, dkasan_fn, trace_tail)

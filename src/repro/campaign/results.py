@@ -37,6 +37,7 @@ def result_record(result: DifferentialResult,
         "disagreements": [d.to_json() for d in result.disagreements],
         "spade_fn_exemplars": result.spade_fn_exemplars,
         "dkasan_fn_exemplars": result.dkasan_fn_exemplars,
+        "trace_tail": result.trace_tail,
     }
 
 

@@ -46,6 +46,8 @@ class CampaignConfig:
     phys_mb: int = 256
     output: str | None = "campaign/results.jsonl"
     resume: bool = False
+    #: flight-recorder events attached to disagreeing seeds (0 = off)
+    trace_events: int = 64
 
     @property
     def seeds(self) -> list[int]:
@@ -62,13 +64,14 @@ def _alarm_handler(_signum, _frame):
 
 def run_seed(seed: int, *, base_seed: int = 2021,
              mutations_per_seed: int = 6, scale: float = 1.0,
-             phys_mb: int = 256) -> dict:
+             phys_mb: int = 256, trace_events: int = 64) -> dict:
     """Derive, analyze, replay, and score one campaign seed."""
     start = time.monotonic()
     mutator = CorpusMutator(base_seed, scale=scale)
     mutated = mutator.derive(seed, mutations_per_seed)
     result = run_differential(mutated.tree, mutated.manifest, seed=seed,
-                              phys_mb=phys_mb)
+                              phys_mb=phys_mb,
+                              trace_events=trace_events)
     return result_record(result, mutated.mutations,
                          duration_s=time.monotonic() - start)
 
@@ -84,7 +87,8 @@ def _guarded_run_seed(seed: int, config: "CampaignConfig", *,
     try:
         return run_seed(seed, base_seed=config.base_seed,
                         mutations_per_seed=config.mutations_per_seed,
-                        scale=config.scale, phys_mb=config.phys_mb)
+                        scale=config.scale, phys_mb=config.phys_mb,
+                        trace_events=config.trace_events)
     except _SeedTimeout:
         return failure_record(seed, "timeout",
                               f"exceeded {config.timeout_s}s",

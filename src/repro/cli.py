@@ -9,6 +9,8 @@ Subcommands mirror the paper's workflow:
 * ``oscompare`` -- the Windows/macOS/FreeBSD scenarios (section 7)
 * ``campaign``  -- parallel differential fuzzing: SPADE vs D-KASAN
   over many mutated corpora, scored against ground truth
+* ``trace``     -- run a workload or attack under the flight recorder
+  and export the trace (JSONL, chrome://tracing, text timeline)
 
 Exit codes are uniform across subcommands: 0 success, 1 the
 experiment ran but its claim failed (attack blocked, seeds failed),
@@ -199,6 +201,97 @@ def cmd_attack(args) -> int:
     return 0 if report.escalated else 1
 
 
+def cmd_trace(args) -> int:
+    from repro import trace as tracing
+    from repro.report import (render_invalidation_report,
+                              render_timeline, render_trace_summary)
+    from repro.sim.kernel import Kernel
+
+    categories = None
+    if args.categories:
+        requested = tuple(dict.fromkeys(
+            c.strip() for c in args.categories.split(",") if c.strip()))
+        unknown = sorted(set(requested) - set(tracing.CATEGORIES))
+        if unknown:
+            return _fail(
+                f"unknown trace categories: {', '.join(unknown)} "
+                f"(choose from {', '.join(tracing.CATEGORIES)})")
+        if not requested:
+            return _fail("--categories: empty category list")
+        categories = requested
+    if tracing.active() is not None:
+        return _fail("a trace session is already active")
+
+    profile = None
+    if args.workload == "ringflood":
+        # Replica profiling boots dozens of throwaway kernels; do it
+        # before installing the recorder so their clocks and allocator
+        # churn stay out of the victim's trace.
+        from repro.core.attacks.ringflood import profile_replica_boots
+        profile = profile_replica_boots(args.profile_boots,
+                                        seed=args.seed, nr_slots=48)
+
+    claim_ok = True
+    with tracing.session(capacity=args.capacity,
+                         categories=categories) as recorder:
+        if args.workload == "ringflood":
+            from repro.core.attacks.ringflood import (make_attacker,
+                                                      run_ringflood)
+            victim = Kernel(seed=args.seed,
+                            iommu_mode=args.iommu_mode)
+            nic = victim.add_nic("eth0")
+            device = make_attacker(victim, "eth0")
+            report = run_ringflood(victim, nic, device, profile,
+                                   nr_slots=12)
+            print(f"ringflood: flooded {report.slots_flooded} slots, "
+                  f"hijacked {report.slots_hijacked}, "
+                  f"escalated={report.escalated}")
+        elif args.workload == "compile-ping":
+            from repro.sim.workload import run_compile_and_ping
+            kernel = Kernel(seed=args.seed, phys_mb=256,
+                            iommu_mode=args.iommu_mode)
+            nic = kernel.add_nic("eth0")
+            stats = run_compile_and_ping(kernel, nic,
+                                         rounds=args.rounds)
+            print(f"compile-ping: {stats.allocations} allocations, "
+                  f"{stats.pings} pings")
+        else:  # storage
+            from repro.sim.workload import run_storage_workload
+            kernel = Kernel(seed=args.seed, phys_mb=256,
+                            iommu_mode=args.iommu_mode)
+            stats = run_storage_workload(kernel,
+                                         commands=args.commands)
+            print(f"storage: {stats.commands} commands, "
+                  f"{stats.bytes_transferred} bytes")
+
+        summary = tracing.summary_record(recorder)
+        events = list(recorder.events)
+        print(f"trace: {recorder.nr_events} events retained, "
+              f"{recorder.nr_emitted} emitted, "
+              f"{recorder.dropped} dropped")
+        if recorder.nr_emitted == 0:
+            print("trace claim failed: no events captured "
+                  "(category filter too narrow?)", file=sys.stderr)
+            claim_ok = False
+
+        if args.output:
+            nr = tracing.dump_jsonl(recorder, args.output)
+            print(f"wrote {nr} JSONL lines to {args.output}")
+        if args.chrome:
+            nr = tracing.dump_chrome_trace(recorder, args.chrome)
+            print(f"wrote {nr} chrome trace events to {args.chrome}")
+
+    if args.timeline:
+        print()
+        print(render_timeline(events, last=args.last))
+    if args.summary:
+        print()
+        print(render_trace_summary(summary))
+        windows = tracing.derive_invalidation_windows(events)
+        print(render_invalidation_report(windows))
+    return 0 if claim_ok else 1
+
+
 def cmd_matrix(args) -> int:
     from repro.core.defenses.policy import evaluate_matrix, matrix_rows
     cells = evaluate_matrix(seed=args.seed)
@@ -244,7 +337,8 @@ def cmd_campaign(args) -> int:
         nr_seeds=args.seeds, seed_base=args.seed_base, jobs=args.jobs,
         base_seed=args.base_seed,
         mutations_per_seed=args.mutations, timeout_s=args.timeout,
-        scale=args.scale, output=args.output, resume=args.resume)
+        scale=args.scale, output=args.output, resume=args.resume,
+        trace_events=args.trace_events)
 
     if config.output:
         try:
@@ -359,10 +453,49 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--resume", action="store_true",
                           help="skip seeds already recorded as ok in "
                                "--output")
+    campaign.add_argument("--trace-events", type=int, default=64,
+                          metavar="N",
+                          help="attach the last N flight-recorder "
+                               "events to disagreeing seeds "
+                               "(0 disables tracing)")
     campaign.add_argument("--shrink", action="store_true",
                           help="ddmin the first disagreeing seed down "
                                "to a minimal mutation set")
     campaign.set_defaults(func=cmd_campaign)
+
+    trace = sub.add_parser(
+        "trace",
+        help="run a workload under the flight recorder")
+    trace.add_argument("--workload",
+                       choices=("ringflood", "compile-ping", "storage"),
+                       default="compile-ping")
+    trace.add_argument("--seed", type=int, default=5)
+    trace.add_argument("--iommu-mode", choices=("deferred", "strict"),
+                       default="deferred")
+    trace.add_argument("--categories", metavar="CAT[,CAT...]",
+                       help="comma-separated trace categories "
+                            "(default: all)")
+    trace.add_argument("--capacity", type=_positive_int,
+                       default=65536,
+                       help="ring capacity (drop-oldest beyond this)")
+    trace.add_argument("--rounds", type=_positive_int, default=20,
+                       help="compile-ping workload rounds")
+    trace.add_argument("--commands", type=_positive_int, default=48,
+                       help="storage workload commands")
+    trace.add_argument("--profile-boots", type=_positive_int, default=8,
+                       help="ringflood replica boots (untraced)")
+    trace.add_argument("--output", metavar="PATH",
+                       help="write the event stream as JSONL")
+    trace.add_argument("--chrome", metavar="PATH",
+                       help="write a chrome://tracing JSON file")
+    trace.add_argument("--timeline", action="store_true",
+                       help="print a text timeline")
+    trace.add_argument("--last", type=_positive_int, default=None,
+                       help="limit the timeline to the last N events")
+    trace.add_argument("--summary", action="store_true",
+                       help="print counters, histograms, and the "
+                            "trace-derived invalidation windows")
+    trace.set_defaults(func=cmd_trace)
 
     matrix = sub.add_parser("matrix", help="defense matrix")
     matrix.add_argument("--seed", type=int, default=1)

@@ -33,6 +33,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
+from repro import trace
 from repro.core.attacks.device import MaliciousDevice
 from repro.core.attacks.kaslr_leak import break_kaslr_via_tx
 from repro.core.attacks.payload import build_attack_blob
@@ -75,7 +76,9 @@ def run_poisoned_tx(kernel: "Kernel", nic: "Nic",
     report = PoisonedTxReport(attributes=attrs)
 
     # Stage 1: KASLR break (needed to *construct* the blob at all).
-    if not break_kaslr_via_tx(kernel, nic, device, cpu=cpu):
+    with trace.span("attack", "poisoned-tx:kaslr-break"):
+        broke = break_kaslr_via_tx(kernel, nic, device, cpu=cpu)
+    if not broke:
         report.stage_log.append("KASLR break failed; aborting")
         return report
     report.stage_log.extend(device.knowledge.notes)
@@ -120,6 +123,10 @@ def run_poisoned_tx(kernel: "Kernel", nic: "Nic",
             f"blob located: struct page {page_ptr:#x} -> PFN {pfn:#x} "
             f"offset {frag_offset:#x} -> KVA {report.ubuf_kva:#x}; "
             f"TX completion withheld")
+        if trace.enabled("attack"):
+            trace.emit("attack", "poisoned-tx:blob-located",
+                       pfn=pfn, ubuf_kva=report.ubuf_kva,
+                       frag_offset=frag_offset)
         break
     if report.ubuf_kva is None:
         report.stage_log.append("echoed blob not found in TX stream")
@@ -147,5 +154,8 @@ def run_poisoned_tx(kernel: "Kernel", nic: "Nic",
         nic.device_complete_tx(desc)
     nic.tx_clean(cpu=cpu)
     report.escalated = kernel.executor.creds.is_root
+    if trace.enabled("attack"):
+        trace.emit("attack", "poisoned-tx:done",
+                   escalated=report.escalated)
     report.stage_log.append(f"escalated={report.escalated}")
     return report

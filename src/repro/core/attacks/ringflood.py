@@ -32,6 +32,7 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
+from repro import trace
 from repro.core.attacks.device import AttackerKnowledge, MaliciousDevice
 from repro.core.attacks.kaslr_leak import break_kaslr_via_tx
 from repro.core.attacks.shared_info import (execute_hijack, plan_hijack)
@@ -136,7 +137,9 @@ def run_ringflood(kernel: "Kernel", nic: "Nic", device: MaliciousDevice,
     report = RingFloodReport(attributes=attrs)
 
     # Stage 1: break KASLR from readable TX pages.
-    if not break_kaslr_via_tx(kernel, nic, device, cpu=cpu):
+    with trace.span("attack", "ringflood:kaslr-break"):
+        broke = break_kaslr_via_tx(kernel, nic, device, cpu=cpu)
+    if not broke:
         report.stage_log.append("KASLR break failed; aborting")
         return report
     report.stage_log.extend(device.knowledge.notes)
@@ -154,6 +157,10 @@ def run_ringflood(kernel: "Kernel", nic: "Nic", device: MaliciousDevice,
     for rank in range(candidate_ranks):
         if kernel.executor.creds.is_root:
             break
+        if trace.enabled("attack"):
+            trace.emit("attack", "ringflood:flood-pass", rank=rank,
+                       slots_flooded=report.slots_flooded,
+                       slots_hijacked=report.slots_hijacked)
         for attempt in range(min(nr_slots, ring.nr_desc - 2)):
             desc = ring.next_for_device()
             if desc is None:
@@ -199,6 +206,13 @@ def run_ringflood(kernel: "Kernel", nic: "Nic", device: MaliciousDevice,
             f"boot-deterministic PFN profile over {profile.nr_boots} "
             f"replica boots ({report.correct_pfn_guesses} correct guesses)")
     report.escalated = kernel.executor.creds.is_root
+    if trace.enabled("attack"):
+        trace.emit("attack", "ringflood:done",
+                   escalated=report.escalated,
+                   slots_flooded=report.slots_flooded,
+                   slots_hijacked=report.slots_hijacked,
+                   correct_pfn_guesses=report.correct_pfn_guesses,
+                   paths=sorted(report.paths_used))
     report.stage_log.append(
         f"flooded {report.slots_flooded} slots, hijacked "
         f"{report.slots_hijacked}, {report.correct_pfn_guesses} correct "

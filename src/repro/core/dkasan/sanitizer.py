@@ -19,6 +19,7 @@ import itertools
 from collections import Counter, defaultdict
 from dataclasses import dataclass
 
+from repro import trace
 from repro.core.dkasan.shadow import ShadowMemory, ShadowState
 from repro.mem.accounting import AllocSite, MemEventSink
 from repro.mem.phys import PAGE_SHIFT, PAGE_SIZE
@@ -109,6 +110,13 @@ class DKasan(MemEventSink):
               site: AllocSite, pfn: int, device: str) -> None:
         self.events.append(DKasanEvent(kind, size, perms, site, pfn,
                                        device))
+        if trace.enabled("dkasan"):
+            # trigger_seq cross-references the tracepoint (dma map,
+            # device access, ...) whose handling raised this finding --
+            # the most recent event in the flight recorder.
+            trace.emit("dkasan", kind, size=size,
+                       perms=list(perms), site=str(site), pfn=pfn,
+                       device=device, trigger_seq=trace.last_seq())
 
     # -- MemEventSink implementation -------------------------------------------
 

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import trace
 from repro.dma.tracking import MappingRegistry
 from repro.errors import DmaApiError
 from repro.iommu.iommu import Iommu
@@ -77,6 +78,11 @@ class DmaApi:
             direction=direction, perm=perm, site=site,
             mapped_at_us=self._clock.now_us, first_pfn=first_pfn,
             nr_pages=nr_pages)
+        if trace.enabled("dma"):
+            trace.emit("dma", "map", device=device, iova=iova, kva=kva,
+                       size=size, perm=perm.value, direction=direction,
+                       nr_pages=nr_pages, site=str(site))
+            trace.count("dma", "maps")
         self._sink.on_dma_map(paddr, size, perm.value, device, site)
         return iova
 
@@ -98,6 +104,13 @@ class DmaApi:
                 f"dma_unmap_single mismatch: mapped (size={mapping.size}, "
                 f"{mapping.direction}), unmapped (size={size}, {direction})")
         self.registry.remove(device, iova, now_us=self._clock.now_us)
+        if trace.enabled("dma"):
+            trace.emit("dma", "unmap", device=device, iova=iova,
+                       kva=mapping.kva, size=size, perm=mapping.perm.value,
+                       direction=direction, nr_pages=mapping.nr_pages)
+            trace.count("dma", "unmaps")
+            trace.observe("dma", "mapping_lifetime_us",
+                          self._clock.now_us - mapping.mapped_at_us)
         iova_base = iova & ~(PAGE_SIZE - 1)
         for i in range(mapping.nr_pages):
             self._iommu.unmap_page(device, (iova_base >> PAGE_SHIFT) + i)

@@ -85,6 +85,10 @@ class AnalysisError(ReproError):
     """SPADE failed to parse or index a source file it must understand."""
 
 
+class TraceError(ReproError):
+    """Flight-recorder misuse (bad category, mismatched span close)."""
+
+
 class CampaignError(ReproError):
     """A differential-fuzzing campaign hit an inconsistent state.
 

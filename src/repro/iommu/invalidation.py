@@ -16,6 +16,7 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 
+from repro import trace
 from repro.iommu.iotlb import IOTLB_INVALIDATION_CYCLES, Iotlb
 from repro.sim.clock import SimClock
 
@@ -79,6 +80,10 @@ class StrictInvalidation(InvalidationPolicy):
         self.stats.unmaps += 1
         self.stats.sync_invalidations += 1
         self._iotlb.invalidate(domain_id, iova_pfn)
+        if trace.enabled("iommu"):
+            trace.emit("iommu", "inv_sync", domain=domain_id,
+                       iova_pfn=iova_pfn,
+                       cycles=IOTLB_INVALIDATION_CYCLES)
         self._charge(IOTLB_INVALIDATION_CYCLES)
 
     def max_window_us(self) -> float:
@@ -117,6 +122,9 @@ class DeferredInvalidation(InvalidationPolicy):
         self.stats.unmaps += 1
         self.stats.deferred_invalidations += 1
         self._pending.append((domain_id, iova_pfn))
+        if trace.enabled("iommu"):
+            trace.emit("iommu", "fq_defer", domain=domain_id,
+                       iova_pfn=iova_pfn, nr_pending=len(self._pending))
 
     def queue_post_flush(self, fn) -> None:
         self._post_flush.append(fn)
@@ -126,9 +134,15 @@ class DeferredInvalidation(InvalidationPolicy):
         if not self._pending and not self._post_flush \
                 and len(self._iotlb) == 0:
             return
+        nr_pending = len(self._pending)
         self._pending.clear()
-        self._iotlb.flush_all()
+        dropped = self._iotlb.flush_all()
         self.stats.flushes += 1
+        if trace.enabled("iommu"):
+            trace.emit("iommu", "fq_drain", nr_pending=nr_pending,
+                       iotlb_dropped=dropped,
+                       cycles=IOTLB_INVALIDATION_CYCLES)
+            trace.count("iommu", "flushes")
         self._charge(IOTLB_INVALIDATION_CYCLES)
         callbacks, self._post_flush = self._post_flush, []
         for fn in callbacks:

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import trace
 from repro.errors import DmaApiError, IommuFault
 from repro.mem.accounting import NULL_SINK, MemEventSink
 from repro.iommu.domain import IommuDomain, IovaEntry
@@ -123,6 +124,10 @@ class Iommu:
                 stale = True
                 self.iotlb.stats.stale_hits += 1
                 self.stats.stale_translations += 1
+                if trace.enabled("iommu"):
+                    trace.emit("iommu", "stale_hit", device=device_name,
+                               iova=iova, write=write,
+                               iova_pfn=iova_pfn)
         else:
             entry = domain.lookup(iova_pfn)
             if entry is None:
@@ -139,6 +144,9 @@ class Iommu:
         self.stats.faults += 1
         self.fault_log.append(IommuFaultRecord(
             self._clock.now_us, device, iova, write, reason))
+        if trace.enabled("iommu"):
+            trace.emit("iommu", "fault", device=device, iova=iova,
+                       write=write, reason=reason)
         raise IommuFault(
             f"DMA {'write' if write else 'read'} fault at IOVA {iova:#x} "
             f"by {device}: {reason}", iova=iova, device=device)
@@ -162,6 +170,9 @@ class Iommu:
             remaining -= chunk
         self.stats.device_reads += 1
         self.stats.bytes_read += length
+        if trace.enabled("iommu"):
+            trace.count("iommu", "device_reads")
+            trace.observe("iommu", "device_read_bytes", length)
         return bytes(out)
 
     def device_write(self, device_name: str, iova: int, data: bytes) -> None:
@@ -178,6 +189,9 @@ class Iommu:
             view = view[chunk:]
         self.stats.device_writes += 1
         self.stats.bytes_written += len(data)
+        if trace.enabled("iommu"):
+            trace.count("iommu", "device_writes")
+            trace.observe("iommu", "device_write_bytes", len(data))
 
     def device_can_access(self, device_name: str, iova: int, *,
                           write: bool) -> bool:

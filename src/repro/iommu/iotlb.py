@@ -12,6 +12,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from dataclasses import dataclass
 
+from repro import trace
 from repro.iommu.domain import IovaEntry
 
 #: Cycle costs from the paper (section 5.2.1): an IOTLB invalidation is
@@ -47,9 +48,11 @@ class Iotlb:
         entry = self._entries.get(key)
         if entry is None:
             self.stats.misses += 1
+            trace.count("iommu", "iotlb_miss")
             return None
         self._entries.move_to_end(key)
         self.stats.hits += 1
+        trace.count("iommu", "iotlb_hit")
         return entry
 
     def insert(self, domain_id: int, entry: IovaEntry) -> None:
@@ -63,6 +66,7 @@ class Iotlb:
     def invalidate(self, domain_id: int, iova_pfn: int) -> bool:
         """Invalidate one entry; True if it was cached."""
         self.stats.invalidations += 1
+        trace.count("iommu", "iotlb_invalidation")
         return self._entries.pop((domain_id, iova_pfn), None) is not None
 
     def flush_all(self) -> int:

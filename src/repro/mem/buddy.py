@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from collections import defaultdict
 
+from repro import trace
 from repro.errors import AllocatorError, OutOfMemoryError
 from repro.mem.accounting import NULL_SINK, AllocSite, MemEventSink
 from repro.mem.phys import PhysicalMemory
@@ -100,6 +101,9 @@ class BuddyAllocator:
             page.allocated = True
             page.order = order
             page.alloc_generation = self._generation
+        if trace.enabled("mem"):
+            trace.emit("mem", "pages_alloc", pfn=pfn, order=order,
+                       cpu=cpu, site=str(site or "alloc_pages"))
         self._sink.on_pages_alloc(pfn, 1 << order,
                                   site or AllocSite("alloc_pages"))
         return pfn
@@ -134,6 +138,9 @@ class BuddyAllocator:
         order = recorded
         for i in range(1 << order):
             self._phys.page(pfn + i).allocated = False
+        if trace.enabled("mem"):
+            trace.emit("mem", "pages_free", pfn=pfn, order=order,
+                       cpu=cpu)
         self._sink.on_pages_free(pfn, 1 << order)
         if order == 0:
             self._pcp[cpu].append(pfn)

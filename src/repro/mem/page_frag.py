@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro import trace
 from repro.errors import AllocatorError
 from repro.mem.accounting import NULL_SINK, AllocSite, MemEventSink
 from repro.mem.buddy import BuddyAllocator
@@ -107,6 +108,10 @@ class PageFragCache:
         chunk.refcount += 1
         chunk.frags.append((paddr, size))
         self._chunk_of_frag[paddr] = chunk
+        if trace.enabled("mem"):
+            trace.emit("mem", "frag_alloc", size=size, cpu=self._cpu,
+                       chunk_pfn=chunk.base_pfn,
+                       offset=chunk.offset, site=str(site))
         self._sink.on_alloc(paddr, aligned, site)
         return self._translate.kva_of_paddr(paddr)
 
@@ -122,6 +127,10 @@ class PageFragCache:
                 del chunk.frags[i]
                 break
         chunk.refcount -= 1
+        if trace.enabled("mem"):
+            trace.emit("mem", "frag_free", cpu=self._cpu,
+                       chunk_pfn=chunk.base_pfn,
+                       refcount=chunk.refcount)
         if chunk.refcount == 0:
             self._buddy.free_pages(chunk.base_pfn, cpu=self._cpu)
 

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro import trace
 from repro.errors import AllocatorError
 from repro.mem.accounting import NULL_SINK, AllocSite, MemEventSink
 from repro.mem.buddy import BuddyAllocator
@@ -147,6 +148,11 @@ class SlabAllocator:
         # Scrub the freelist word so the caller starts with zeroed link.
         self._phys.write_u64(obj_paddr, 0)
         self._live[obj_paddr] = (cache.object_size, size)
+        if trace.enabled("mem"):
+            trace.emit("mem", "kmalloc", size=size,
+                       object_size=cache.object_size, cpu=cpu,
+                       pfn=paddr_to_pfn(obj_paddr), site=str(site))
+            trace.observe("mem", "kmalloc_size", size)
         self._sink.on_alloc(obj_paddr, cache.object_size, site)
         return self._translate.kva_of_paddr(obj_paddr)
 
@@ -172,6 +178,9 @@ class SlabAllocator:
         if was_full:
             cache.full.remove(slab)
             cache.partial.append(slab)
+        if trace.enabled("mem"):
+            trace.emit("mem", "kfree", object_size=object_size,
+                       pfn=paddr_to_pfn(paddr))
         self._sink.on_free(paddr, object_size)
         if slab.inuse == 0 and len(cache.partial) > 1:
             # Return fully-free surplus slabs to the buddy allocator.

@@ -16,6 +16,7 @@ All three place ``skb_shared_info`` at the tail of the data buffer.
 
 from __future__ import annotations
 
+from repro import trace
 from repro.kaslr.translate import AddressSpace
 from repro.mem.accounting import AllocSite
 from repro.mem.buddy import BuddyAllocator
@@ -71,6 +72,9 @@ class SkbAllocator:
             buf_size=size, end_offset=skb_shared_info_offset(size),
             alloc_method="kmalloc", cpu=cpu)
         skb.init_shared_info()
+        if trace.enabled("net"):
+            trace.emit("net", "skb_alloc", api="__alloc_skb",
+                       head_kva=data_kva, size=size, cpu=cpu)
         return skb
 
     def netdev_alloc_skb(self, size: int, *, cpu: int = 0,
@@ -93,6 +97,9 @@ class SkbAllocator:
             buf_size=size, end_offset=skb_shared_info_offset(size),
             alloc_method="page_frag", cpu=cpu)
         skb.init_shared_info()
+        if trace.enabled("net"):
+            trace.emit("net", "skb_alloc", api="netdev_alloc_skb",
+                       head_kva=data_kva, size=size, cpu=cpu)
         return skb
 
     def napi_alloc_skb(self, size: int, *, cpu: int = 0) -> SkBuff:
@@ -134,10 +141,17 @@ class SkbAllocator:
             buf_size=size, end_offset=skb_shared_info_offset(size),
             alloc_method=alloc_method, cpu=cpu)
         skb.init_shared_info()
+        if trace.enabled("net"):
+            trace.emit("net", "skb_alloc", api="build_skb",
+                       head_kva=data_kva, size=size, cpu=cpu,
+                       alloc_method=alloc_method)
         return skb
 
     def free_skb_memory(self, skb: SkBuff) -> None:
         """Release the sk_buff object and its data buffer."""
+        if trace.enabled("net"):
+            trace.emit("net", "skb_free", head_kva=skb.head_kva,
+                       alloc_method=skb.alloc_method, cpu=skb.cpu)
         self._slab.kfree(skb.skb_kva)
         if skb.alloc_method == "kmalloc":
             self._io_slab.kfree(skb.head_kva)

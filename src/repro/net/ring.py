@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro import trace
 from repro.errors import NetStackError
 from repro.net.skbuff import SkBuff
 
@@ -64,6 +65,9 @@ class RxRing:
         desc.completed = False
         desc.pkt_len = 0
         self._next_to_use = (self._next_to_use + 1) % self.nr_desc
+        if trace.enabled("net"):
+            trace.emit("net", "rx_post", cpu=self.cpu, slot=desc.index,
+                       iova=iova, buf_size=buf_size)
         return desc
 
     def next_for_device(self) -> RxDescriptor | None:
@@ -79,6 +83,9 @@ class RxRing:
         desc.completed = True
         desc.pkt_len = pkt_len
         self._next_to_fill = (self._next_to_fill + 1) % self.nr_desc
+        if trace.enabled("net"):
+            trace.emit("net", "rx_complete", cpu=self.cpu,
+                       slot=desc.index, pkt_len=pkt_len)
 
     def reap_completed(self) -> list[RxDescriptor]:
         """Kernel side: collect completed descriptors in order."""
@@ -90,6 +97,10 @@ class RxRing:
             desc.posted = False
             reaped.append(desc)
             self._next_to_clean = (self._next_to_clean + 1) % self.nr_desc
+        if reaped and trace.enabled("net"):
+            trace.emit("net", "rx_reap", cpu=self.cpu,
+                       nr_desc=len(reaped),
+                       slots=[d.index for d in reaped])
         return reaped
 
     def posted_descriptors(self) -> list[RxDescriptor]:
@@ -123,6 +134,10 @@ class TxRing:
         desc.fetched = False
         desc.completed = False
         self._next_to_use = (self._next_to_use + 1) % self.nr_desc
+        if trace.enabled("net"):
+            trace.emit("net", "tx_post", cpu=self.cpu, slot=desc.index,
+                       linear_iova=linear_iova, linear_len=linear_len,
+                       nr_frags=len(desc.frag_iovas))
         return desc
 
     def pending_for_device(self) -> list[TxDescriptor]:
@@ -146,4 +161,8 @@ class TxRing:
             desc.posted = False
             reaped.append(desc)
             self._next_to_clean = (self._next_to_clean + 1) % self.nr_desc
+        if reaped and trace.enabled("net"):
+            trace.emit("net", "tx_reap", cpu=self.cpu,
+                       nr_desc=len(reaped),
+                       slots=[d.index for d in reaped])
         return reaped

@@ -1,5 +1,8 @@
 """Rendering helpers for experiment output."""
 
 from repro.report.tables import PaperComparison, render_table
+from repro.report.timeline import (render_invalidation_report,
+                                   render_timeline, render_trace_summary)
 
-__all__ = ["PaperComparison", "render_table"]
+__all__ = ["PaperComparison", "render_table", "render_timeline",
+           "render_trace_summary", "render_invalidation_report"]

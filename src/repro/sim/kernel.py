@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+from repro import trace
 from repro.cpu.exec import Executor
 from repro.cpu.text import KernelImage
 from repro.dma.api import DmaApi
@@ -120,6 +121,17 @@ class Kernel:
         self.nics: dict[str, Nic] = {}
         self._consume_boot_jitter(boot_jitter_pages, boot_jitter_blocks)
         self.stack.create_socket(ECHO_PORT)
+
+        # The most recently booted kernel stamps the flight recorder:
+        # its SimClock becomes the trace time base.
+        recorder = trace.active()
+        if recorder is not None:
+            recorder.bind_clock(self.clock)
+            if recorder.wants("sim"):
+                recorder.emit("sim", "boot", seed=seed,
+                              boot_index=boot_index,
+                              iommu_mode=iommu_mode, nr_cpus=nr_cpus,
+                              phys_mb=phys_mb)
 
     # -- boot behaviour --------------------------------------------------------
 

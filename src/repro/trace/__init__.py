@@ -1,0 +1,156 @@
+"""repro.trace -- the kernel-wide flight recorder.
+
+An ftrace/perf-style tracing layer over the whole simulation: the DMA
+API, the IOMMU (IOTLB and flush queue), the network rings, the
+allocators, D-KASAN, and the attacks all carry tracepoints that emit
+typed events into one bounded ring buffer, stamped from the simulated
+clock.
+
+**Tracing is disabled by default and costs almost nothing when off.**
+Instrumented call sites guard with :func:`enabled`, which is a single
+module-global ``None`` check; no recorder object, no event allocation,
+no clock read happens until one is installed:
+
+    from repro import trace
+
+    recorder = trace.install(trace.TraceRecorder(
+        categories=("iommu", "dma")))
+    ...           # run a workload / attack
+    trace.uninstall()
+    for event in recorder.events:
+        print(event)
+
+or, scoped::
+
+    with trace.session(categories=("iommu",)) as recorder:
+        ...
+
+Importing this module (or any instrumented module) has no side
+effects: no recorder is installed, no state is created beyond the
+module itself. The CI no-op step pins that property.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from repro.errors import TraceError
+from repro.trace.analysis import (InvalidationWindows,
+                                  derive_invalidation_windows,
+                                  event_counts, stale_access_count)
+from repro.trace.export import (chrome_trace, dump_chrome_trace,
+                                dump_jsonl, load_jsonl, summary_record,
+                                write_jsonl)
+from repro.trace.recorder import (CATEGORIES, DEFAULT_CAPACITY, Histogram,
+                                  Span, TraceEvent, TraceRecorder)
+
+__all__ = [
+    "CATEGORIES", "DEFAULT_CAPACITY", "Histogram", "InvalidationWindows",
+    "Span", "TraceError", "TraceEvent", "TraceRecorder", "active",
+    "bind_clock", "chrome_trace", "count", "derive_invalidation_windows",
+    "dump_chrome_trace", "dump_jsonl", "emit", "enabled", "event_counts",
+    "install", "last_seq", "load_jsonl", "observe", "session", "span",
+    "stale_access_count", "summary_record", "uninstall", "write_jsonl",
+]
+
+#: The installed recorder. ``None`` (the default) means tracing is off
+#: and every hook below is a near-zero-cost no-op.
+_active: TraceRecorder | None = None
+
+
+def install(recorder: TraceRecorder) -> TraceRecorder:
+    """Install *recorder* as the process-wide flight recorder."""
+    global _active
+    if _active is not None:
+        raise TraceError("a trace recorder is already installed")
+    _active = recorder
+    return recorder
+
+
+def uninstall() -> TraceRecorder | None:
+    """Remove (and return) the installed recorder, if any."""
+    global _active
+    recorder, _active = _active, None
+    return recorder
+
+
+def active() -> TraceRecorder | None:
+    """The installed recorder, or None when tracing is disabled."""
+    return _active
+
+
+@contextmanager
+def session(**kwargs):
+    """Install a fresh :class:`TraceRecorder` for the ``with`` body."""
+    recorder = install(TraceRecorder(**kwargs))
+    try:
+        yield recorder
+    finally:
+        uninstall()
+
+
+# -- hot-path hooks (the no-op guard) -------------------------------------
+#
+# Instrumented sites call ``trace.enabled(cat)`` before building event
+# arguments, so a disabled trace costs one global read and one function
+# call per tracepoint -- the <5% bench-overhead budget.
+
+def enabled(category: str) -> bool:
+    """True when a recorder is installed and wants *category*."""
+    recorder = _active
+    return recorder is not None and recorder.wants(category)
+
+
+def emit(category: str, name: str, **args):
+    """Record one instant event (no-op when tracing is off)."""
+    recorder = _active
+    if recorder is None:
+        return None
+    return recorder.emit(category, name, **args)
+
+
+def span(category: str, name: str, **args):
+    """Context manager tracing a begin/end span (no-op when off)."""
+    recorder = _active
+    if recorder is None:
+        return _NULL_SPAN
+    return recorder.span(category, name, **args)
+
+
+def count(category: str, name: str, delta: int = 1) -> None:
+    recorder = _active
+    if recorder is not None:
+        recorder.count(category, name, delta)
+
+
+def observe(category: str, name: str, value: float) -> None:
+    recorder = _active
+    if recorder is not None:
+        recorder.observe(category, name, value)
+
+
+def last_seq() -> int | None:
+    recorder = _active
+    return recorder.last_seq() if recorder is not None else None
+
+
+def bind_clock(clock) -> None:
+    """Bind the installed recorder (if any) to *clock*."""
+    recorder = _active
+    if recorder is not None:
+        recorder.bind_clock(clock)
+
+
+class _NullSpanContext:
+    """Shared do-nothing span for the disabled-tracing path."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return None
+
+    def __exit__(self, exc_type, exc, tb):
+        return None
+
+
+_NULL_SPAN = _NullSpanContext()

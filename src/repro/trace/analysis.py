@@ -1,0 +1,89 @@
+"""Trace analysis: derive the paper's quantities from the event stream.
+
+The flagship derivation recomputes the **deferred-invalidation window**
+(Fig. 6/7) from the flight recorder alone: every ``iommu/fq_defer``
+event marks a page-table entry whose IOTLB shadow is still live, and
+the next ``iommu/fq_drain`` marks the global flush that finally kills
+it. The gap *is* the paper's "~10 ms window" -- measured from the
+trace, not from hand-placed counters, so any instrumentation drift
+between the two measurement paths is caught by the benchmark fixture
+that compares them.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.trace.recorder import TraceEvent
+
+
+@dataclass
+class InvalidationWindows:
+    """Per-unmap stale-translation windows derived from a trace."""
+
+    windows_us: list[float] = field(default_factory=list)
+    nr_unpaired: int = 0        # defers with no drain in the trace
+    nr_sync: int = 0            # strict-mode synchronous invalidations
+
+    @property
+    def nr_windows(self) -> int:
+        return len(self.windows_us)
+
+    @property
+    def max_us(self) -> float:
+        return max(self.windows_us, default=0.0)
+
+    @property
+    def mean_us(self) -> float:
+        if not self.windows_us:
+            return 0.0
+        return sum(self.windows_us) / len(self.windows_us)
+
+    @property
+    def max_ms(self) -> float:
+        return self.max_us / 1000.0
+
+    @property
+    def mean_ms(self) -> float:
+        return self.mean_us / 1000.0
+
+
+def derive_invalidation_windows(events: Iterable[TraceEvent]
+                                ) -> InvalidationWindows:
+    """Pair each flush-queue defer with the drain that retired it.
+
+    A ``fq_drain`` retires *every* pending defer (the Linux flush queue
+    performs one global invalidation per batch), so all queued defers
+    close at the drain timestamp. Strict-mode ``inv_sync`` events count
+    as zero-width windows -- after a synchronous invalidation the
+    device has no residual access.
+    """
+    result = InvalidationWindows()
+    pending: list[float] = []
+    for event in events:
+        if event.category != "iommu":
+            continue
+        if event.name == "fq_defer":
+            pending.append(event.ts_us)
+        elif event.name == "fq_drain":
+            result.windows_us.extend(event.ts_us - ts for ts in pending)
+            pending.clear()
+        elif event.name == "inv_sync":
+            result.nr_sync += 1
+            result.windows_us.append(0.0)
+    result.nr_unpaired = len(pending)
+    return result
+
+
+def stale_access_count(events: Iterable[TraceEvent]) -> int:
+    """Device accesses translated through an already-unmapped entry."""
+    return sum(1 for event in events
+               if event.category == "iommu"
+               and event.name == "stale_hit")
+
+
+def event_counts(events: Iterable[TraceEvent]) -> Counter:
+    """(category, name) -> occurrences, for summaries and tests."""
+    return Counter((event.category, event.name) for event in events)

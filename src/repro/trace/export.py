@@ -1,0 +1,117 @@
+"""Trace exporters: JSONL and Chrome ``chrome://tracing`` JSON.
+
+The JSONL stream is the machine-readable format: one event object per
+line, followed by one ``type: "summary"`` line carrying the dropped
+count, counters, and histograms. Events serialize with sorted keys, so
+two runs with the same seeds produce byte-identical files -- the
+property the determinism tests pin.
+
+The Chrome export produces the trace-event JSON schema that
+``chrome://tracing`` / Perfetto load directly: instant events ("i"),
+span begin/end pairs ("B"/"E"), counter samples ("C"), and "M"
+metadata rows naming one virtual thread per category.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Iterable
+
+from repro.trace.recorder import CATEGORIES, TraceEvent, TraceRecorder
+
+
+def summary_record(recorder: TraceRecorder) -> dict:
+    """The aggregate JSONL trailer line."""
+    return {
+        "type": "summary",
+        "nr_events": recorder.nr_events,
+        "nr_emitted": recorder.nr_emitted,
+        "dropped": recorder.dropped,
+        "counters": {f"{cat}/{name}": value for (cat, name), value
+                     in sorted(recorder.counters.items())},
+        "histograms": {f"{cat}/{name}": hist.to_json()
+                       for (cat, name), hist
+                       in sorted(recorder.histograms.items())},
+    }
+
+
+def write_jsonl(recorder: TraceRecorder, stream: IO[str]) -> int:
+    """Write every retained event plus the summary line; returns the
+    number of event lines written."""
+    written = 0
+    for event in recorder.events:
+        record = dict(event.to_json(), type="event")
+        stream.write(json.dumps(record, sort_keys=True) + "\n")
+        written += 1
+    stream.write(json.dumps(summary_record(recorder), sort_keys=True)
+                 + "\n")
+    return written
+
+
+def dump_jsonl(recorder: TraceRecorder, path: str) -> int:
+    with open(path, "w", encoding="utf-8") as handle:
+        return write_jsonl(recorder, handle)
+
+
+def load_jsonl(path: str) -> tuple[list[TraceEvent], dict | None]:
+    """Read a JSONL trace back into (events, summary-or-None)."""
+    events: list[TraceEvent] = []
+    summary = None
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            if record.get("type") == "summary":
+                summary = record
+            else:
+                events.append(TraceEvent.from_json(record))
+    return events, summary
+
+
+def chrome_trace(events: Iterable[TraceEvent], *,
+                 counters: dict | None = None,
+                 process_name: str = "repro-dma") -> dict:
+    """Build a ``chrome://tracing`` trace-event JSON document.
+
+    Each category gets its own virtual thread (tid) so spans and
+    instants group into per-subsystem rows; timestamps are already in
+    microseconds, the unit the schema expects.
+    """
+    tids = {category: index + 1
+            for index, category in enumerate(CATEGORIES)}
+    trace_events: list[dict] = [
+        {"name": "process_name", "ph": "M", "pid": 1, "tid": 0,
+         "args": {"name": process_name}},
+    ]
+    used = sorted({event.category for event in events},
+                  key=lambda c: tids[c])
+    for category in used:
+        trace_events.append(
+            {"name": "thread_name", "ph": "M", "pid": 1,
+             "tid": tids[category], "args": {"name": category}})
+    for event in events:
+        record = {"name": event.name, "cat": event.category,
+                  "ph": event.phase, "ts": round(event.ts_us, 6),
+                  "pid": 1, "tid": tids[event.category],
+                  "args": dict(event.args)}
+        if event.phase == "i":
+            record["s"] = "t"  # thread-scoped instant
+        trace_events.append(record)
+    last_ts = max((event.ts_us for event in events), default=0.0)
+    for (category, name), value in sorted((counters or {}).items()):
+        trace_events.append(
+            {"name": name, "cat": category, "ph": "C",
+             "ts": round(last_ts, 6), "pid": 1, "tid": tids[category],
+             "args": {"value": value}})
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+def dump_chrome_trace(recorder: TraceRecorder, path: str) -> int:
+    """Write the Chrome trace JSON; returns the number of traceEvents."""
+    document = chrome_trace(recorder.events, counters=recorder.counters)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, sort_keys=True)
+        handle.write("\n")
+    return len(document["traceEvents"])

@@ -12,6 +12,7 @@ EXAMPLES = [
     ("examples/audit_drivers.py", []),
     ("examples/full_attack_chain.py", ["--quick"]),
     ("examples/campaign_smoke.py", []),
+    ("examples/trace_timeline.py", []),
 ]
 
 
