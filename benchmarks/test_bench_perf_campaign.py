@@ -1,0 +1,48 @@
+"""Perf: differential-campaign throughput with the shared cache (E18).
+
+Times a small campaign at ``jobs=1`` (inline) and ``jobs=4`` (worker
+pool warmed from the shared on-disk tier via the pool initializer) and
+checks both finish with every seed ok.
+"""
+
+import time
+
+from repro import perfcache
+from repro.campaign.runner import CampaignConfig, run_campaign
+
+NR_SEEDS = 4
+SCALE = 0.1
+
+
+def run_once(jobs: int, cache_dir: str):
+    config = CampaignConfig(nr_seeds=NR_SEEDS, jobs=jobs, scale=SCALE,
+                            output=None, trace_events=0,
+                            cache_dir=cache_dir)
+    try:
+        return run_campaign(config)
+    finally:
+        perfcache.reset_default()
+
+
+def test_campaign_throughput_inline(benchmark, tmp_path):
+    directory = str(tmp_path / "cache")
+    summary = benchmark.pedantic(lambda: run_once(1, directory),
+                                 rounds=1, iterations=1)
+    assert summary.nr_ok == NR_SEEDS
+    benchmark.extra_info["seeds_per_s"] = round(
+        NR_SEEDS / benchmark.stats.stats.min, 2)
+
+
+def test_campaign_throughput_jobs4(benchmark, tmp_path):
+    directory = str(tmp_path / "cache")
+    # pre-warm the shared tier the way a resumed campaign would be
+    start = time.perf_counter()
+    assert run_once(4, directory).nr_ok == NR_SEEDS
+    cold_s = time.perf_counter() - start
+
+    summary = benchmark.pedantic(lambda: run_once(4, directory),
+                                 rounds=1, iterations=1)
+    assert summary.nr_ok == NR_SEEDS
+    benchmark.extra_info["cold_s"] = round(cold_s, 2)
+    benchmark.extra_info["seeds_per_s"] = round(
+        NR_SEEDS / benchmark.stats.stats.min, 2)

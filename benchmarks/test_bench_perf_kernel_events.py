@@ -1,0 +1,56 @@
+"""Perf: event rates of the hottest simulator paths (E18).
+
+The two structures the perf pass rewrote: the IOTLB (plain-dict LRU,
+O(1) move-to-end) and the page_frag cache (dict-keyed fragments, O(1)
+free). Tracing is off, so these also pin the no-op tracepoint cost.
+"""
+
+from repro import trace
+from repro.iommu.domain import IovaEntry
+from repro.iommu.iotlb import Iotlb
+from repro.iommu.perms import DmaPerm
+from repro.mem.buddy import BuddyAllocator
+from repro.mem.page_frag import PageFragCache
+from repro.mem.phys import PhysicalMemory
+from repro.mem.virt import IdentityTranslator
+
+NR_EVENTS = 50_000
+
+
+def test_iotlb_event_rate(benchmark):
+    assert trace.active() is None
+    entries = [IovaEntry(pfn, pfn + 1, DmaPerm.BIDIRECTIONAL)
+               for pfn in range(512)]
+
+    def iotlb_round():
+        iotlb = Iotlb(capacity=256)
+        for i in range(NR_EVENTS):
+            entry = entries[i % 512]
+            if iotlb.lookup(7, entry.iova_pfn) is None:
+                iotlb.insert(7, entry)
+        return iotlb
+
+    iotlb = benchmark(iotlb_round)
+    assert iotlb.stats.hits + iotlb.stats.misses == NR_EVENTS
+    assert iotlb.stats.evictions > 0  # the LRU path was exercised
+    benchmark.extra_info["events_per_s"] = round(
+        NR_EVENTS / benchmark.stats.stats.min)
+
+
+def test_page_frag_event_rate(benchmark):
+    assert trace.active() is None
+
+    def frag_round():
+        phys = PhysicalMemory(16384)
+        buddy = BuddyAllocator(phys, reserved_low_pages=16)
+        cache = PageFragCache(buddy, IdentityTranslator())
+        live = []
+        for _ in range(NR_EVENTS):
+            live.append(cache.alloc(1856))
+            if len(live) >= 8:
+                cache.free(live.pop(0))
+        return len(live)
+
+    assert benchmark(frag_round) < 8 + 1
+    benchmark.extra_info["events_per_s"] = round(
+        NR_EVENTS / benchmark.stats.stats.min)

@@ -1,0 +1,63 @@
+"""Perf: SPADE cold vs warm through repro.perfcache (E18).
+
+The acceptance bar for the cache work: a warm re-analysis of the
+unmutated Linux-5.0-shaped corpus must be at least 3x faster than the
+cold run that populated the cache -- and byte-identical to it.
+"""
+
+import json
+import time
+
+from repro.core.spade import Spade
+from repro.perfcache import PerfCache
+from repro.perfcache.codec import encode_findings
+
+MIN_WARM_SPEEDUP = 3.0
+
+
+def test_spade_warm_disk_speedup(benchmark, corpus, tmp_path):
+    """Warm-from-disk (a fresh process's view) vs the cold run."""
+    tree, _manifest = corpus
+    directory = str(tmp_path / "cache")
+
+    start = time.perf_counter()
+    baseline = Spade(tree, cache=PerfCache(directory)).analyze()
+    cold_s = time.perf_counter() - start
+
+    # every pedantic round gets a fresh PerfCache over the same
+    # directory: an empty in-process tier on top of a warm disk tier
+    findings = benchmark.pedantic(
+        lambda: Spade(tree, cache=PerfCache(directory)).analyze(),
+        rounds=3, iterations=1)
+    warm_s = benchmark.stats.stats.min
+
+    assert json.dumps(encode_findings(findings)) == \
+        json.dumps(encode_findings(baseline))
+    speedup = cold_s / warm_s
+    benchmark.extra_info["cold_s"] = round(cold_s, 3)
+    benchmark.extra_info["speedup"] = round(speedup, 1)
+    assert speedup >= MIN_WARM_SPEEDUP, \
+        f"warm SPADE only {speedup:.1f}x faster than cold " \
+        f"({warm_s:.3f}s vs {cold_s:.3f}s)"
+
+
+def test_spade_warm_memory_speedup(benchmark, corpus):
+    """Warm-in-process: the second analyze() in one process."""
+    tree, _manifest = corpus
+    cache = PerfCache()
+
+    start = time.perf_counter()
+    baseline = Spade(tree, cache=cache).analyze()
+    cold_s = time.perf_counter() - start
+
+    findings = benchmark.pedantic(
+        lambda: Spade(tree, cache=cache).analyze(),
+        rounds=3, iterations=1)
+    warm_s = benchmark.stats.stats.min
+
+    assert json.dumps(encode_findings(findings)) == \
+        json.dumps(encode_findings(baseline))
+    speedup = cold_s / warm_s
+    benchmark.extra_info["cold_s"] = round(cold_s, 3)
+    benchmark.extra_info["speedup"] = round(speedup, 1)
+    assert speedup >= MIN_WARM_SPEEDUP

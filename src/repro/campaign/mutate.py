@@ -36,7 +36,9 @@ from __future__ import annotations
 import re
 from dataclasses import dataclass, field
 
-from repro.corpus.generate import CorpusGenerator, SourceTree
+from repro import perfcache
+from repro.corpus.generate import (GENERATOR_VERSION, CorpusGenerator,
+                                   SourceTree)
 from repro.corpus.linux50 import (LINUX50_COMPOSITION, CategorySpec,
                                   scaled_composition)
 from repro.corpus.manifest import CallSiteTruth, Manifest
@@ -91,6 +93,21 @@ def _map_line_indices(lines: list[str]) -> list[int]:
     return [i for i, line in enumerate(lines) if _MAP_LINE in line]
 
 
+def _encode_base(pair: tuple[SourceTree, Manifest]) -> dict:
+    tree, manifest = pair
+    return {"files": tree.files,
+            "sites": [[s.path, s.line, s.category, sorted(s.exposures)]
+                      for s in manifest.sites]}
+
+
+def _decode_base(payload: dict) -> tuple[SourceTree, Manifest]:
+    tree = SourceTree(dict(payload["files"]))
+    manifest = Manifest([
+        CallSiteTruth(path, line, category, frozenset(exposures))
+        for path, line, category, exposures in payload["sites"]])
+    return tree, manifest
+
+
 class CorpusMutator:
     """Derives mutated corpora from one base ``repro.corpus`` seed."""
 
@@ -105,6 +122,25 @@ class CorpusMutator:
     # -- base corpus ---------------------------------------------------------
 
     def base(self) -> tuple[SourceTree, Manifest]:
+        """The (regenerated) base corpus this mutator derives from.
+
+        Generation is deterministic, so the result is cached by
+        (generator version, seed, composition) -- ``plan`` and
+        ``apply`` both need it, and a campaign calls each once per
+        seed. Callers mutate the returned tree in place, so every call
+        gets fresh copies of the cached canonical pair (the frozen
+        :class:`CallSiteTruth` records themselves are shared).
+        """
+        key = perfcache.content_key("corpus", str(GENERATOR_VERSION),
+                                    str(self.base_seed),
+                                    repr(self.composition))
+        tree, manifest = perfcache.default_cache().cached(
+            "corpus", key, self._generate_base,
+            encode=_encode_base, decode=_decode_base)
+        return (SourceTree(dict(tree.files)),
+                Manifest(list(manifest.sites)))
+
+    def _generate_base(self) -> tuple[SourceTree, Manifest]:
         return CorpusGenerator(seed=self.base_seed,
                                composition=self.composition).generate()
 

@@ -20,6 +20,7 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Callable
 
+from repro import perfcache
 from repro.campaign.mutate import CorpusMutator
 from repro.campaign.oracle import run_differential
 from repro.campaign.results import (CampaignSummary, append_record,
@@ -48,6 +49,9 @@ class CampaignConfig:
     resume: bool = False
     #: flight-recorder events attached to disagreeing seeds (0 = off)
     trace_events: int = 64
+    #: shared on-disk analysis cache warmed by every worker; ``None``
+    #: keeps caching in-process only (see :mod:`repro.perfcache`)
+    cache_dir: str | None = None
 
     @property
     def seeds(self) -> list[int]:
@@ -102,9 +106,22 @@ def _guarded_run_seed(seed: int, config: "CampaignConfig", *,
             signal.signal(signal.SIGALRM, previous)
 
 
-def _worker(payload: tuple[int, "CampaignConfig"]) -> dict:
-    seed, config = payload
-    return _guarded_run_seed(seed, config, use_alarm=True)
+#: set once per worker process by :func:`_init_worker`; each submitted
+#: task then pickles only the seed integer instead of re-shipping the
+#: whole config with every future
+_WORKER_CONFIG: CampaignConfig | None = None
+
+
+def _init_worker(config: "CampaignConfig") -> None:
+    global _WORKER_CONFIG
+    _WORKER_CONFIG = config
+    if config.cache_dir:
+        perfcache.configure(config.cache_dir)
+
+
+def _worker(seed: int) -> dict:
+    assert _WORKER_CONFIG is not None, "worker initializer did not run"
+    return _guarded_run_seed(seed, _WORKER_CONFIG, use_alarm=True)
 
 
 def _chunks(items: list[int], size: int) -> list[list[int]]:
@@ -129,6 +146,9 @@ def run_campaign(config: CampaignConfig, *,
         if progress is not None:
             progress(record)
 
+    if config.cache_dir:
+        perfcache.configure(config.cache_dir)
+
     if config.jobs <= 1:
         for seed in pending:
             record_result(_guarded_run_seed(seed, config,
@@ -137,12 +157,14 @@ def run_campaign(config: CampaignConfig, *,
 
     remaining = list(pending)
     while remaining:
-        executor = ProcessPoolExecutor(max_workers=config.jobs)
+        executor = ProcessPoolExecutor(max_workers=config.jobs,
+                                       initializer=_init_worker,
+                                       initargs=(config,))
         broken = False
         try:
             for chunk in _chunks(remaining,
                                  config.jobs * CHUNK_FACTOR):
-                futures = {seed: executor.submit(_worker, (seed, config))
+                futures = {seed: executor.submit(_worker, seed)
                            for seed in chunk}
                 for seed, future in futures.items():
                     try:

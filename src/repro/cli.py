@@ -338,7 +338,8 @@ def cmd_campaign(args) -> int:
         base_seed=args.base_seed,
         mutations_per_seed=args.mutations, timeout_s=args.timeout,
         scale=args.scale, output=args.output, resume=args.resume,
-        trace_events=args.trace_events)
+        trace_events=args.trace_events,
+        cache_dir=args.cache_dir or None)
 
     if config.output:
         try:
@@ -359,7 +360,14 @@ def cmd_campaign(args) -> int:
         print(f"seed {record['seed']}: {status} "
               f"in {record['duration_s']:.2f}s{extra}")
 
-    summary = run_campaign(config, progress=progress)
+    try:
+        summary = run_campaign(config, progress=progress)
+    finally:
+        if config.cache_dir:
+            # don't leak the campaign's disk-backed cache into the
+            # process-wide default other subcommands/tests see
+            from repro import perfcache
+            perfcache.reset_default()
     print()
     print(format_summary(summary))
 
@@ -394,12 +402,117 @@ def cmd_campaign(args) -> int:
     return 0 if summary.all_ok else 1
 
 
+def cmd_cache(args) -> int:
+    from repro import perfcache
+
+    directory = args.cache_dir or os.environ.get("REPRO_CACHE_DIR")
+
+    if args.action in ("stats", "clear"):
+        if not directory:
+            return _fail(f"cache {args.action}: no cache directory "
+                         f"(--cache-dir or REPRO_CACHE_DIR)")
+        cache = perfcache.PerfCache(directory)
+        if not cache.is_cache_directory():
+            return _fail(f"cache {args.action}: {directory} exists but "
+                         f"is not a repro cache directory")
+
+    if args.action == "stats":
+        total_entries = total_bytes = 0
+        for usage in cache.disk_usage():
+            print(f"{usage.namespace:10s} {usage.entries:8d} entries "
+                  f"{usage.bytes:12,d} bytes")
+            total_entries += usage.entries
+            total_bytes += usage.bytes
+        print(f"{'total':10s} {total_entries:8d} entries "
+              f"{total_bytes:12,d} bytes")
+        return 0
+
+    if args.action == "clear":
+        removed = cache.clear_disk()
+        print(f"removed {removed} entries from {directory}")
+        return 0
+
+    # verify: the differential correctness gate -- cached and uncached
+    # runs must produce byte-identical findings and Table 2 text
+    import json
+    import tempfile
+
+    from repro.core.spade.analyzer import Spade
+    from repro.core.spade.findings import Table2Stats
+    from repro.core.spade.report import format_table2
+    from repro.corpus.generate import CorpusGenerator
+    from repro.corpus.linux50 import scaled_composition
+    from repro.perfcache.codec import encode_findings
+
+    if args.scale <= 0:
+        return _fail(f"cache verify: bad --scale {args.scale}")
+    tree, _manifest = CorpusGenerator(
+        seed=args.corpus_seed,
+        composition=scaled_composition(args.scale)).generate()
+
+    perfcache.configure(enabled=False)
+    baseline = Spade(tree).analyze()
+
+    def run_cached(cache_dir: str) -> tuple[list, list]:
+        perfcache.configure(cache_dir)
+        cold = Spade(tree).analyze()
+        perfcache.configure(cache_dir)   # fresh memory tier, warm disk
+        warm = Spade(tree).analyze()
+        return cold, warm
+
+    try:
+        if directory:
+            cold, warm = run_cached(directory)
+        else:
+            with tempfile.TemporaryDirectory(
+                    prefix="repro-cache-verify-") as scratch:
+                cold, warm = run_cached(scratch)
+    finally:
+        perfcache.reset_default()
+
+    expected = json.dumps(encode_findings(baseline))
+    expected_table = format_table2(Table2Stats.from_findings(baseline))
+    for label, findings in (("cold", cold), ("warm", warm)):
+        if json.dumps(encode_findings(findings)) != expected:
+            print(f"cache verify: FAIL -- {label} cached findings "
+                  f"differ from the uncached run")
+            return 1
+        if format_table2(Table2Stats.from_findings(findings)) \
+                != expected_table:
+            print(f"cache verify: FAIL -- {label} cached Table 2 "
+                  f"differs from the uncached run")
+            return 1
+    print(f"cache verify: OK -- cached == uncached "
+          f"({len(baseline)} findings, Table 2 identical)")
+    return 0
+
+
+def cmd_bench(args) -> int:
+    from repro.perfcache import bench
+
+    jobs = tuple(sorted({1, args.jobs})) if args.jobs else (1,)
+    report = bench.run_benchmarks(
+        scale=args.scale, campaign_seeds=args.campaign_seeds,
+        campaign_scale=args.campaign_scale, jobs=jobs,
+        rounds=args.rounds, kernel_events=args.kernel_events)
+    bench.write_report(report, args.output)
+    print(bench.format_report(report))
+    print(f"wrote {args.output}")
+    return 0 if report["ok"] else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     from repro import __version__
 
     parser = argparse.ArgumentParser(
         prog="repro-dma",
-        description="EuroSys '21 DMA-attack reproduction toolkit")
+        description="EuroSys '21 DMA-attack reproduction toolkit",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog="environment:\n"
+               "  REPRO_CACHE=off     disable the analysis cache "
+               "process-wide\n"
+               "  REPRO_CACHE_DIR=DIR enable the shared on-disk cache "
+               "tier at DIR")
     parser.add_argument("--version", action="version",
                         version=f"%(prog)s {__version__}")
     sub = parser.add_subparsers(dest="command", required=True)
@@ -461,6 +574,11 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--shrink", action="store_true",
                           help="ddmin the first disagreeing seed down "
                                "to a minimal mutation set")
+    campaign.add_argument("--cache-dir", default="campaign/cache",
+                          metavar="DIR",
+                          help="shared on-disk analysis cache workers "
+                               "warm from (pass '' to disable; "
+                               "default: %(default)s)")
     campaign.set_defaults(func=cmd_campaign)
 
     trace = sub.add_parser(
@@ -496,6 +614,42 @@ def build_parser() -> argparse.ArgumentParser:
                        help="print counters, histograms, and the "
                             "trace-derived invalidation windows")
     trace.set_defaults(func=cmd_trace)
+
+    cache = sub.add_parser(
+        "cache",
+        help="inspect, clear, or differentially verify the analysis "
+             "cache")
+    cache.add_argument("action", choices=("stats", "clear", "verify"))
+    cache.add_argument("--cache-dir", metavar="DIR",
+                       help="cache directory (default: "
+                            "$REPRO_CACHE_DIR)")
+    cache.add_argument("--corpus-seed", type=int, default=2021,
+                       help="corpus seed for verify")
+    cache.add_argument("--scale", type=float, default=0.25,
+                       help="corpus scale for verify")
+    cache.set_defaults(func=cmd_cache)
+
+    bench = sub.add_parser(
+        "bench",
+        help="run the tracked perf benchmarks, write BENCH_perf.json")
+    bench.add_argument("--output", default="BENCH_perf.json",
+                       help="report path (default: %(default)s)")
+    bench.add_argument("--scale", type=_positive_float, default=1.0,
+                       help="SPADE corpus scale")
+    bench.add_argument("--campaign-seeds", type=_positive_int,
+                       default=4, help="seeds per campaign run")
+    bench.add_argument("--campaign-scale", type=_positive_float,
+                       default=0.1, help="campaign corpus scale")
+    bench.add_argument("--jobs", type=_positive_int, default=4,
+                       help="parallel campaign jobs to compare "
+                            "against jobs=1")
+    bench.add_argument("--rounds", type=_positive_int, default=3,
+                       help="kernel-bench repetitions (best round "
+                            "wins)")
+    bench.add_argument("--kernel-events", type=_positive_int,
+                       default=50000,
+                       help="events per kernel-bench round")
+    bench.set_defaults(func=cmd_bench)
 
     matrix = sub.add_parser("matrix", help="defense matrix")
     matrix.add_argument("--seed", type=int, default=1)

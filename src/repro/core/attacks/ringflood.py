@@ -154,10 +154,14 @@ def run_ringflood(kernel: "Kernel", nic: "Nic", device: MaliciousDevice,
         "RX buffer (type (b)); offsets from the public build")
     hijacked_any_path: set[str] = set()
     ring = nic.rx_rings[cpu]
+    # the recorder cannot change mid-flood, so hoist the no-op
+    # predicate out of the per-pass loop instead of re-evaluating it
+    # for every rank
+    attack_traced = "attack" in trace.active_categories
     for rank in range(candidate_ranks):
         if kernel.executor.creds.is_root:
             break
-        if trace.enabled("attack"):
+        if attack_traced:
             trace.emit("attack", "ringflood:flood-pass", rank=rank,
                        slots_flooded=report.slots_flooded,
                        slots_hijacked=report.slots_hijacked)

@@ -26,12 +26,18 @@ argument expression -- bounded by ``max_depth``.
 
 from __future__ import annotations
 
+from repro import perfcache
 from repro.core.spade.cindex import CodeIndex
-from repro.core.spade.cparse import FunctionDef
+from repro.core.spade.cparse import PARSER_VERSION, FunctionDef
 from repro.core.spade.findings import Finding, Table2Stats, ValidationResult
 from repro.core.spade.pahole import PaholeDb
 from repro.corpus.generate import SourceTree
 from repro.corpus.manifest import Manifest
+from repro.perfcache.codec import decode_findings, encode_findings
+
+#: bump when classification rules change: cached findings keyed under
+#: the old version miss in full and are re-derived
+ANALYZER_VERSION = 1
 
 #: map function -> index of the buffer-identifying argument
 DMA_MAP_FUNCTIONS = {
@@ -52,15 +58,37 @@ class Spade:
     """Static Sub-Page Analysis for DMA Exposure over a source tree."""
 
     def __init__(self, tree: SourceTree, *,
-                 max_depth: int = DEFAULT_MAX_DEPTH) -> None:
-        self.index = CodeIndex(tree)
+                 max_depth: int = DEFAULT_MAX_DEPTH,
+                 cache: "perfcache.PerfCache | None" = None) -> None:
+        self._cache = perfcache.default_cache() if cache is None else cache
+        self.index = CodeIndex(tree, cache=self._cache)
         self.pahole = PaholeDb(self.index.structs)
         self._max_depth = max_depth
 
     # -- entry point -----------------------------------------------------------
 
+    def corpus_digest(self) -> str:
+        """Content digest of the whole analysis input.
+
+        Covers every file's SHA-256, the parser and analyzer versions,
+        and the recursion bound -- everything the finding list is a
+        pure function of. Equal digests mean byte-identical findings,
+        which is what lets a warm Table 2 / Figure 2 re-run skip the
+        analysis entirely.
+        """
+        lines = [f"{path}\x00{digest}"
+                 for path, digest in sorted(self.index.file_hashes.items())]
+        return perfcache.content_key(
+            "findings", str(PARSER_VERSION), str(ANALYZER_VERSION),
+            str(self._max_depth), *lines)
+
     def analyze(self) -> list[Finding]:
-        """One finding per dma-map call site in the tree."""
+        """One finding per dma-map call site in the tree (cached)."""
+        return self._cache.cached(
+            "findings", self.corpus_digest(), self._analyze_uncached,
+            encode=encode_findings, decode=decode_findings)
+
+    def _analyze_uncached(self) -> list[Finding]:
         findings = []
         for map_fn, arg_index in DMA_MAP_FUNCTIONS.items():
             for record in self.index.callers_of(map_fn):

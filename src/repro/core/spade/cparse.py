@@ -15,6 +15,10 @@ from dataclasses import dataclass, field
 from repro.core.spade.ctokens import TokKind, Token, tokenize
 from repro.errors import AnalysisError
 
+#: bump when parsing behaviour changes: every cached parse tree keyed
+#: under the old version silently misses and is re-derived
+PARSER_VERSION = 1
+
 #: identifiers that start a declaration
 TYPE_KEYWORDS = {
     "struct", "void", "char", "int", "short", "long", "unsigned",
@@ -44,6 +48,27 @@ class TypeRef:
         if self.array_len is not None:
             text += f"[{self.array_len}]"
         return text
+
+    @classmethod
+    def intern(cls, base: str, is_struct: bool, pointer_level: int = 0,
+               array_len: int | None = None) -> "TypeRef":
+        """One shared instance per distinct declared type.
+
+        A corpus declares the same handful of types tens of thousands
+        of times; interning keeps one ``TypeRef`` per distinct
+        (base, struct-ness, pointer depth, array length) instead of an
+        object per declaration -- and makes cached parse trees cheap
+        to decode.
+        """
+        key = (base, is_struct, pointer_level, array_len)
+        ref = _TYPEREF_INTERN.get(key)
+        if ref is None:
+            ref = _TYPEREF_INTERN[key] = cls(base, is_struct,
+                                             pointer_level, array_len)
+        return ref
+
+
+_TYPEREF_INTERN: dict[tuple, TypeRef] = {}
 
 
 @dataclass(frozen=True)
@@ -163,12 +188,13 @@ def _parse_type_and_name(tokens: list[Token]) -> tuple[TypeRef, str] | None:
     if type_tokens[0].is_ident("struct"):
         if len(type_tokens) < 2 or type_tokens[1].kind != TokKind.IDENT:
             return None
-        ref = TypeRef(type_tokens[1].text, True, pointer_level, array_len)
+        ref = TypeRef.intern(type_tokens[1].text, True, pointer_level,
+                             array_len)
     else:
         if any(t.kind != TokKind.IDENT for t in type_tokens):
             return None
-        ref = TypeRef(" ".join(t.text for t in type_tokens), False,
-                      pointer_level, array_len)
+        ref = TypeRef.intern(" ".join(t.text for t in type_tokens), False,
+                             pointer_level, array_len)
     return ref, name
 
 

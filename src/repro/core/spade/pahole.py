@@ -55,12 +55,23 @@ class StructLayoutInfo:
         return [f for f in self.fields if f.is_callback]
 
 
+#: process-wide layout intern table: recursive struct fingerprint ->
+#: the one shared StructLayoutInfo. Campaign seeds re-instantiate
+#: PaholeDb per mutated corpus, but almost every struct definition is
+#: identical across seeds -- interning makes those layouts free.
+_LAYOUT_INTERN: dict[str, StructLayoutInfo] = {}
+
+
 class PaholeDb:
     """Layout/reachability queries over a set of struct definitions."""
 
     def __init__(self, structs: dict[str, StructDef]) -> None:
         self._structs = structs
         self._layout_cache: dict[str, StructLayoutInfo] = {}
+        self._fingerprints: dict[str, str] = {}
+        self._direct_memo: dict[str, list[tuple[str, int]]] = {}
+        self._targets_memo: dict[str, set[str]] = {}
+        self._spoof_memo: dict[str, tuple[int, list[str]]] = {}
 
     def has_struct(self, name: str) -> bool:
         return name in self._structs
@@ -88,6 +99,41 @@ class PaholeDb:
         count = ref.array_len if ref.array_len is not None else 1
         return base * count, align
 
+    def _fingerprint(self, name: str,
+                     _stack: tuple[str, ...] = ()) -> str:
+        """Recursive identity of everything a layout depends on.
+
+        Two structs with equal fingerprints (across any two corpora or
+        PaholeDb instances) lay out identically, so their
+        :class:`StructLayoutInfo` can be one interned object.
+        """
+        cached = self._fingerprints.get(name)
+        if cached is not None:
+            return cached
+        if name in _stack:
+            raise AnalysisError(f"recursive by-value struct {name}")
+        struct_def = self._structs.get(name)
+        if struct_def is None:
+            raise AnalysisError(f"unknown struct {name}")
+        parts = [name]
+        for f in struct_def.fields:
+            ref = f.type
+            if f.is_func_ptr:
+                parts.append(f"{f.name}|fp|{f.func_ptr_count}")
+            elif ref is None:
+                parts.append(f"{f.name}|ptr")
+            elif ref.is_struct and ref.pointer_level == 0 \
+                    and ref.base in self._structs:
+                parts.append(
+                    f"{f.name}|nest|{ref.array_len}|"
+                    + self._fingerprint(ref.base, _stack + (name,)))
+            else:
+                parts.append(f"{f.name}|{ref.base}|{ref.is_struct}|"
+                             f"{ref.pointer_level}|{ref.array_len}")
+        digest = "|".join(parts)
+        self._fingerprints[name] = digest
+        return digest
+
     def layout(self, name: str, *,
                _stack: tuple[str, ...] = ()) -> StructLayoutInfo:
         """Compute the byte layout of ``struct name``."""
@@ -99,6 +145,11 @@ class PaholeDb:
         struct_def = self._structs.get(name)
         if struct_def is None:
             raise AnalysisError(f"unknown struct {name}")
+        fingerprint = self._fingerprint(name, _stack)
+        interned = _LAYOUT_INTERN.get(fingerprint)
+        if interned is not None:
+            self._layout_cache[name] = interned
+            return interned
         info = StructLayoutInfo(name, 0)
         offset = 0
         max_align = 1
@@ -112,6 +163,7 @@ class PaholeDb:
             offset += size
         info.size = -(-offset // max_align) * max_align
         self._layout_cache[name] = info
+        _LAYOUT_INTERN[fingerprint] = info
         return info
 
     # -- callback reachability ---------------------------------------------------
@@ -119,25 +171,48 @@ class PaholeDb:
     def direct_callbacks(self, name: str,
                          prefix: str = "") -> list[tuple[str, int]]:
         """(dotted_name, count) of fn-ptr fields on the struct's own
-        page image -- including structs nested by value."""
+        page image -- including structs nested by value.
+
+        Memoized per struct: the analysis asks for the same struct's
+        callbacks once per finding (1019 times over the Table-2
+        corpus), and the spoofable-reachability BFS asks again for
+        every node it visits.
+        """
+        base = self._direct_memo.get(name)
+        if base is None:
+            base = self._direct_callbacks_uncached(name)
+            self._direct_memo[name] = base
+        if not prefix:
+            return list(base)
+        return [(prefix + dotted, count) for dotted, count in base]
+
+    def _direct_callbacks_uncached(self, name: str
+                                   ) -> list[tuple[str, int]]:
         struct_def = self._structs.get(name)
         if struct_def is None:
             return []
         out: list[tuple[str, int]] = []
         for f in struct_def.fields:
             if f.is_func_ptr:
-                out.append((prefix + f.name, f.func_ptr_count))
+                out.append((f.name, f.func_ptr_count))
             elif f.type is not None and f.type.is_struct \
                     and f.type.pointer_level == 0 \
                     and f.type.base in self._structs:
                 out.extend(self.direct_callbacks(
-                    f.type.base, prefix + f.name + "."))
+                    f.type.base, f.name + "."))
         return out
 
     def direct_callback_count(self, name: str) -> int:
         return sum(count for _n, count in self.direct_callbacks(name))
 
     def _pointer_targets(self, name: str) -> set[str]:
+        cached = self._targets_memo.get(name)
+        if cached is None:
+            cached = self._pointer_targets_uncached(name)
+            self._targets_memo[name] = cached
+        return cached
+
+    def _pointer_targets_uncached(self, name: str) -> set[str]:
         struct_def = self._structs.get(name)
         if struct_def is None:
             return set()
@@ -161,6 +236,10 @@ class PaholeDb:
         root's own (direct) callbacks are excluded -- they are counted
         by :meth:`direct_callback_count`.
         """
+        cached = self._spoof_memo.get(name)
+        if cached is not None:
+            total, order = cached
+            return total, list(order)
         visited: set[str] = {name}
         queue = sorted(self._pointer_targets(name))
         order: list[str] = []
@@ -175,4 +254,5 @@ class PaholeDb:
             for nxt in sorted(self._pointer_targets(current)):
                 if nxt not in visited:
                     queue.append(nxt)
-        return total, order
+        self._spoof_memo[name] = (total, order)
+        return total, list(order)

@@ -18,6 +18,10 @@ from repro.corpus.templates import RENDERERS
 from repro.errors import CorpusError
 from repro.sim.rng import DeterministicRng
 
+#: bump when generated output changes for the same (seed, composition);
+#: part of every cached-corpus key (see :mod:`repro.perfcache`)
+GENERATOR_VERSION = 1
+
 _SYLLABLES = ("ar", "ben", "cor", "dex", "el", "far", "gal", "hex",
               "ix", "jet", "kor", "lan", "mos", "net", "ox", "pex",
               "qua", "rix", "sol", "tem", "ul", "vex", "wim", "xen",

@@ -9,7 +9,6 @@ the deferred-invalidation vulnerability.
 
 from __future__ import annotations
 
-from collections import OrderedDict
 from dataclasses import dataclass
 
 from repro import trace
@@ -40,33 +39,44 @@ class Iotlb:
         if capacity <= 0:
             raise ValueError(f"bad IOTLB capacity {capacity}")
         self._capacity = capacity
-        self._entries: OrderedDict[tuple[int, int], IovaEntry] = OrderedDict()
+        # plain dict as an LRU: insertion order is recency order, a
+        # delete + reinsert is move-to-end, and the first key is the
+        # LRU victim -- all O(1), no OrderedDict link juggling on
+        # every ring-buffer DMA translation
+        self._entries: dict[tuple[int, int], IovaEntry] = {}
         self.stats = IotlbStats()
 
     def lookup(self, domain_id: int, iova_pfn: int) -> IovaEntry | None:
         key = (domain_id, iova_pfn)
-        entry = self._entries.get(key)
+        entries = self._entries
+        entry = entries.get(key)
         if entry is None:
             self.stats.misses += 1
-            trace.count("iommu", "iotlb_miss")
+            if "iommu" in trace.active_categories:
+                trace.count("iommu", "iotlb_miss")
             return None
-        self._entries.move_to_end(key)
+        del entries[key]
+        entries[key] = entry
         self.stats.hits += 1
-        trace.count("iommu", "iotlb_hit")
+        if "iommu" in trace.active_categories:
+            trace.count("iommu", "iotlb_hit")
         return entry
 
     def insert(self, domain_id: int, entry: IovaEntry) -> None:
         key = (domain_id, entry.iova_pfn)
-        self._entries[key] = entry
-        self._entries.move_to_end(key)
-        while len(self._entries) > self._capacity:
-            self._entries.popitem(last=False)
+        entries = self._entries
+        if key in entries:
+            del entries[key]
+        entries[key] = entry
+        while len(entries) > self._capacity:
+            del entries[next(iter(entries))]
             self.stats.evictions += 1
 
     def invalidate(self, domain_id: int, iova_pfn: int) -> bool:
         """Invalidate one entry; True if it was cached."""
         self.stats.invalidations += 1
-        trace.count("iommu", "iotlb_invalidation")
+        if "iommu" in trace.active_categories:
+            trace.count("iommu", "iotlb_invalidation")
         return self._entries.pop((domain_id, iova_pfn), None) is not None
 
     def flush_all(self) -> int:

@@ -38,7 +38,10 @@ class _Chunk:
     order: int
     offset: int                  # next allocation ends here (grows down)
     refcount: int = 1            # +1 bias held by the cache while current
-    frags: list[tuple[int, int]] = field(default_factory=list)
+    # live fragments, paddr -> size; the offset only walks down within
+    # a chunk's lifetime, so paddrs are unique and free() is one pop
+    # instead of a linear scan
+    frags: dict[int, int] = field(default_factory=dict)
 
     @property
     def size(self) -> int:
@@ -106,9 +109,9 @@ class PageFragCache:
         chunk.offset -= aligned
         paddr = chunk.base_paddr + chunk.offset
         chunk.refcount += 1
-        chunk.frags.append((paddr, size))
+        chunk.frags[paddr] = size
         self._chunk_of_frag[paddr] = chunk
-        if trace.enabled("mem"):
+        if "mem" in trace.active_categories:
             trace.emit("mem", "frag_alloc", size=size, cpu=self._cpu,
                        chunk_pfn=chunk.base_pfn,
                        offset=chunk.offset, site=str(site))
@@ -121,13 +124,11 @@ class PageFragCache:
         chunk = self._chunk_of_frag.pop(paddr, None)
         if chunk is None:
             raise AllocatorError(f"page_frag free of unknown KVA {kva:#x}")
-        for i, (fpaddr, fsize) in enumerate(chunk.frags):
-            if fpaddr == paddr:
-                self._sink.on_free(paddr, fsize)
-                del chunk.frags[i]
-                break
+        fsize = chunk.frags.pop(paddr, None)
+        if fsize is not None:
+            self._sink.on_free(paddr, fsize)
         chunk.refcount -= 1
-        if trace.enabled("mem"):
+        if "mem" in trace.active_categories:
             trace.emit("mem", "frag_free", cpu=self._cpu,
                        chunk_pfn=chunk.base_pfn,
                        refcount=chunk.refcount)

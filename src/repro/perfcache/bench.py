@@ -1,0 +1,248 @@
+"""The tracked perf-benchmark driver behind ``repro-dma bench``.
+
+Three benchmark families, one machine-readable report
+(``BENCH_perf.json``):
+
+* **spade** -- one SPADE pass over the unmutated Linux-5.0-shaped
+  corpus, timed cold (empty cache, disk writes included), warm from
+  the disk tier alone (a fresh process's view), and warm from the
+  in-process tier; plus the uncached baseline. The report carries a
+  ``identical`` bit: the cached findings must encode to byte-identical
+  JSON as the uncached ones, or the cache is wrong, not fast.
+* **campaign** -- differential-campaign throughput at ``jobs=1`` and
+  ``jobs=4`` over a small mutated-seed batch sharing one on-disk
+  cache.
+* **kernel** -- event rates of the two hottest simulator paths the
+  perf work touched: IOTLB lookup/insert and page_frag alloc/free.
+
+Timing uses ``time.perf_counter``; every family repeats ``rounds``
+times and reports the best round (standard for wall-clock benches:
+the minimum is the least-noisy estimate of the true cost).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+
+from repro import perfcache
+
+#: bump when the report layout changes
+BENCH_SCHEMA = 1
+
+DEFAULT_OUTPUT = "BENCH_perf.json"
+
+
+def _best(fn, rounds: int) -> float:
+    best = None
+    for _ in range(max(1, rounds)):
+        start = time.perf_counter()
+        fn()
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best:
+            best = elapsed
+    return best
+
+
+# -- SPADE cold vs warm ------------------------------------------------------
+
+def bench_spade(*, scale: float = 1.0, corpus_seed: int = 2021,
+                rounds: int = 1) -> dict:
+    """Cold/warm/uncached SPADE timings plus the differential bit."""
+    from repro.core.spade.analyzer import Spade
+    from repro.corpus.generate import CorpusGenerator
+    from repro.corpus.linux50 import scaled_composition
+    from repro.perfcache.codec import encode_findings
+
+    composition = scaled_composition(scale)
+    tree, _manifest = CorpusGenerator(
+        seed=corpus_seed, composition=composition).generate()
+
+    def timed(run) -> tuple[float, list]:
+        start = time.perf_counter()
+        findings = run()
+        return time.perf_counter() - start, findings
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-") as cache_dir:
+        # uncached baseline (caching off entirely)
+        perfcache.configure(enabled=False)
+        uncached_s, baseline = timed(lambda: Spade(tree).analyze())
+
+        # cold: empty cache, disk writes on the critical path
+        perfcache.configure(cache_dir)
+        cold_s, _ = timed(lambda: Spade(tree).analyze())
+
+        # warm from disk only: a fresh PerfCache (= fresh process)
+        # over the same directory, empty in-process tier
+        perfcache.configure(cache_dir)
+        warm_disk_s, warm_findings = timed(lambda: Spade(tree).analyze())
+        disk_stats = perfcache.default_cache().stats.to_json()
+
+        # warm from the in-process tier (same cache object again)
+        warm_memory_s, _ = timed(lambda: Spade(tree).analyze())
+
+        identical = json.dumps(encode_findings(warm_findings)) == \
+            json.dumps(encode_findings(baseline))
+    perfcache.reset_default()
+
+    return {
+        "scale": scale,
+        "corpus_seed": corpus_seed,
+        "nr_files": len(tree.files),
+        "nr_findings": len(baseline),
+        "uncached_s": round(uncached_s, 6),
+        "cold_s": round(cold_s, 6),
+        "warm_disk_s": round(warm_disk_s, 6),
+        "warm_memory_s": round(warm_memory_s, 6),
+        "speedup_disk": round(cold_s / warm_disk_s, 2)
+        if warm_disk_s else float("inf"),
+        "speedup_memory": round(cold_s / warm_memory_s, 2)
+        if warm_memory_s else float("inf"),
+        "warm_disk_stats": disk_stats,
+        "identical": identical,
+    }
+
+
+# -- campaign throughput -----------------------------------------------------
+
+def bench_campaign(*, nr_seeds: int = 4, scale: float = 0.1,
+                   jobs: tuple[int, ...] = (1, 4)) -> dict:
+    """Seeds-per-second of the differential campaign at each ``jobs``."""
+    from repro.campaign.runner import CampaignConfig, run_campaign
+
+    runs = []
+    for nr_jobs in jobs:
+        with tempfile.TemporaryDirectory(
+                prefix="repro-bench-campaign-") as cache_dir:
+            config = CampaignConfig(
+                nr_seeds=nr_seeds, jobs=nr_jobs, scale=scale,
+                output=None, trace_events=0, cache_dir=cache_dir)
+            start = time.perf_counter()
+            summary = run_campaign(config)
+            elapsed = time.perf_counter() - start
+        runs.append({
+            "jobs": nr_jobs,
+            "nr_seeds": nr_seeds,
+            "elapsed_s": round(elapsed, 3),
+            "seeds_per_s": round(nr_seeds / elapsed, 3) if elapsed
+            else float("inf"),
+            "nr_ok": summary.nr_ok,
+        })
+    perfcache.reset_default()
+    return {"scale": scale, "runs": runs}
+
+
+# -- kernel-simulation event rates -------------------------------------------
+
+def bench_kernel_events(*, rounds: int = 3,
+                        nr_events: int = 50_000) -> dict:
+    """Best-round events/second for the IOTLB and page_frag hot paths."""
+    from repro.iommu.domain import IovaEntry
+    from repro.iommu.iotlb import Iotlb
+    from repro.iommu.perms import DmaPerm
+    from repro.mem.buddy import BuddyAllocator
+    from repro.mem.page_frag import PageFragCache
+    from repro.mem.phys import PhysicalMemory
+    from repro.mem.virt import IdentityTranslator
+
+    entries = [IovaEntry(pfn, pfn + 1, DmaPerm.BIDIRECTIONAL)
+               for pfn in range(512)]
+
+    def iotlb_round() -> None:
+        iotlb = Iotlb(capacity=256)
+        for i in range(nr_events):
+            entry = entries[i % 512]
+            if iotlb.lookup(7, entry.iova_pfn) is None:
+                iotlb.insert(7, entry)
+
+    def frag_round() -> None:
+        phys = PhysicalMemory(16384)
+        buddy = BuddyAllocator(phys, reserved_low_pages=16)
+        cache = PageFragCache(buddy, IdentityTranslator())
+        live: list[int] = []
+        for i in range(nr_events):
+            live.append(cache.alloc(1856))
+            if len(live) >= 8:
+                cache.free(live.pop(0))
+
+    iotlb_s = _best(iotlb_round, rounds)
+    frag_s = _best(frag_round, rounds)
+    return {
+        "nr_events": nr_events,
+        "rounds": rounds,
+        "iotlb_best_s": round(iotlb_s, 6),
+        "iotlb_events_per_s": round(nr_events / iotlb_s),
+        "page_frag_best_s": round(frag_s, 6),
+        "page_frag_events_per_s": round(nr_events / frag_s),
+    }
+
+
+# -- the report --------------------------------------------------------------
+
+def run_benchmarks(*, scale: float = 1.0, corpus_seed: int = 2021,
+                   campaign_seeds: int = 4, campaign_scale: float = 0.1,
+                   jobs: tuple[int, ...] = (1, 4), rounds: int = 3,
+                   kernel_events: int = 50_000) -> dict:
+    """Run every family; returns the ``BENCH_perf.json`` payload."""
+    from repro import __version__
+
+    spade = bench_spade(scale=scale, corpus_seed=corpus_seed)
+    campaign = bench_campaign(nr_seeds=campaign_seeds,
+                              scale=campaign_scale, jobs=jobs)
+    kernel = bench_kernel_events(rounds=rounds, nr_events=kernel_events)
+    checks = {
+        "warm_faster_than_cold":
+            spade["warm_disk_s"] < spade["cold_s"],
+        "cached_findings_identical": spade["identical"],
+    }
+    return {
+        "schema": BENCH_SCHEMA,
+        "version": __version__,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "spade": spade,
+        "campaign": campaign,
+        "kernel": kernel,
+        "checks": checks,
+        "ok": all(checks.values()),
+    }
+
+
+def write_report(report: dict, path: str = DEFAULT_OUTPUT) -> None:
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def format_report(report: dict) -> str:
+    """Human-readable digest of one report."""
+    spade = report["spade"]
+    kernel = report["kernel"]
+    lines = [
+        f"SPADE scale={spade['scale']} "
+        f"({spade['nr_files']} files, {spade['nr_findings']} findings)",
+        f"  uncached    {spade['uncached_s']*1000:10.1f} ms",
+        f"  cold+write  {spade['cold_s']*1000:10.1f} ms",
+        f"  warm (disk) {spade['warm_disk_s']*1000:10.1f} ms  "
+        f"({spade['speedup_disk']}x)",
+        f"  warm (mem)  {spade['warm_memory_s']*1000:10.1f} ms  "
+        f"({spade['speedup_memory']}x)",
+        f"  cached findings identical: {spade['identical']}",
+        "campaign throughput "
+        f"(scale={report['campaign']['scale']})",
+    ]
+    for run in report["campaign"]["runs"]:
+        lines.append(f"  jobs={run['jobs']}  {run['elapsed_s']:8.2f} s"
+                     f"  ({run['seeds_per_s']} seeds/s,"
+                     f" {run['nr_ok']} ok)")
+    lines += [
+        "kernel event rates",
+        f"  iotlb      {kernel['iotlb_events_per_s']:>12,} events/s",
+        f"  page_frag  {kernel['page_frag_events_per_s']:>12,} events/s",
+        f"checks: {report['checks']}",
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,149 @@
+"""JSON codecs for the cacheable SPADE artifacts.
+
+Round-trip fidelity is the contract: for any parsed file or finding
+list, ``decode(encode(x))`` must be *observably identical* to ``x`` --
+the differential tests compare the re-encoded JSON byte-for-byte and
+the rendered Table 2 text, so a lossy codec cannot land.
+
+Decoding routes every :class:`TypeRef` through the intern table
+(:func:`repro.core.spade.cparse.TypeRef.intern`), so a warm corpus
+shares one object per distinct declared type instead of thousands of
+equal copies.
+"""
+
+from __future__ import annotations
+
+from repro.core.spade.cparse import (Assignment, CallSite, FunctionDef,
+                                     ParsedFile, StructDef, StructField,
+                                     TypeRef, VarDecl)
+from repro.core.spade.findings import Finding
+
+
+# -- type references ----------------------------------------------------------
+
+def _encode_typeref(ref: TypeRef | None):
+    if ref is None:
+        return None
+    return [ref.base, ref.is_struct, ref.pointer_level, ref.array_len]
+
+
+def _decode_typeref(record) -> TypeRef | None:
+    if record is None:
+        return None
+    base, is_struct, pointer_level, array_len = record
+    return TypeRef.intern(base, is_struct, pointer_level, array_len)
+
+
+# -- parsed files -------------------------------------------------------------
+
+def _encode_field(f: StructField) -> list:
+    return [f.name, f.line, _encode_typeref(f.type), f.is_func_ptr,
+            f.func_ptr_count]
+
+
+def _decode_field(record) -> StructField:
+    name, line, ref, is_func_ptr, count = record
+    return StructField(name, line, _decode_typeref(ref),
+                       is_func_ptr=is_func_ptr, func_ptr_count=count)
+
+
+def _encode_var(decl: VarDecl) -> list:
+    return [decl.name, _encode_typeref(decl.type), decl.line]
+
+
+def _decode_var(record) -> VarDecl:
+    name, ref, line = record
+    return VarDecl(name, _decode_typeref(ref), line)
+
+
+def _encode_call(call: CallSite) -> list:
+    return [call.callee, list(call.args), call.line]
+
+
+def _decode_call(record) -> CallSite:
+    callee, args, line = record
+    return CallSite(callee, tuple(args), line)
+
+
+def _encode_assignment(assign: Assignment) -> list:
+    rhs_call = None if assign.rhs_call is None \
+        else _encode_call(assign.rhs_call)
+    return [assign.lhs, assign.rhs_text, rhs_call, assign.line]
+
+
+def _decode_assignment(record) -> Assignment:
+    lhs, rhs_text, rhs_call, line = record
+    decoded = None if rhs_call is None else _decode_call(rhs_call)
+    return Assignment(lhs, rhs_text, decoded, line)
+
+
+def encode_parsed_file(parsed: ParsedFile) -> dict:
+    return {
+        "path": parsed.path,
+        "structs": [
+            [s.name, [_encode_field(f) for f in s.fields], s.file, s.line]
+            for s in parsed.structs.values()],
+        "functions": [
+            {"name": func.name,
+             "params": [_encode_var(p) for p in func.params],
+             "locals": [_encode_var(v) for v in func.locals],
+             "assignments": [_encode_assignment(a)
+                             for a in func.assignments],
+             "calls": [_encode_call(c) for c in func.calls],
+             "file": func.file, "line": func.line}
+            for func in parsed.functions.values()],
+    }
+
+
+def decode_parsed_file(record: dict) -> ParsedFile:
+    parsed = ParsedFile(record["path"])
+    for name, fields, file, line in record["structs"]:
+        parsed.structs[name] = StructDef(
+            name, [_decode_field(f) for f in fields], file, line)
+    for func_record in record["functions"]:
+        func = FunctionDef(
+            func_record["name"],
+            [_decode_var(p) for p in func_record["params"]],
+            locals=[_decode_var(v) for v in func_record["locals"]],
+            assignments=[_decode_assignment(a)
+                         for a in func_record["assignments"]],
+            calls=[_decode_call(c) for c in func_record["calls"]],
+            file=func_record["file"], line=func_record["line"])
+        parsed.functions[func.name] = func
+    return parsed
+
+
+# -- findings -----------------------------------------------------------------
+
+def encode_finding(finding: Finding) -> dict:
+    return {
+        "file": finding.file, "line": finding.line,
+        "mapped_expr": finding.mapped_expr,
+        "exposures": sorted(finding.exposures),
+        "exposed_struct": finding.exposed_struct,
+        "direct_callbacks": finding.direct_callbacks,
+        "direct_callback_names": list(finding.direct_callback_names),
+        "spoofable_callbacks": finding.spoofable_callbacks,
+        "allocation_source": finding.allocation_source,
+        "trace": list(finding.trace),
+    }
+
+
+def decode_finding(record: dict) -> Finding:
+    return Finding(
+        record["file"], record["line"], record["mapped_expr"],
+        exposures=set(record["exposures"]),
+        exposed_struct=record["exposed_struct"],
+        direct_callbacks=record["direct_callbacks"],
+        direct_callback_names=list(record["direct_callback_names"]),
+        spoofable_callbacks=record["spoofable_callbacks"],
+        allocation_source=record["allocation_source"],
+        trace=list(record["trace"]))
+
+
+def encode_findings(findings: list[Finding]) -> list[dict]:
+    return [encode_finding(f) for f in findings]
+
+
+def decode_findings(records: list[dict]) -> list[Finding]:
+    return [decode_finding(r) for r in records]

@@ -1,0 +1,282 @@
+"""The two-tier content-addressed cache behind ``repro.perfcache``.
+
+Layout of one cache directory::
+
+    <dir>/CACHE.json                     marker + schema version
+    <dir>/<namespace>/<kk>/<key>.json    one entry per content key
+
+Keys are hex SHA-256 digests of whatever identifies the computation
+(source bytes, analyzer versions, parameters); ``<kk>`` is the first
+two hex characters, which keeps directories small at corpus scale.
+
+Tier 1 is an in-process dict holding the *decoded objects* -- a hit
+costs one dict lookup and returns the very same parse tree or finding
+list the previous caller got. Tier 2 is on disk, JSON-per-entry and
+sqlite-free, so concurrent campaign workers can share it with nothing
+but atomic renames (``os.replace``): two workers racing on the same
+key both write valid files and the last rename wins.
+
+Failure policy: the cache must never turn a working analysis into a
+crash. A corrupted or truncated entry, an undecodable payload, or any
+filesystem error on read/write counts in :class:`CacheStats` and falls
+back to recomputing silently.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+
+#: bump to invalidate every on-disk entry at once (wire-format changes)
+CACHE_SCHEMA = 1
+
+MARKER_NAME = "CACHE.json"
+
+#: every namespace the repo's callers use (``cache clear`` removes these)
+NAMESPACES = ("parse", "findings", "corpus")
+
+#: tier-1 bound: enough for several full corpora of parse trees
+DEFAULT_MEMORY_ENTRIES = 8192
+
+
+def content_key(*parts: str) -> str:
+    """Hex SHA-256 over the NUL-joined *parts* (order-sensitive)."""
+    digest = hashlib.sha256()
+    for i, part in enumerate(parts):
+        if i:
+            digest.update(b"\x00")
+        digest.update(part.encode("utf-8"))
+    return digest.hexdigest()
+
+
+def file_digest(content: str) -> str:
+    """Hex SHA-256 of one source file's text."""
+    return hashlib.sha256(content.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Per-:class:`PerfCache` effectiveness counters."""
+
+    memory_hits: int = 0
+    disk_hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    bypasses: int = 0        # cache disabled -> straight compute
+    corrupt: int = 0         # undecodable disk entries (recomputed)
+    write_errors: int = 0    # disk stores that failed (ignored)
+
+    @property
+    def hits(self) -> int:
+        return self.memory_hits + self.disk_hits
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    def to_json(self) -> dict:
+        return {"memory_hits": self.memory_hits,
+                "disk_hits": self.disk_hits, "misses": self.misses,
+                "stores": self.stores, "bypasses": self.bypasses,
+                "corrupt": self.corrupt,
+                "write_errors": self.write_errors}
+
+
+@dataclass
+class NamespaceUsage:
+    """Disk-tier footprint of one namespace."""
+
+    namespace: str
+    entries: int = 0
+    bytes: int = 0
+
+
+class PerfCache:
+    """Two-tier cache; ``directory=None`` keeps only the memory tier.
+
+    ``enabled=False`` turns every :meth:`cached` call into a plain
+    ``compute()`` (the ``REPRO_CACHE=off`` escape hatch), which is what
+    the differential-verification mode uses as its "cold" side.
+    """
+
+    def __init__(self, directory: str | None = None, *,
+                 enabled: bool = True,
+                 memory_entries: int = DEFAULT_MEMORY_ENTRIES) -> None:
+        self.directory = directory
+        self.enabled = enabled
+        self._memory: dict[tuple[str, str], object] = {}
+        self._memory_entries = max(1, memory_entries)
+        self.stats = CacheStats()
+
+    # -- the one entry point callers use -------------------------------------
+
+    def cached(self, namespace: str, key: str, compute, *,
+               encode=None, decode=None):
+        """Return the cached value for (namespace, key) or compute it.
+
+        ``encode(obj) -> json-able`` / ``decode(payload) -> obj`` gate
+        the disk tier; without them the entry lives in memory only.
+        """
+        if not self.enabled:
+            self.stats.bypasses += 1
+            return compute()
+        memory_key = (namespace, key)
+        memory = self._memory
+        if memory_key in memory:
+            self.stats.memory_hits += 1
+            return memory[memory_key]
+        if self.directory is not None and decode is not None:
+            payload = self._disk_read(namespace, key)
+            if payload is not None:
+                try:
+                    obj = decode(payload)
+                except Exception:
+                    self.stats.corrupt += 1
+                else:
+                    self.stats.disk_hits += 1
+                    self._memory_store(memory_key, obj)
+                    return obj
+        self.stats.misses += 1
+        obj = compute()
+        self._memory_store(memory_key, obj)
+        if self.directory is not None and encode is not None:
+            self._disk_write(namespace, key, encode(obj))
+        self.stats.stores += 1
+        return obj
+
+    # -- memory tier ---------------------------------------------------------
+
+    def _memory_store(self, memory_key: tuple[str, str], obj) -> None:
+        memory = self._memory
+        if len(memory) >= self._memory_entries:
+            # dicts iterate in insertion order: drop the oldest entry
+            del memory[next(iter(memory))]
+        memory[memory_key] = obj
+
+    @property
+    def nr_memory_entries(self) -> int:
+        return len(self._memory)
+
+    def drop_memory(self) -> None:
+        """Forget the object tier (the disk tier survives)."""
+        self._memory.clear()
+
+    # -- disk tier -----------------------------------------------------------
+
+    def _entry_path(self, namespace: str, key: str) -> str:
+        return os.path.join(self.directory, namespace, key[:2],
+                            f"{key}.json")
+
+    def _disk_read(self, namespace: str, key: str):
+        try:
+            with open(self._entry_path(namespace, key),
+                      encoding="utf-8") as handle:
+                record = json.load(handle)
+            if record.get("schema") != CACHE_SCHEMA \
+                    or record.get("key") != key:
+                self.stats.corrupt += 1
+                return None
+            return record["data"]
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError, KeyError):
+            self.stats.corrupt += 1
+            return None
+
+    def _disk_write(self, namespace: str, key: str, data) -> None:
+        path = self._entry_path(namespace, key)
+        record = {"schema": CACHE_SCHEMA, "key": key, "data": data}
+        try:
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            self._write_marker()
+            fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path),
+                                       suffix=".tmp")
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    json.dump(record, handle, separators=(",", ":"))
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except (OSError, TypeError, ValueError):
+            self.stats.write_errors += 1
+
+    def _write_marker(self) -> None:
+        marker = os.path.join(self.directory, MARKER_NAME)
+        if not os.path.exists(marker):
+            with open(marker, "w", encoding="utf-8") as handle:
+                json.dump({"schema": CACHE_SCHEMA,
+                           "tool": "repro-dma perfcache"}, handle)
+
+    # -- maintenance (the ``repro-dma cache`` subcommand) ---------------------
+
+    def disk_usage(self) -> list[NamespaceUsage]:
+        """Entry counts and byte totals per namespace on disk."""
+        out = []
+        if self.directory is None or not os.path.isdir(self.directory):
+            return out
+        for namespace in NAMESPACES:
+            usage = NamespaceUsage(namespace)
+            root = os.path.join(self.directory, namespace)
+            for dirpath, _dirnames, filenames in os.walk(root):
+                for name in filenames:
+                    if not name.endswith(".json"):
+                        continue
+                    usage.entries += 1
+                    try:
+                        usage.bytes += os.path.getsize(
+                            os.path.join(dirpath, name))
+                    except OSError:
+                        pass
+            out.append(usage)
+        return out
+
+    def is_cache_directory(self) -> bool:
+        """True when the directory carries our marker (or is absent)."""
+        if self.directory is None or not os.path.isdir(self.directory):
+            return True
+        if os.path.exists(os.path.join(self.directory, MARKER_NAME)):
+            return True
+        # an empty directory is fine to adopt
+        return not os.listdir(self.directory)
+
+    def clear_disk(self) -> int:
+        """Remove every namespace entry; returns entries removed.
+
+        Only touches the namespace subdirectories and the marker --
+        never unrelated files someone else put next to them.
+        """
+        removed = 0
+        if self.directory is None or not os.path.isdir(self.directory):
+            return removed
+        for namespace in NAMESPACES:
+            root = os.path.join(self.directory, namespace)
+            for dirpath, dirnames, filenames in os.walk(root,
+                                                        topdown=False):
+                for name in filenames:
+                    try:
+                        os.unlink(os.path.join(dirpath, name))
+                        removed += 1
+                    except OSError:
+                        pass
+                for name in dirnames:
+                    try:
+                        os.rmdir(os.path.join(dirpath, name))
+                    except OSError:
+                        pass
+            try:
+                os.rmdir(root)
+            except OSError:
+                pass
+        try:
+            os.unlink(os.path.join(self.directory, MARKER_NAME))
+        except OSError:
+            pass
+        self.drop_memory()
+        return removed

@@ -48,7 +48,8 @@ __all__ = [
     "CATEGORIES", "DEFAULT_CAPACITY", "Histogram", "InvalidationWindows",
     "Span", "TraceError", "TraceEvent", "TraceRecorder", "active",
     "bind_clock", "chrome_trace", "count", "derive_invalidation_windows",
-    "dump_chrome_trace", "dump_jsonl", "emit", "enabled", "event_counts",
+    "active_categories", "dump_chrome_trace", "dump_jsonl", "emit",
+    "enabled", "event_counts",
     "install", "last_seq", "load_jsonl", "observe", "session", "span",
     "stale_access_count", "summary_record", "uninstall", "write_jsonl",
 ]
@@ -57,20 +58,34 @@ __all__ = [
 #: and every hook below is a near-zero-cost no-op.
 _active: TraceRecorder | None = None
 
+_NO_CATEGORIES: frozenset = frozenset()
+
+#: The categories the installed recorder wants -- empty when tracing is
+#: off. This is module *data*, not a function, so per-event hot loops
+#: can hoist ``trace.active_categories`` into a local once and pay one
+#: O(1) membership test per event instead of a function call (the
+#: :func:`enabled` predicate must never be re-evaluated per event in a
+#: loop whose recorder cannot change mid-loop).
+active_categories: frozenset = _NO_CATEGORIES
+
 
 def install(recorder: TraceRecorder) -> TraceRecorder:
     """Install *recorder* as the process-wide flight recorder."""
-    global _active
+    global _active, active_categories
     if _active is not None:
         raise TraceError("a trace recorder is already installed")
     _active = recorder
+    wanted = recorder.categories
+    active_categories = frozenset(CATEGORIES) if wanted is None \
+        else wanted
     return recorder
 
 
 def uninstall() -> TraceRecorder | None:
     """Remove (and return) the installed recorder, if any."""
-    global _active
+    global _active, active_categories
     recorder, _active = _active, None
+    active_categories = _NO_CATEGORIES
     return recorder
 
 
@@ -97,8 +112,7 @@ def session(**kwargs):
 
 def enabled(category: str) -> bool:
     """True when a recorder is installed and wants *category*."""
-    recorder = _active
-    return recorder is not None and recorder.wants(category)
+    return category in active_categories
 
 
 def emit(category: str, name: str, **args):
