@@ -8,29 +8,42 @@ record, so one pathological seed never kills the campaign. Results
 stream to JSONL the moment they arrive (see
 :mod:`repro.campaign.results`), which is what makes ``--resume``
 lossless.
+
+Health telemetry: when ``heartbeat_dir`` is set, every worker rewrites
+one ``worker-<pid>.json`` beat per seed (see
+:mod:`repro.metrics.heartbeat`) and the parent polls the pool with a
+timeout instead of blocking on each future, scanning the heartbeat
+directory between polls -- so a wedged seed surfaces as a STALLED
+worker on the progress line instead of a silent hang.
 """
 
 from __future__ import annotations
 
+import os
 import signal
 import time
 import traceback
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Callable
 
-from repro import perfcache
+from repro import metrics, perfcache
 from repro.campaign.mutate import CorpusMutator
 from repro.campaign.oracle import run_differential
 from repro.campaign.results import (CampaignSummary, append_record,
                                     completed_seeds, failure_record,
                                     load_records, result_record,
                                     summarize)
+from repro.metrics.heartbeat import (DEFAULT_STALL_AFTER_S, Heartbeat,
+                                     HeartbeatMonitor, WorkerHealth)
 
 #: per-chunk submission factor: bounds peak queued futures while
 #: keeping every worker busy between chunk boundaries
 CHUNK_FACTOR = 4
+
+#: how often the parent wakes to scan heartbeats while futures run
+HEARTBEAT_POLL_S = 2.0
 
 
 @dataclass
@@ -52,6 +65,10 @@ class CampaignConfig:
     #: shared on-disk analysis cache warmed by every worker; ``None``
     #: keeps caching in-process only (see :mod:`repro.perfcache`)
     cache_dir: str | None = None
+    #: worker heartbeat files land here; ``None`` disables telemetry
+    heartbeat_dir: str | None = None
+    #: a worker silent for longer than this is flagged as stalled
+    stall_after_s: float = DEFAULT_STALL_AFTER_S
 
     @property
     def seeds(self) -> list[int]:
@@ -110,18 +127,40 @@ def _guarded_run_seed(seed: int, config: "CampaignConfig", *,
 #: task then pickles only the seed integer instead of re-shipping the
 #: whole config with every future
 _WORKER_CONFIG: CampaignConfig | None = None
+_WORKER_HEARTBEAT: Heartbeat | None = None
+_WORKER_SEEDS_DONE = 0
 
 
 def _init_worker(config: "CampaignConfig") -> None:
-    global _WORKER_CONFIG
+    global _WORKER_CONFIG, _WORKER_HEARTBEAT, _WORKER_SEEDS_DONE
     _WORKER_CONFIG = config
+    _WORKER_SEEDS_DONE = 0
     if config.cache_dir:
         perfcache.configure(config.cache_dir)
+    if config.heartbeat_dir:
+        _WORKER_HEARTBEAT = Heartbeat(config.heartbeat_dir,
+                                      str(os.getpid()))
+        _WORKER_HEARTBEAT.beat(stage="idle", seeds_done=0)
+    else:
+        _WORKER_HEARTBEAT = None
 
 
 def _worker(seed: int) -> dict:
+    global _WORKER_SEEDS_DONE
     assert _WORKER_CONFIG is not None, "worker initializer did not run"
-    return _guarded_run_seed(seed, _WORKER_CONFIG, use_alarm=True)
+    beat = _WORKER_HEARTBEAT
+    if beat is not None:
+        beat.beat(stage="running", seed=seed,
+                  seeds_done=_WORKER_SEEDS_DONE)
+    record = _guarded_run_seed(seed, _WORKER_CONFIG, use_alarm=True)
+    _WORKER_SEEDS_DONE += 1
+    if beat is not None:
+        beat.beat(stage="idle", seed=seed,
+                  seeds_done=_WORKER_SEEDS_DONE)
+    if _WORKER_CONFIG.cache_dir:
+        # lock-free: each process only ever overwrites its own file
+        perfcache.default_cache().persist_stats()
+    return record
 
 
 def _chunks(items: list[int], size: int) -> list[list[int]]:
@@ -129,9 +168,15 @@ def _chunks(items: list[int], size: int) -> list[list[int]]:
 
 
 def run_campaign(config: CampaignConfig, *,
-                 progress: Callable[[dict], None] | None = None
-                 ) -> CampaignSummary:
-    """Run (or resume) a campaign; returns the aggregate summary."""
+                 progress: Callable[[dict], None] | None = None,
+                 heartbeat: Callable[[list[WorkerHealth]], None]
+                 | None = None) -> CampaignSummary:
+    """Run (or resume) a campaign; returns the aggregate summary.
+
+    *heartbeat*, if given, is called with the latest
+    :class:`~repro.metrics.heartbeat.WorkerHealth` list every poll
+    interval (requires ``config.heartbeat_dir``).
+    """
     existing = load_records(config.output) if config.resume \
         and config.output else {}
     done = completed_seeds(existing)
@@ -143,16 +188,41 @@ def run_campaign(config: CampaignConfig, *,
         records[record["seed"]] = record
         if config.output:
             append_record(config.output, record)
+        metrics.count("campaign", "seeds", status=record["status"])
+        if record.get("disagreements"):
+            metrics.count("campaign", "disagreements",
+                          len(record["disagreements"]))
         if progress is not None:
             progress(record)
+
+    monitor = None
+    if config.heartbeat_dir:
+        monitor = HeartbeatMonitor(config.heartbeat_dir,
+                                   stall_after_s=config.stall_after_s)
+        monitor.clear()
+
+    def poll_heartbeats() -> None:
+        if heartbeat is not None and monitor is not None:
+            heartbeat(monitor.scan())
 
     if config.cache_dir:
         perfcache.configure(config.cache_dir)
 
     if config.jobs <= 1:
-        for seed in pending:
+        beat = Heartbeat(config.heartbeat_dir, "main") \
+            if config.heartbeat_dir else None
+        for nr_done, seed in enumerate(pending):
+            if beat is not None:
+                beat.beat(stage="running", seed=seed,
+                          seeds_done=nr_done)
             record_result(_guarded_run_seed(seed, config,
                                             use_alarm=False))
+            if beat is not None:
+                beat.beat(stage="idle", seed=seed,
+                          seeds_done=nr_done + 1)
+            poll_heartbeats()
+        if config.cache_dir:
+            perfcache.default_cache().persist_stats()
         return summarize(records)
 
     remaining = list(pending)
@@ -164,21 +234,29 @@ def run_campaign(config: CampaignConfig, *,
         try:
             for chunk in _chunks(remaining,
                                  config.jobs * CHUNK_FACTOR):
-                futures = {seed: executor.submit(_worker, seed)
+                seed_of = {executor.submit(_worker, seed): seed
                            for seed in chunk}
-                for seed, future in futures.items():
-                    try:
-                        record = future.result()
-                    except BrokenProcessPool:
-                        # the pool died (e.g. a worker was OOM-killed):
-                        # blame the seeds still in flight, then rebuild
-                        # the pool for whatever is left
-                        broken = True
-                        record = failure_record(
-                            seed, "crash",
-                            "worker process pool collapsed")
-                    record_result(record)
-                    remaining.remove(seed)
+                not_done = set(seed_of)
+                while not_done:
+                    finished, not_done = wait(
+                        not_done, timeout=HEARTBEAT_POLL_S,
+                        return_when=FIRST_COMPLETED)
+                    for future in finished:
+                        seed = seed_of[future]
+                        try:
+                            record = future.result()
+                        except BrokenProcessPool:
+                            # the pool died (e.g. a worker was
+                            # OOM-killed): blame the seeds still in
+                            # flight, then rebuild the pool for
+                            # whatever is left
+                            broken = True
+                            record = failure_record(
+                                seed, "crash",
+                                "worker process pool collapsed")
+                        record_result(record)
+                        remaining.remove(seed)
+                    poll_heartbeats()
                 if broken:
                     break
         finally:

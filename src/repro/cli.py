@@ -11,6 +11,10 @@ Subcommands mirror the paper's workflow:
   over many mutated corpora, scored against ground truth
 * ``trace``     -- run a workload or attack under the flight recorder
   and export the trace (JSONL, chrome://tracing, text timeline)
+* ``metrics``   -- run a workload under the metrics registry and
+  export the aggregate counters (Prometheus text, JSON, /proc-style)
+* ``bench``     -- tracked perf benchmarks with a JSONL history and a
+  rolling-median regression gate
 
 Exit codes are uniform across subcommands: 0 success, 1 the
 experiment ran but its claim failed (attack blocked, seeds failed),
@@ -292,6 +296,97 @@ def cmd_trace(args) -> int:
     return 0 if claim_ok else 1
 
 
+def cmd_metrics(args) -> int:
+    from repro import metrics
+    from repro.core.dkasan import DKasan
+    from repro.report import (render_dkasan_stats, render_iommu_stats,
+                              render_meminfo, render_netdev)
+    from repro.sim.kernel import Kernel
+
+    if not metrics.enabled_in_env():
+        return _fail("metrics: REPRO_METRICS=off disables the metrics "
+                     "layer")
+    if metrics.active() is not None:
+        return _fail("a metrics session is already active")
+
+    profile = None
+    if args.workload == "ringflood":
+        # Replica profiling boots dozens of throwaway kernels; do it
+        # before installing the registry so the victim boot owns the
+        # kernel collector slot (same rule as the flight recorder).
+        from repro.core.attacks.ringflood import profile_replica_boots
+        profile = profile_replica_boots(args.profile_boots,
+                                        seed=args.seed, nr_slots=48)
+
+    with metrics.session() as registry:
+        if args.workload == "ringflood":
+            from repro.core.attacks.ringflood import (make_attacker,
+                                                      run_ringflood)
+            dkasan = DKasan(1024 << 20)
+            victim = Kernel(seed=args.seed, iommu_mode=args.iommu_mode,
+                            sink=dkasan)
+            nic = victim.add_nic("eth0")
+            device = make_attacker(victim, "eth0")
+            report = run_ringflood(victim, nic, device, profile,
+                                   nr_slots=12)
+            print(f"ringflood: flooded {report.slots_flooded} slots, "
+                  f"hijacked {report.slots_hijacked}, "
+                  f"escalated={report.escalated}")
+            kernel = victim
+        elif args.workload == "compile-ping":
+            from repro.sim.workload import run_compile_and_ping
+            dkasan = DKasan(256 << 20)
+            kernel = Kernel(seed=args.seed, phys_mb=256,
+                            iommu_mode=args.iommu_mode, sink=dkasan)
+            nic = kernel.add_nic("eth0")
+            stats = run_compile_and_ping(kernel, nic,
+                                         rounds=args.rounds)
+            print(f"compile-ping: {stats.allocations} allocations, "
+                  f"{stats.pings} pings")
+        else:  # storage
+            from repro.sim.workload import run_storage_workload
+            dkasan = DKasan(256 << 20)
+            kernel = Kernel(seed=args.seed, phys_mb=256,
+                            iommu_mode=args.iommu_mode, sink=dkasan)
+            stats = run_storage_workload(kernel,
+                                         commands=args.commands)
+            print(f"storage: {stats.commands} commands, "
+                  f"{stats.bytes_transferred} bytes")
+
+        samples = registry.samples()
+        present = registry.subsystems_present(collect=False)
+        print(f"metrics: {len(samples)} instruments across "
+              f"{len(present)} subsystems ({', '.join(present)})")
+
+        if args.format == "proc":
+            rendered = "\n".join((render_meminfo(kernel),
+                                  render_iommu_stats(kernel),
+                                  render_netdev(kernel),
+                                  render_dkasan_stats(dkasan)))
+        elif args.format == "json":
+            import json
+            rendered = json.dumps(
+                metrics.json_record(registry, collect=False,
+                                    seed=args.seed),
+                indent=2, sort_keys=True) + "\n"
+        else:  # prometheus
+            rendered = metrics.prometheus_text(registry, collect=False)
+
+        if args.output:
+            with open(args.output, "w", encoding="utf-8") as handle:
+                handle.write(rendered)
+            print(f"wrote {args.format} metrics to {args.output}")
+        else:
+            print()
+            print(rendered, end="" if rendered.endswith("\n") else "\n")
+
+    if not samples:
+        print("metrics claim failed: no instruments collected",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def cmd_matrix(args) -> int:
     from repro.core.defenses.policy import evaluate_matrix, matrix_rows
     cells = evaluate_matrix(seed=args.seed)
@@ -339,7 +434,9 @@ def cmd_campaign(args) -> int:
         mutations_per_seed=args.mutations, timeout_s=args.timeout,
         scale=args.scale, output=args.output, resume=args.resume,
         trace_events=args.trace_events,
-        cache_dir=args.cache_dir or None)
+        cache_dir=args.cache_dir or None,
+        heartbeat_dir=args.heartbeat_dir or None,
+        stall_after_s=args.stall_after)
 
     if config.output:
         try:
@@ -360,8 +457,21 @@ def cmd_campaign(args) -> int:
         print(f"seed {record['seed']}: {status} "
               f"in {record['duration_s']:.2f}s{extra}")
 
+    last_health_line = None
+
+    def heartbeat(healths) -> None:
+        # one live progress line, reprinted only when it changes
+        nonlocal last_health_line
+        from repro.metrics import format_progress
+        line = format_progress(healths)
+        if line != last_health_line:
+            print(line)
+            last_health_line = line
+
     try:
-        summary = run_campaign(config, progress=progress)
+        summary = run_campaign(config, progress=progress,
+                               heartbeat=heartbeat
+                               if config.heartbeat_dir else None)
     finally:
         if config.cache_dir:
             # don't leak the campaign's disk-backed cache into the
@@ -417,14 +527,9 @@ def cmd_cache(args) -> int:
                          f"is not a repro cache directory")
 
     if args.action == "stats":
-        total_entries = total_bytes = 0
-        for usage in cache.disk_usage():
-            print(f"{usage.namespace:10s} {usage.entries:8d} entries "
-                  f"{usage.bytes:12,d} bytes")
-            total_entries += usage.entries
-            total_bytes += usage.bytes
-        print(f"{'total':10s} {total_entries:8d} entries "
-              f"{total_bytes:12,d} bytes")
+        from repro.report import render_cache_stats
+        print(render_cache_stats(cache.disk_usage(),
+                                 cache.aggregate_persisted_stats()))
         return 0
 
     if args.action == "clear":
@@ -463,6 +568,9 @@ def cmd_cache(args) -> int:
     try:
         if directory:
             cold, warm = run_cached(directory)
+            # leave the verify run's hit/miss totals behind for
+            # ``cache stats`` (each process owns its own stats file)
+            perfcache.default_cache().persist_stats()
         else:
             with tempfile.TemporaryDirectory(
                     prefix="repro-cache-verify-") as scratch:
@@ -488,7 +596,7 @@ def cmd_cache(args) -> int:
 
 
 def cmd_bench(args) -> int:
-    from repro.perfcache import bench
+    from repro.perfcache import bench, history
 
     jobs = tuple(sorted({1, args.jobs})) if args.jobs else (1,)
     report = bench.run_benchmarks(
@@ -498,7 +606,26 @@ def cmd_bench(args) -> int:
     bench.write_report(report, args.output)
     print(bench.format_report(report))
     print(f"wrote {args.output}")
-    return 0 if report["ok"] else 1
+    ok = report["ok"]
+
+    record = history.history_record(report)
+    # compare against prior runs of a comparable configuration only,
+    # and *before* appending (a run never gates against itself)
+    prior = history.load_history(args.history,
+                                 signature=record["signature"])
+    if args.check:
+        regressions = history.check_regressions(
+            record, prior, threshold=args.regression_threshold,
+            window=args.window)
+        print(history.format_regressions(
+            regressions, threshold=args.regression_threshold))
+        if regressions:
+            ok = False
+    if args.record:
+        history.append_history(args.history, record)
+        print(f"recorded run in {args.history} "
+              f"({len(prior) + 1} comparable run(s) on record)")
+    return 0 if ok else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -512,7 +639,9 @@ def build_parser() -> argparse.ArgumentParser:
                "  REPRO_CACHE=off     disable the analysis cache "
                "process-wide\n"
                "  REPRO_CACHE_DIR=DIR enable the shared on-disk cache "
-               "tier at DIR")
+               "tier at DIR\n"
+               "  REPRO_METRICS=off   disable the metrics registry "
+               "process-wide")
     parser.add_argument("--version", action="version",
                         version=f"%(prog)s {__version__}")
     sub = parser.add_subparsers(dest="command", required=True)
@@ -579,6 +708,15 @@ def build_parser() -> argparse.ArgumentParser:
                           help="shared on-disk analysis cache workers "
                                "warm from (pass '' to disable; "
                                "default: %(default)s)")
+    campaign.add_argument("--heartbeat-dir",
+                          default="campaign/heartbeats", metavar="DIR",
+                          help="worker heartbeat files for the live "
+                               "progress line (pass '' to disable; "
+                               "default: %(default)s)")
+    campaign.add_argument("--stall-after", type=_positive_float,
+                          default=60.0, metavar="SECONDS",
+                          help="flag a worker as stalled after this "
+                               "much heartbeat silence")
     campaign.set_defaults(func=cmd_campaign)
 
     trace = sub.add_parser(
@@ -649,7 +787,54 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--kernel-events", type=_positive_int,
                        default=50000,
                        help="events per kernel-bench round")
+    bench.add_argument("--history", default="BENCH_history.jsonl",
+                       metavar="PATH",
+                       help="JSONL bench trajectory "
+                            "(default: %(default)s)")
+    bench.add_argument("--record", action=argparse.BooleanOptionalAction,
+                       default=True,
+                       help="append this run to --history "
+                            "(--no-record to skip)")
+    bench.add_argument("--check", action="store_true",
+                       help="fail (exit 1) when a tracked metric "
+                            "regresses past the gate vs the rolling "
+                            "median of comparable prior runs")
+    bench.add_argument("--regression-threshold", type=_positive_float,
+                       default=0.25, metavar="FRACTION",
+                       help="regression gate (default: %(default)s = "
+                            "25%%)")
+    bench.add_argument("--window", type=_positive_int, default=10,
+                       help="rolling-median window size")
     bench.set_defaults(func=cmd_bench)
+
+    metrics = sub.add_parser(
+        "metrics",
+        help="run a workload under the metrics registry and export "
+             "the aggregate counters")
+    metrics.add_argument("--workload",
+                         choices=("ringflood", "compile-ping",
+                                  "storage"),
+                         default="compile-ping")
+    metrics.add_argument("--seed", type=int, default=5)
+    metrics.add_argument("--iommu-mode",
+                         choices=("deferred", "strict"),
+                         default="deferred")
+    metrics.add_argument("--format",
+                         choices=("prometheus", "json", "proc"),
+                         default="prometheus",
+                         help="export format (proc = /proc-style "
+                              "snapshot text)")
+    metrics.add_argument("--rounds", type=_positive_int, default=20,
+                         help="compile-ping workload rounds")
+    metrics.add_argument("--commands", type=_positive_int, default=48,
+                         help="storage workload commands")
+    metrics.add_argument("--profile-boots", type=_positive_int,
+                         default=8,
+                         help="ringflood replica boots (uncounted)")
+    metrics.add_argument("--output", metavar="PATH",
+                         help="write the export to PATH instead of "
+                              "stdout")
+    metrics.set_defaults(func=cmd_metrics)
 
     matrix = sub.add_parser("matrix", help="defense matrix")
     matrix.add_argument("--seed", type=int, default=1)

@@ -19,7 +19,7 @@ import itertools
 from collections import Counter, defaultdict
 from dataclasses import dataclass
 
-from repro import trace
+from repro import metrics, trace
 from repro.core.dkasan.shadow import ShadowMemory, ShadowState
 from repro.mem.accounting import AllocSite, MemEventSink
 from repro.mem.phys import PAGE_SHIFT, PAGE_SIZE
@@ -99,6 +99,9 @@ class DKasan(MemEventSink):
         self._objects_by_paddr: dict[int, _LiveObject] = {}
         #: throttle duplicate access-after-map floods per (site, pfn)
         self._access_seen: set[tuple[str, int]] = set()
+        # most recently constructed sanitizer owns the metrics slot
+        # (same last-boot-wins rule as the kernel collector)
+        metrics.observe_dkasan(self)
 
     # -- helpers -------------------------------------------------------------
 

@@ -26,7 +26,9 @@ argument expression -- bounded by ``max_depth``.
 
 from __future__ import annotations
 
-from repro import perfcache
+import time
+
+from repro import metrics, perfcache
 from repro.core.spade.cindex import CodeIndex
 from repro.core.spade.cparse import PARSER_VERSION, FunctionDef
 from repro.core.spade.findings import Finding, Table2Stats, ValidationResult
@@ -84,9 +86,15 @@ class Spade:
 
     def analyze(self) -> list[Finding]:
         """One finding per dma-map call site in the tree (cached)."""
-        return self._cache.cached(
+        started = time.perf_counter()
+        findings = self._cache.cached(
             "findings", self.corpus_digest(), self._analyze_uncached,
             encode=encode_findings, decode=decode_findings)
+        metrics.observe("spade", "analyze_seconds",
+                        time.perf_counter() - started)
+        metrics.count("spade", "analyses")
+        metrics.count("spade", "findings", len(findings))
+        return findings
 
     def _analyze_uncached(self) -> list[Finding]:
         findings = []

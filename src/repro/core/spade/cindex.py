@@ -16,10 +16,11 @@ on-disk tier).
 
 from __future__ import annotations
 
+import time
 from collections import defaultdict
 from dataclasses import dataclass
 
-from repro import perfcache
+from repro import metrics, perfcache
 from repro.core.spade.cparse import (PARSER_VERSION, CallSite, FunctionDef,
                                      ParsedFile, StructDef, parse_file)
 from repro.corpus.generate import SourceTree
@@ -50,6 +51,7 @@ class CodeIndex:
         #: findings cache key) derives from these
         self.file_hashes: dict[str, str] = {}
         version = str(PARSER_VERSION)
+        started = time.perf_counter()
         for path in tree.paths():
             if not (path.endswith(".c") or path.endswith(".h")):
                 continue
@@ -73,6 +75,9 @@ class CodeIndex:
                 self.structs.setdefault(name, struct_def)
             for name, func in parsed.functions.items():
                 self.functions.setdefault(name, (path, func))
+        metrics.observe("spade", "index_seconds",
+                        time.perf_counter() - started)
+        metrics.count("spade", "files_indexed", len(self.parsed))
         for path, parsed in self.parsed.items():
             for func in parsed.functions.values():
                 for call in func.calls:

@@ -49,6 +49,10 @@ class MappingRegistry:
         self._by_key: dict[tuple[str, int], DmaMapping] = {}
         self._by_pfn: dict[int, list[DmaMapping]] = defaultdict(list)
         self.history: list[DmaMapping] = []
+        # cumulative totals (history is bounded by nothing, but these
+        # stay correct even if callers ever prune it)
+        self.nr_added = 0
+        self.nr_removed = 0
 
     def add(self, **kwargs) -> DmaMapping:
         mapping = DmaMapping(mapping_id=next(self._ids), **kwargs)
@@ -61,6 +65,7 @@ class MappingRegistry:
         for pfn in mapping.pfns:
             self._by_pfn[pfn].append(mapping)
         self.history.append(mapping)
+        self.nr_added += 1
         return mapping
 
     def remove(self, device: str, iova: int, *,
@@ -75,6 +80,7 @@ class MappingRegistry:
             self._by_pfn[pfn].remove(mapping)
             if not self._by_pfn[pfn]:
                 del self._by_pfn[pfn]
+        self.nr_removed += 1
         return mapping
 
     def lookup(self, device: str, iova: int) -> DmaMapping | None:

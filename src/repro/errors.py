@@ -89,6 +89,11 @@ class TraceError(ReproError):
     """Flight-recorder misuse (bad category, mismatched span close)."""
 
 
+class MetricsError(ReproError):
+    """Metrics-registry misuse (instrument kind collision, bad label,
+    negative counter increment, double install)."""
+
+
 class CampaignError(ReproError):
     """A differential-fuzzing campaign hit an inconsistent state.
 

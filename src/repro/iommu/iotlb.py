@@ -46,6 +46,10 @@ class Iotlb:
         self._entries: dict[tuple[int, int], IovaEntry] = {}
         self.stats = IotlbStats()
 
+    @property
+    def nr_entries(self) -> int:
+        return len(self._entries)
+
     def lookup(self, domain_id: int, iova_pfn: int) -> IovaEntry | None:
         key = (domain_id, iova_pfn)
         entries = self._entries

@@ -48,6 +48,8 @@ class BuddyAllocator:
         self._allocated: dict[int, int] = {}  # base pfn -> order
         self._nr_free = 0
         self._generation = 0
+        self.nr_allocs = 0  # cumulative successful alloc_pages calls
+        self.nr_frees = 0   # cumulative successful free_pages calls
         self._seed_free_lists(reserved_low_pages, phys.nr_pages)
 
     def _seed_free_lists(self, start: int, end: int) -> None:
@@ -96,6 +98,7 @@ class BuddyAllocator:
             pfn = self._alloc_from_buddy(order)
         self._allocated[pfn] = order
         self._generation += 1
+        self.nr_allocs += 1
         for i in range(1 << order):
             page = self._phys.page(pfn + i)
             page.allocated = True
@@ -136,6 +139,7 @@ class BuddyAllocator:
             raise AllocatorError(
                 f"free order {order} != allocated order {recorded}")
         order = recorded
+        self.nr_frees += 1
         for i in range(1 << order):
             self._phys.page(pfn + i).allocated = False
         if trace.enabled("mem"):

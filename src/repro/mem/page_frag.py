@@ -65,6 +65,13 @@ class PageFragCache:
         self._sink = sink
         self._current: _Chunk | None = None
         self._chunk_of_frag: dict[int, _Chunk] = {}  # frag paddr -> chunk
+        self.nr_allocs = 0   # cumulative fragments handed out
+        self.nr_frees = 0    # cumulative fragments released
+        self.nr_refills = 0  # cumulative chunk refills from the buddy
+
+    @property
+    def nr_live_frags(self) -> int:
+        return len(self._chunk_of_frag)
 
     @property
     def cpu(self) -> int:
@@ -81,6 +88,7 @@ class PageFragCache:
                                       site=site)
         chunk = _Chunk(pfn, self._chunk_order, offset=self.chunk_size)
         self._current = chunk
+        self.nr_refills += 1
         return chunk
 
     def _release_bias(self, chunk: _Chunk) -> None:
@@ -111,6 +119,7 @@ class PageFragCache:
         chunk.refcount += 1
         chunk.frags[paddr] = size
         self._chunk_of_frag[paddr] = chunk
+        self.nr_allocs += 1
         if "mem" in trace.active_categories:
             trace.emit("mem", "frag_alloc", size=size, cpu=self._cpu,
                        chunk_pfn=chunk.base_pfn,
@@ -128,6 +137,7 @@ class PageFragCache:
         if fsize is not None:
             self._sink.on_free(paddr, fsize)
         chunk.refcount -= 1
+        self.nr_frees += 1
         if "mem" in trace.active_categories:
             trace.emit("mem", "frag_free", cpu=self._cpu,
                        chunk_pfn=chunk.base_pfn,
@@ -157,6 +167,10 @@ class PageFragAllocator:
                                chunk_order=chunk_order, sink=sink)
             for cpu in range(nr_cpus)
         }
+
+    def caches(self):
+        """Every per-CPU cache, in CPU order (metrics collection)."""
+        return [self._caches[cpu] for cpu in sorted(self._caches)]
 
     def cache(self, cpu: int) -> PageFragCache:
         try:

@@ -85,6 +85,8 @@ class SlabAllocator:
         self._sink = sink
         self._caches = {size: _KmemCache(size) for size in KMALLOC_SIZES}
         self._live: dict[int, tuple[int, int]] = {}  # paddr -> (class, req)
+        self.nr_kmallocs = 0  # cumulative successful kmalloc calls
+        self.nr_kfrees = 0    # cumulative successful kfree calls
 
     # -- helpers ------------------------------------------------------------
 
@@ -148,6 +150,7 @@ class SlabAllocator:
         # Scrub the freelist word so the caller starts with zeroed link.
         self._phys.write_u64(obj_paddr, 0)
         self._live[obj_paddr] = (cache.object_size, size)
+        self.nr_kmallocs += 1
         if trace.enabled("mem"):
             trace.emit("mem", "kmalloc", size=size,
                        object_size=cache.object_size, cpu=cpu,
@@ -175,6 +178,7 @@ class SlabAllocator:
         was_full = slab.freelist_head_paddr == 0
         slab.freelist_head_paddr = paddr
         slab.inuse -= 1
+        self.nr_kfrees += 1
         if was_full:
             cache.full.remove(slab)
             cache.partial.append(slab)

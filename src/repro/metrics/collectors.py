@@ -1,0 +1,186 @@
+"""Pull-model collectors: read resident stats structs into the registry.
+
+The simulation already keeps cheap always-on aggregate counters
+(IotlbStats, IommuStats, NicStats, StackStats, CacheStats, the
+allocator totals).  Collectors copy them into registry instruments at
+snapshot time, so enabling metrics adds no per-event work on the hot
+path -- the property the overhead benchmark in ``benchmarks/`` pins.
+"""
+
+from __future__ import annotations
+
+from repro.metrics.registry import MetricsRegistry
+
+
+def kernel_collector(kernel):
+    """A collector publishing every subsystem of one booted kernel."""
+
+    def collect(registry: MetricsRegistry) -> None:
+        publish_kernel(registry, kernel)
+
+    return collect
+
+
+def dkasan_collector(dkasan):
+    def collect(registry: MetricsRegistry) -> None:
+        publish_dkasan(registry, dkasan)
+
+    return collect
+
+
+def perfcache_collector():
+    """Publishes the default :class:`~repro.perfcache.PerfCache` stats.
+
+    Registered unconditionally at :func:`repro.metrics.install` time so
+    the ``perfcache`` family is always present (zero-filled when the
+    cache never ran or ``REPRO_CACHE=off`` bypassed it) -- exports stay
+    byte-identical whether or not a cache directory exists.
+    """
+
+    def collect(registry: MetricsRegistry) -> None:
+        from repro import perfcache
+        publish_perfcache(registry, perfcache.default_cache().stats)
+
+    return collect
+
+
+# -- per-subsystem publishers ---------------------------------------------
+
+def publish_kernel(registry: MetricsRegistry, kernel) -> None:
+    _publish_dma(registry, kernel)
+    _publish_iommu(registry, kernel)
+    _publish_net(registry, kernel)
+    _publish_mem(registry, kernel)
+    registry.gauge("sim", "clock_us").set(kernel.clock.now_us)
+
+
+def _publish_dma(registry: MetricsRegistry, kernel) -> None:
+    dma = kernel.dma
+    mappings = getattr(dma, "registry", None)
+    if mappings is None:  # BounceDmaApi wraps the real DMA API
+        mappings = getattr(getattr(dma, "_inner", None), "registry", None)
+    if mappings is not None:
+        registry.counter("dma", "maps").set(mappings.nr_added)
+        registry.counter("dma", "unmaps").set(mappings.nr_removed)
+        registry.gauge("dma", "live_mappings").set(mappings.nr_live)
+    bytes_copied = getattr(dma, "bytes_copied", None)
+    if bytes_copied is not None:
+        registry.counter("dma", "bounce_bytes_copied").set(bytes_copied)
+        registry.counter("dma", "bounce_pages_used").set(
+            dma.bounce_pages_used)
+
+
+def _publish_iommu(registry: MetricsRegistry, kernel) -> None:
+    iommu = kernel.iommu
+    registry.gauge("iommu", "info", mode=iommu.mode).set(1)
+    iotlb = iommu.iotlb.stats
+    lookups = registry.counter
+    lookups("iommu", "iotlb_lookups", result="hit").set(iotlb.hits)
+    lookups("iommu", "iotlb_lookups", result="miss").set(iotlb.misses)
+    lookups("iommu", "iotlb_stale_hits").set(iotlb.stale_hits)
+    lookups("iommu", "iotlb_invalidations").set(iotlb.invalidations)
+    lookups("iommu", "iotlb_global_flushes").set(iotlb.global_flushes)
+    lookups("iommu", "iotlb_evictions").set(iotlb.evictions)
+    registry.gauge("iommu", "iotlb_entries").set(iommu.iotlb.nr_entries)
+    stats = iommu.stats
+    lookups("iommu", "device_accesses", dir="read").set(stats.device_reads)
+    lookups("iommu", "device_accesses", dir="write").set(
+        stats.device_writes)
+    lookups("iommu", "device_bytes", dir="read").set(stats.bytes_read)
+    lookups("iommu", "device_bytes", dir="write").set(stats.bytes_written)
+    lookups("iommu", "faults").set(stats.faults)
+    lookups("iommu", "stale_translations").set(stats.stale_translations)
+    policy = iommu.policy
+    inv = policy.stats
+    lookups("iommu", "unmaps").set(inv.unmaps)
+    lookups("iommu", "invalidations", kind="sync").set(
+        inv.sync_invalidations)
+    lookups("iommu", "invalidations", kind="deferred").set(
+        inv.deferred_invalidations)
+    lookups("iommu", "flush_queue_drains").set(inv.flushes)
+    lookups("iommu", "invalidation_cycles").set(inv.cycles_spent)
+    registry.gauge("iommu", "flush_queue_depth").set(
+        getattr(policy, "nr_pending", 0))
+
+
+def _publish_net(registry: MetricsRegistry, kernel) -> None:
+    for name in sorted(kernel.nics):
+        nic = kernel.nics[name]
+        stats = nic.stats
+        counter = registry.counter
+        counter("net", "rx_packets", device=name).set(stats.rx_packets)
+        counter("net", "tx_packets", device=name).set(stats.tx_packets)
+        counter("net", "tx_timeouts", device=name).set(stats.tx_timeouts)
+        counter("net", "rx_ring_resets", device=name).set(
+            stats.rx_ring_resets)
+        rx_posted = sum(len(ring.posted_descriptors())
+                        for ring in nic.rx_rings.values())
+        tx_inflight = sum(
+            1 for ring in nic.tx_rings.values()
+            for desc in ring.descriptors
+            if desc.posted and not desc.completed)
+        registry.gauge("net", "rx_ring_occupancy",
+                       device=name).set(rx_posted)
+        registry.gauge("net", "tx_ring_inflight",
+                       device=name).set(tx_inflight)
+    stack = kernel.stack.stats
+    counter = registry.counter
+    counter("net", "rx_delivered").set(stack.rx_delivered)
+    counter("net", "echoed").set(stack.echoed)
+    counter("net", "forwarded").set(stack.forwarded)
+    counter("net", "dropped").set(stack.dropped)
+    counter("net", "skbs_freed").set(stack.skbs_freed)
+    counter("net", "zerocopy_callbacks").set(stack.zerocopy_callbacks)
+    counter("net", "oopses").set(stack.oopses)
+    skb = kernel.skb_alloc.stats
+    counter("net", "skb_allocs").set(skb.skb_allocs)
+    counter("net", "skb_frees").set(skb.skb_frees)
+    counter("net", "rx_buffer_allocs").set(skb.rx_buffer_allocs)
+
+
+def _publish_mem(registry: MetricsRegistry, kernel) -> None:
+    counter = registry.counter
+    buddy = kernel.buddy
+    counter("mem", "buddy_allocs").set(buddy.nr_allocs)
+    counter("mem", "buddy_frees").set(buddy.nr_frees)
+    registry.gauge("mem", "buddy_free_pages").set(buddy.nr_free_pages)
+    slab = kernel.slab
+    counter("mem", "slab_kmallocs").set(slab.nr_kmallocs)
+    counter("mem", "slab_kfrees").set(slab.nr_kfrees)
+    registry.gauge("mem", "slab_live_objects").set(slab.nr_live_objects)
+    frag_allocs = frag_frees = frag_refills = frag_live = 0
+    for cache in kernel.page_frag.caches():
+        frag_allocs += cache.nr_allocs
+        frag_frees += cache.nr_frees
+        frag_refills += cache.nr_refills
+        frag_live += cache.nr_live_frags
+    counter("mem", "page_frag_allocs").set(frag_allocs)
+    counter("mem", "page_frag_frees").set(frag_frees)
+    counter("mem", "page_frag_refills").set(frag_refills)
+    registry.gauge("mem", "page_frag_live").set(frag_live)
+    registry.gauge("mem", "phys_bytes").set(kernel.phys.size_bytes)
+
+
+def publish_dkasan(registry: MetricsRegistry, dkasan) -> None:
+    from repro.core.dkasan.sanitizer import EVENT_KINDS
+    counts = dkasan.summary_counts()
+    for kind in EVENT_KINDS:
+        registry.counter("dkasan", "events",
+                         kind=kind).set(counts.get(kind, 0))
+    registry.counter("dkasan", "events_all").set(len(dkasan.events))
+
+
+def publish_perfcache(registry: MetricsRegistry, stats) -> None:
+    counter = registry.counter
+    counter("perfcache", "lookups", result="memory_hit").set(
+        stats.memory_hits)
+    counter("perfcache", "lookups", result="disk_hit").set(
+        stats.disk_hits)
+    counter("perfcache", "lookups", result="miss").set(stats.misses)
+    counter("perfcache", "stores").set(stats.stores)
+    counter("perfcache", "bypasses").set(stats.bypasses)
+    counter("perfcache", "corrupt_recovered").set(stats.corrupt)
+    counter("perfcache", "write_errors").set(stats.write_errors)
+    lookups = stats.lookups
+    ratio = stats.hits / lookups if lookups else 0.0
+    registry.gauge("perfcache", "hit_ratio").set(ratio)

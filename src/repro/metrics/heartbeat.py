@@ -1,0 +1,154 @@
+"""Campaign health telemetry: worker heartbeats over a shared directory.
+
+Campaign workers run in separate processes, so they cannot publish
+into the parent's in-memory registry.  Instead each worker atomically
+rewrites one small JSON file (``worker-<id>.json``) after every unit
+of progress; the runner's :class:`HeartbeatMonitor` scans the
+directory between result polls, derives per-worker health, and flags
+workers whose last beat is older than the stall threshold -- the
+"is seed 17 wedged or just slow?" question a long differential
+campaign otherwise cannot answer.
+
+Files are written via ``tempfile`` + ``os.replace`` (same recipe as
+the perfcache disk tier) so the monitor never observes a torn write;
+each worker only ever writes its own file, so no locking is needed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from dataclasses import dataclass, field
+
+#: A worker with no beat for this many seconds is flagged as stalled.
+DEFAULT_STALL_AFTER_S = 60.0
+
+_PREFIX = "worker-"
+_SUFFIX = ".json"
+
+
+@dataclass
+class WorkerHealth:
+    """One worker's most recent heartbeat, aged against *now*."""
+
+    worker_id: str
+    pid: int = 0
+    stage: str = ""          # "running" / "idle" / "done"
+    seed: int | None = None
+    seeds_done: int = 0
+    updated_at: float = 0.0
+    age_s: float = 0.0
+    stalled: bool = False
+    extra: dict = field(default_factory=dict)
+
+
+class Heartbeat:
+    """Writer side: one instance per worker process."""
+
+    def __init__(self, directory: str, worker_id: str) -> None:
+        self.directory = directory
+        self.worker_id = str(worker_id)
+        self._path = os.path.join(directory,
+                                  f"{_PREFIX}{self.worker_id}{_SUFFIX}")
+        os.makedirs(directory, exist_ok=True)
+
+    def beat(self, *, stage: str = "running", seed: int | None = None,
+             seeds_done: int = 0, **extra) -> None:
+        doc = {
+            "worker_id": self.worker_id,
+            "pid": os.getpid(),
+            "stage": stage,
+            "seed": seed,
+            "seeds_done": seeds_done,
+            "time": time.time(),
+        }
+        if extra:
+            doc["extra"] = extra
+        fd, tmp = tempfile.mkstemp(dir=self.directory,
+                                   prefix=f".{self.worker_id}-",
+                                   suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(doc, handle)
+            os.replace(tmp, self._path)
+        except OSError:
+            # telemetry must never kill the campaign (disk full, ...)
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
+
+class HeartbeatMonitor:
+    """Reader side: scan every worker file and age the beats."""
+
+    def __init__(self, directory: str, *,
+                 stall_after_s: float = DEFAULT_STALL_AFTER_S) -> None:
+        self.directory = directory
+        self.stall_after_s = stall_after_s
+
+    def scan(self, *, now: float | None = None) -> list[WorkerHealth]:
+        if now is None:
+            now = time.time()
+        healths = []
+        try:
+            names = sorted(os.listdir(self.directory))
+        except OSError:
+            return []
+        for name in names:
+            if not (name.startswith(_PREFIX) and name.endswith(_SUFFIX)):
+                continue
+            path = os.path.join(self.directory, name)
+            try:
+                with open(path, encoding="utf-8") as handle:
+                    doc = json.load(handle)
+            except (OSError, ValueError):
+                continue  # mid-replace or torn file: skip this round
+            updated_at = float(doc.get("time", 0.0))
+            age_s = max(now - updated_at, 0.0)
+            stage = str(doc.get("stage", ""))
+            healths.append(WorkerHealth(
+                worker_id=str(doc.get("worker_id", name)),
+                pid=int(doc.get("pid", 0)),
+                stage=stage,
+                seed=doc.get("seed"),
+                seeds_done=int(doc.get("seeds_done", 0)),
+                updated_at=updated_at,
+                age_s=age_s,
+                stalled=(stage == "running"
+                         and age_s > self.stall_after_s),
+                extra=dict(doc.get("extra", {})),
+            ))
+        return healths
+
+    def clear(self) -> None:
+        """Drop leftover heartbeats from a previous run."""
+        try:
+            names = os.listdir(self.directory)
+        except OSError:
+            return
+        for name in names:
+            if name.startswith(_PREFIX) and name.endswith(_SUFFIX):
+                try:
+                    os.unlink(os.path.join(self.directory, name))
+                except OSError:
+                    pass
+
+
+def format_progress(healths: list[WorkerHealth]) -> str:
+    """One live progress line: ``workers 3 running, 1 stalled | ...``."""
+    if not healths:
+        return "workers: none reporting"
+    running = [h for h in healths if h.stage == "running"]
+    stalled = [h for h in healths if h.stalled]
+    done = sum(h.seeds_done for h in healths)
+    parts = [f"workers: {len(running)} running"]
+    if stalled:
+        detail = ", ".join(
+            f"pid {h.pid} seed {h.seed} ({h.age_s:.0f}s silent)"
+            for h in stalled)
+        parts.append(f"{len(stalled)} STALLED [{detail}]")
+    parts.append(f"{done} seeds done")
+    return " | ".join(parts)

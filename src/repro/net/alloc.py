@@ -16,6 +16,8 @@ All three place ``skb_shared_info`` at the tail of the data buffer.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 from repro import trace
 from repro.kaslr.translate import AddressSpace
 from repro.mem.accounting import AllocSite
@@ -28,6 +30,15 @@ from repro.net.structs import skb_shared_info_offset, skb_truesize
 
 #: sizeof(struct sk_buff) in Linux 5.0; lands in the kmalloc-256 cache.
 SK_BUFF_STRUCT_SIZE = 232
+
+
+@dataclass
+class SkbAllocStats:
+    """Cumulative skb-allocation totals (the metrics tier reads these)."""
+
+    skb_allocs: int = 0       # sk_buffs built, any API
+    skb_frees: int = 0        # sk_buffs fully released
+    rx_buffer_allocs: int = 0  # raw RX buffers pre-posted to rings
 
 
 class SkbAllocator:
@@ -51,6 +62,7 @@ class SkbAllocator:
         from repro.net.structs import SKB_SHARED_INFO
         #: this build's skb_shared_info layout (__randomize_layout)
         self._shared_info_layout = shared_info_layout or SKB_SHARED_INFO
+        self.stats = SkbAllocStats()
 
     def _alloc_skb_struct(self, cpu: int) -> int:
         """kmalloc the sk_buff metadata object itself (never mapped)."""
@@ -72,6 +84,7 @@ class SkbAllocator:
             buf_size=size, end_offset=skb_shared_info_offset(size),
             alloc_method="kmalloc", cpu=cpu)
         skb.init_shared_info()
+        self.stats.skb_allocs += 1
         if trace.enabled("net"):
             trace.emit("net", "skb_alloc", api="__alloc_skb",
                        head_kva=data_kva, size=size, cpu=cpu)
@@ -97,6 +110,7 @@ class SkbAllocator:
             buf_size=size, end_offset=skb_shared_info_offset(size),
             alloc_method="page_frag", cpu=cpu)
         skb.init_shared_info()
+        self.stats.skb_allocs += 1
         if trace.enabled("net"):
             trace.emit("net", "skb_alloc", api="netdev_alloc_skb",
                        head_kva=data_kva, size=size, cpu=cpu)
@@ -116,6 +130,7 @@ class SkbAllocator:
         """
         truesize = skb_truesize(size)
         site = AllocSite("netdev_alloc_frag", 0x40, 0xF0)
+        self.stats.rx_buffer_allocs += 1
         if truesize > self._page_frag.cache(cpu).chunk_size:
             order = 0
             while (PAGE_SIZE << order) < truesize:
@@ -141,6 +156,7 @@ class SkbAllocator:
             buf_size=size, end_offset=skb_shared_info_offset(size),
             alloc_method=alloc_method, cpu=cpu)
         skb.init_shared_info()
+        self.stats.skb_allocs += 1
         if trace.enabled("net"):
             trace.emit("net", "skb_alloc", api="build_skb",
                        head_kva=data_kva, size=size, cpu=cpu,
@@ -149,6 +165,7 @@ class SkbAllocator:
 
     def free_skb_memory(self, skb: SkBuff) -> None:
         """Release the sk_buff object and its data buffer."""
+        self.stats.skb_frees += 1
         if trace.enabled("net"):
             trace.emit("net", "skb_free", head_kva=skb.head_kva,
                        alloc_method=skb.alloc_method, cpu=skb.cpu)

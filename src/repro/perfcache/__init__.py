@@ -31,13 +31,15 @@ from __future__ import annotations
 import os
 
 from repro.perfcache.store import (CACHE_SCHEMA, DEFAULT_MEMORY_ENTRIES,
-                                   NAMESPACES, CacheStats, NamespaceUsage,
-                                   PerfCache, content_key, file_digest)
+                                   NAMESPACES, STATS_DIR, CacheStats,
+                                   NamespaceUsage, PerfCache, content_key,
+                                   file_digest)
 
 __all__ = [
-    "CACHE_SCHEMA", "DEFAULT_MEMORY_ENTRIES", "NAMESPACES", "CacheStats",
-    "NamespaceUsage", "PerfCache", "cache_from_env", "configure",
-    "content_key", "default_cache", "file_digest", "reset_default",
+    "CACHE_SCHEMA", "DEFAULT_MEMORY_ENTRIES", "NAMESPACES", "STATS_DIR",
+    "CacheStats", "NamespaceUsage", "PerfCache", "cache_from_env",
+    "configure", "content_key", "default_cache", "file_digest",
+    "reset_default",
 ]
 
 _OFF_VALUES = ("off", "0", "false", "no")

@@ -1,0 +1,194 @@
+"""Bench trajectory tracking: ``BENCH_history.jsonl`` + regression gate.
+
+``repro-dma bench`` used to overwrite ``BENCH_perf.json`` and forget
+the previous run, so the "perf trajectory" the roadmap promises was
+one point long.  This module turns every bench run into an appended
+JSONL record and turns ``bench --check`` into a gate: a tracked metric
+more than 25% worse than the *rolling median* of comparable prior runs
+fails the run (exit 1 at the CLI).
+
+Comparability matters: a smoke-sized CI bench must never be judged
+against a full-scale dev-machine history.  Every record therefore
+carries a *config signature* (scale, corpus seed, campaign sizing,
+kernel event count), and the gate only compares records whose
+signature matches the current run's.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+
+HISTORY_SCHEMA = 1
+
+DEFAULT_HISTORY = "BENCH_history.jsonl"
+
+#: fail when a metric is more than this fraction worse than the median
+DEFAULT_THRESHOLD = 0.25
+
+#: rolling window: the median is taken over the last N comparable runs
+DEFAULT_WINDOW = 10
+
+#: tracked wall-clock timings (seconds; lower is better)
+LOWER_IS_BETTER = ("spade_uncached_s", "spade_cold_s",
+                   "spade_warm_disk_s", "spade_warm_memory_s")
+
+#: tracked rates (per second; higher is better)
+HIGHER_IS_BETTER = ("iotlb_events_per_s", "page_frag_events_per_s")
+
+
+def config_signature(report: dict) -> str:
+    """Fingerprint of the knobs a bench run's numbers depend on."""
+    spade = report.get("spade", {})
+    campaign = report.get("campaign", {})
+    kernel = report.get("kernel", {})
+    jobs = "x".join(str(run.get("jobs")) for run in
+                    campaign.get("runs", ()))
+    return (f"scale={spade.get('scale')}"
+            f",corpus_seed={spade.get('corpus_seed')}"
+            f",campaign_scale={campaign.get('scale')}"
+            f",campaign_jobs={jobs}"
+            f",kernel_events={kernel.get('nr_events')}")
+
+
+def tracked_metrics(report: dict) -> dict[str, float]:
+    """Flatten one bench report to the gated metric set.
+
+    Campaign seeds-per-second rides along in the record for trend
+    plots but is *not* gated: multiprocess scheduling jitter at
+    4-seed batches would make a 25% threshold flap.
+    """
+    spade = report.get("spade", {})
+    kernel = report.get("kernel", {})
+    metrics = {
+        "spade_uncached_s": spade.get("uncached_s"),
+        "spade_cold_s": spade.get("cold_s"),
+        "spade_warm_disk_s": spade.get("warm_disk_s"),
+        "spade_warm_memory_s": spade.get("warm_memory_s"),
+        "iotlb_events_per_s": kernel.get("iotlb_events_per_s"),
+        "page_frag_events_per_s": kernel.get("page_frag_events_per_s"),
+    }
+    for run in report.get("campaign", {}).get("runs", ()):
+        metrics[f"campaign_seeds_per_s_jobs{run.get('jobs')}"] = \
+            run.get("seeds_per_s")
+    return {name: float(value) for name, value in metrics.items()
+            if isinstance(value, (int, float))}
+
+
+def history_record(report: dict) -> dict:
+    """One appendable JSONL record derived from a bench report."""
+    return {
+        "schema": HISTORY_SCHEMA,
+        "timestamp": report.get("timestamp"),
+        "version": report.get("version"),
+        "signature": config_signature(report),
+        "ok": report.get("ok"),
+        "metrics": tracked_metrics(report),
+    }
+
+
+def append_history(path: str, record: dict) -> None:
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(json.dumps(record, sort_keys=True) + "\n")
+
+
+def load_history(path: str, *, signature: str | None = None) -> list[dict]:
+    """Records from *path*, oldest first; torn lines are skipped.
+
+    With *signature*, only records from comparable configurations are
+    returned.
+    """
+    records = []
+    try:
+        with open(path, encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except ValueError:
+                    continue
+                if not isinstance(record, dict) \
+                        or record.get("schema") != HISTORY_SCHEMA:
+                    continue
+                if signature is not None \
+                        and record.get("signature") != signature:
+                    continue
+                records.append(record)
+    except OSError:
+        return []
+    return records
+
+
+def _median(values: list[float]) -> float:
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2
+
+
+@dataclass
+class Regression:
+    """One tracked metric that breached the threshold."""
+
+    metric: str
+    value: float
+    median: float
+    ratio: float          # value/median (times) or median/value (rates)
+    direction: str        # "slower" or "lower-rate"
+
+    def describe(self) -> str:
+        return (f"{self.metric}: {self.value:g} vs rolling median "
+                f"{self.median:g} ({self.ratio:.2f}x {self.direction})")
+
+
+def check_regressions(record: dict, history: list[dict], *,
+                      threshold: float = DEFAULT_THRESHOLD,
+                      window: int = DEFAULT_WINDOW) -> list[Regression]:
+    """Tracked metrics of *record* vs the rolling median of *history*.
+
+    *history* must already be signature-filtered (see
+    :func:`load_history`); an empty history gates nothing.
+    """
+    regressions = []
+    recent = history[-window:]
+    current = record.get("metrics", {})
+    for name in (*LOWER_IS_BETTER, *HIGHER_IS_BETTER):
+        value = current.get(name)
+        if value is None:
+            continue
+        priors = [r["metrics"][name] for r in recent
+                  if isinstance(r.get("metrics", {}).get(name),
+                                (int, float))]
+        if not priors:
+            continue
+        median = _median([float(p) for p in priors])
+        if median <= 0:
+            continue
+        if name in LOWER_IS_BETTER:
+            if value > median * (1 + threshold):
+                regressions.append(Regression(
+                    metric=name, value=value, median=median,
+                    ratio=value / median, direction="slower"))
+        else:
+            if value < median * (1 - threshold):
+                regressions.append(Regression(
+                    metric=name, value=value, median=median,
+                    ratio=median / value, direction="lower-rate"))
+    return regressions
+
+
+def format_regressions(regressions: list[Regression], *,
+                       threshold: float = DEFAULT_THRESHOLD) -> str:
+    if not regressions:
+        return "bench check: OK (no tracked metric regressed)"
+    lines = [f"bench check: {len(regressions)} regression(s) "
+             f"past the {int(threshold * 100)}% gate"]
+    lines += [f"  {r.describe()}" for r in regressions]
+    return "\n".join(lines)

@@ -41,6 +41,9 @@ NAMESPACES = ("parse", "findings", "corpus")
 #: tier-1 bound: enough for several full corpora of parse trees
 DEFAULT_MEMORY_ENTRIES = 8192
 
+#: subdirectory holding per-process persisted CacheStats snapshots
+STATS_DIR = "stats"
+
 
 def content_key(*parts: str) -> str:
     """Hex SHA-256 over the NUL-joined *parts* (order-sensitive)."""
@@ -110,6 +113,9 @@ class PerfCache:
         self._memory: dict[tuple[str, str], object] = {}
         self._memory_entries = max(1, memory_entries)
         self.stats = CacheStats()
+        # Each process overwrites only its own stats file, so campaign
+        # workers persist concurrently without any locking.
+        self._stats_name = f"STATS-{os.getpid()}-{id(self):x}.json"
 
     # -- the one entry point callers use -------------------------------------
 
@@ -214,6 +220,67 @@ class PerfCache:
                 json.dump({"schema": CACHE_SCHEMA,
                            "tool": "repro-dma perfcache"}, handle)
 
+    # -- persisted stats (surfaced by ``repro-dma cache stats``) --------------
+
+    def persist_stats(self) -> bool:
+        """Snapshot this process's :class:`CacheStats` into the cache
+        directory (atomic overwrite of our own file). Returns True on
+        success; a memory-only or unwritable cache returns False."""
+        if self.directory is None:
+            return False
+        root = os.path.join(self.directory, STATS_DIR)
+        try:
+            os.makedirs(root, exist_ok=True)
+            self._write_marker()
+            fd, tmp = tempfile.mkstemp(dir=root, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    json.dump({"schema": CACHE_SCHEMA,
+                               "pid": os.getpid(),
+                               "stats": self.stats.to_json()}, handle)
+                os.replace(tmp, os.path.join(root, self._stats_name))
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except (OSError, TypeError, ValueError):
+            return False
+        return True
+
+    def aggregate_persisted_stats(self) -> CacheStats:
+        """Sum every persisted per-process snapshot into one
+        :class:`CacheStats` (torn or foreign files are skipped)."""
+        total = CacheStats()
+        if self.directory is None:
+            return total
+        root = os.path.join(self.directory, STATS_DIR)
+        try:
+            names = sorted(os.listdir(root))
+        except OSError:
+            return total
+        for name in names:
+            if not (name.startswith("STATS-") and name.endswith(".json")):
+                continue
+            try:
+                with open(os.path.join(root, name),
+                          encoding="utf-8") as handle:
+                    record = json.load(handle)
+                fields = record["stats"]
+            except (OSError, ValueError, KeyError, TypeError):
+                continue
+            if record.get("schema") != CACHE_SCHEMA:
+                continue
+            for field_name in ("memory_hits", "disk_hits", "misses",
+                               "stores", "bypasses", "corrupt",
+                               "write_errors"):
+                value = fields.get(field_name, 0)
+                if isinstance(value, int) and value >= 0:
+                    setattr(total, field_name,
+                            getattr(total, field_name) + value)
+        return total
+
     # -- maintenance (the ``repro-dma cache`` subcommand) ---------------------
 
     def disk_usage(self) -> list[NamespaceUsage]:
@@ -255,7 +322,7 @@ class PerfCache:
         removed = 0
         if self.directory is None or not os.path.isdir(self.directory):
             return removed
-        for namespace in NAMESPACES:
+        for namespace in (*NAMESPACES, STATS_DIR):
             root = os.path.join(self.directory, namespace)
             for dirpath, dirnames, filenames in os.walk(root,
                                                         topdown=False):

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
-from repro import trace
+from repro import metrics, trace
 from repro.cpu.exec import Executor
 from repro.cpu.text import KernelImage
 from repro.dma.api import DmaApi
@@ -132,6 +132,9 @@ class Kernel:
                               boot_index=boot_index,
                               iommu_mode=iommu_mode, nr_cpus=nr_cpus,
                               phys_mb=phys_mb)
+        # Same last-boot-wins rule for the metrics registry: this boot
+        # now owns the ``kernel`` collector slot.
+        metrics.observe_kernel(self)
 
     # -- boot behaviour --------------------------------------------------------
 

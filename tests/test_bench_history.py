@@ -1,0 +1,189 @@
+"""Bench trajectory: BENCH_history.jsonl records and the regression gate."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.perfcache import history
+
+
+def _report(*, cold_s=1.0, warm_disk_s=0.1, iotlb_rate=1_000_000.0,
+            scale=0.5, ok=True) -> dict:
+    return {
+        "schema": 1,
+        "version": "1.4.0",
+        "timestamp": "2026-08-06T12:00:00Z",
+        "spade": {"scale": scale, "corpus_seed": 2021, "nr_files": 10,
+                  "nr_findings": 4, "uncached_s": cold_s * 0.9,
+                  "cold_s": cold_s, "warm_disk_s": warm_disk_s,
+                  "warm_memory_s": warm_disk_s / 10,
+                  "speedup_disk": 9.0, "speedup_memory": 90.0,
+                  "warm_disk_stats": {}, "identical": True},
+        "campaign": {"scale": 0.08,
+                     "runs": [{"jobs": 1, "nr_seeds": 2,
+                               "elapsed_s": 0.5, "seeds_per_s": 4.0,
+                               "nr_ok": 2}]},
+        "kernel": {"nr_events": 10000, "rounds": 1,
+                   "iotlb_best_s": 0.01,
+                   "iotlb_events_per_s": iotlb_rate,
+                   "page_frag_best_s": 0.02,
+                   "page_frag_events_per_s": iotlb_rate / 2},
+        "checks": {"warm_faster_than_cold": True,
+                   "cached_findings_identical": True},
+        "ok": ok,
+    }
+
+
+def test_signature_separates_configurations():
+    assert history.config_signature(_report(scale=0.5)) != \
+        history.config_signature(_report(scale=1.0))
+    assert history.config_signature(_report()) == \
+        history.config_signature(_report(cold_s=99.0))
+
+
+def test_tracked_metrics_flatten():
+    tracked = history.tracked_metrics(_report(cold_s=2.0))
+    assert tracked["spade_cold_s"] == 2.0
+    assert tracked["iotlb_events_per_s"] == 1_000_000.0
+    assert tracked["campaign_seeds_per_s_jobs1"] == 4.0
+
+
+def test_history_roundtrip_skips_torn_lines(tmp_path):
+    path = str(tmp_path / "hist.jsonl")
+    record = history.history_record(_report())
+    history.append_history(path, record)
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write("{torn json\n")
+        handle.write(json.dumps({"schema": 99}) + "\n")
+    history.append_history(path, record)
+    assert len(history.load_history(path)) == 2
+    assert history.load_history(path,
+                                signature=record["signature"]) \
+        == [record, record]
+    assert history.load_history(path, signature="scale=other") == []
+    assert history.load_history(str(tmp_path / "missing.jsonl")) == []
+
+
+def _gate(current_report, prior_reports, **kwargs):
+    record = history.history_record(current_report)
+    prior = [history.history_record(r) for r in prior_reports]
+    return history.check_regressions(record, prior, **kwargs)
+
+
+def test_injected_2x_slowdown_is_flagged():
+    priors = [_report(cold_s=1.0)] * 3
+    regressions = _gate(_report(cold_s=2.0), priors)
+    names = {r.metric for r in regressions}
+    assert "spade_cold_s" in names
+    slow = next(r for r in regressions if r.metric == "spade_cold_s")
+    assert slow.direction == "slower"
+    assert slow.ratio == pytest.approx(2.0)
+    assert "2.00x slower" in slow.describe()
+
+
+def test_rate_drop_is_flagged():
+    priors = [_report(iotlb_rate=1_000_000.0)] * 3
+    regressions = _gate(_report(iotlb_rate=400_000.0), priors)
+    assert {r.metric for r in regressions} >= \
+        {"iotlb_events_per_s", "page_frag_events_per_s"}
+    assert all(r.direction == "lower-rate" for r in regressions)
+
+
+def test_within_threshold_passes():
+    priors = [_report(cold_s=1.0)] * 3
+    assert _gate(_report(cold_s=1.2), priors) == []
+    assert _gate(_report(cold_s=0.5), priors) == []   # faster is fine
+
+
+def test_empty_history_gates_nothing():
+    assert _gate(_report(cold_s=50.0), []) == []
+
+
+def test_window_bounds_the_median():
+    # 10 fast old runs pushed out of a window of 3 by slow recent runs
+    priors = [_report(cold_s=0.1)] * 10 + [_report(cold_s=1.0)] * 3
+    assert _gate(_report(cold_s=1.2), priors, window=3) == []
+    regressions = _gate(_report(cold_s=1.2), priors, window=13)
+    # uncached_s is derived from cold_s in the fixture, so it regresses
+    # in lockstep
+    assert {r.metric for r in regressions} == {"spade_cold_s",
+                                               "spade_uncached_s"}
+
+
+def test_campaign_rates_recorded_but_never_gated():
+    fast = _report()
+    fast["campaign"]["runs"][0]["seeds_per_s"] = 100.0
+    slow = _report()
+    slow["campaign"]["runs"][0]["seeds_per_s"] = 1.0
+    assert _gate(slow, [fast] * 5) == []
+
+
+def test_format_regressions_mentions_threshold():
+    regressions = _gate(_report(cold_s=2.0), [_report(cold_s=1.0)] * 3)
+    text = history.format_regressions(regressions, threshold=0.25)
+    assert "25% gate" in text
+    assert "spade_cold_s" in text
+    assert history.format_regressions([]) == \
+        "bench check: OK (no tracked metric regressed)"
+
+
+# -- the bench CLI wiring ----------------------------------------------------------
+
+
+@pytest.fixture()
+def fake_bench(monkeypatch):
+    """Make ``repro-dma bench`` instant and steerable."""
+    from repro.perfcache import bench
+
+    state = {"report": _report()}
+    monkeypatch.setattr(
+        bench, "run_benchmarks",
+        lambda **kwargs: json.loads(json.dumps(state["report"])))
+    return state
+
+
+def _bench(tmp_path, *extra):
+    return main(["bench", "--output", str(tmp_path / "BENCH_perf.json"),
+                 "--history", str(tmp_path / "hist.jsonl"), *extra])
+
+
+def test_cli_bench_record_grows_history(tmp_path, fake_bench, capsys):
+    assert _bench(tmp_path) == 0
+    assert _bench(tmp_path) == 0
+    assert len(history.load_history(str(tmp_path / "hist.jsonl"))) == 2
+    assert "recorded run" in capsys.readouterr().out
+
+
+def test_cli_bench_no_record_leaves_history_alone(tmp_path, fake_bench):
+    assert _bench(tmp_path, "--no-record") == 0
+    assert history.load_history(str(tmp_path / "hist.jsonl")) == []
+
+
+def test_cli_bench_check_fails_on_2x_slowdown(tmp_path, fake_bench,
+                                              capsys):
+    for _ in range(3):
+        assert _bench(tmp_path) == 0
+    fake_bench["report"] = _report(cold_s=2.0)
+    assert _bench(tmp_path, "--check") == 1
+    out = capsys.readouterr().out
+    assert "regression(s)" in out
+    assert "spade_cold_s" in out
+    # the regressing run is still recorded (the trajectory must show it)
+    assert len(history.load_history(str(tmp_path / "hist.jsonl"))) == 4
+
+
+def test_cli_bench_check_passes_against_itself(tmp_path, fake_bench,
+                                               capsys):
+    for _ in range(3):
+        assert _bench(tmp_path) == 0
+    assert _bench(tmp_path, "--check") == 0
+    assert "bench check: OK" in capsys.readouterr().out
+
+
+def test_cli_bench_check_ignores_other_signatures(tmp_path, fake_bench):
+    for _ in range(3):
+        assert _bench(tmp_path) == 0
+    # same slowdown, but at a different scale: not comparable, no gate
+    fake_bench["report"] = _report(cold_s=2.0, scale=1.0)
+    assert _bench(tmp_path, "--check") == 0
