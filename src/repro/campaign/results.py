@@ -9,6 +9,7 @@ across all completed seeds, Table-2 style.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 from collections import Counter
@@ -51,28 +52,73 @@ def append_record(path: str, record: dict) -> None:
     parent = os.path.dirname(path)
     if parent:
         os.makedirs(parent, exist_ok=True)
+    # a crash mid-append leaves a torn line with no trailing newline;
+    # gluing the next record onto it would destroy that record too
+    needs_newline = False
+    try:
+        if os.path.getsize(path):
+            with open(path, "rb") as handle:
+                handle.seek(-1, os.SEEK_END)
+                needs_newline = handle.read(1) != b"\n"
+    except OSError:
+        pass
     with open(path, "a", encoding="utf-8") as handle:
+        if needs_newline:
+            handle.write("\n")
         handle.write(json.dumps(record, sort_keys=True) + "\n")
 
 
-def load_records(path: str) -> dict[int, dict]:
-    """seed -> latest record. Tolerates a torn final line (the crash
-    case resume exists for)."""
+def load_records(path: str, *,
+                 on_bad_line=None) -> dict[int, dict]:
+    """seed -> latest record. Tolerates torn or corrupt lines (the
+    crash case resume exists for): a line that does not parse as a
+    complete record is skipped -- its seed simply is not "completed",
+    so ``--resume`` re-runs it. *on_bad_line(lineno, line)* is called
+    for each skipped line so the runner can warn."""
     records: dict[int, dict] = {}
     if not os.path.exists(path):
         return records
     with open(path, encoding="utf-8") as handle:
-        for line in handle:
+        for lineno, line in enumerate(handle, 1):
             line = line.strip()
             if not line:
                 continue
             try:
                 record = json.loads(line)
             except json.JSONDecodeError:
+                if on_bad_line is not None:
+                    on_bad_line(lineno, line)
                 continue
             if isinstance(record, dict) and "seed" in record:
                 records[record["seed"]] = record
+            elif on_bad_line is not None:
+                on_bad_line(lineno, line)
     return records
+
+
+#: record fields that vary across runs without changing the findings:
+#: wall-clock, retry bookkeeping, and failure tracebacks
+_VOLATILE_KEYS = ("duration_s", "attempt", "error")
+
+
+def findings_digest(records: dict[int, dict]) -> str:
+    """Hex SHA-256 over the completed records' *findings* -- everything
+    except wall-clock and retry bookkeeping.
+
+    This is the byte-identity the recoverable-fault differential
+    invariant asserts (EXPERIMENTS E20): a campaign run under a
+    recoverable tooling-fault plan must digest identically to the
+    fault-free run at the same seed.
+    """
+    canon = []
+    for seed in sorted(records):
+        record = records[seed]
+        if record.get("status") not in COMPLETED_STATUSES:
+            continue
+        canon.append({key: value for key, value in sorted(record.items())
+                      if key not in _VOLATILE_KEYS})
+    text = json.dumps(canon, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
 
 
 def completed_seeds(records: dict[int, dict]) -> set[int]:

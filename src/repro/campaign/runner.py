@@ -15,20 +15,34 @@ one ``worker-<pid>.json`` beat per seed (see
 timeout instead of blocking on each future, scanning the heartbeat
 directory between polls -- so a wedged seed surfaces as a STALLED
 worker on the progress line instead of a silent hang.
+
+Self-healing: ``retry`` grants every failing seed a bounded number of
+re-runs (with deterministic jittered backoff when ``backoff_s`` is
+set), and ``retry_stalled`` upgrades the STALLED flag into recovery --
+the parent SIGKILLs the silent worker, lets the pool collapse and
+rebuild, records the victim seed as ``stalled``, and requeues it;
+innocent seeds that were in flight in the same pool are requeued
+without charging their retry budget. ``fault_spec`` arms a per-seed
+:class:`~repro.faults.FaultPlan` (stream = seed, attempt = retry
+number) inside :func:`_guarded_run_seed`, which is how the chaos
+harness injects worker crashes and cache I/O errors deterministically.
 """
 
 from __future__ import annotations
 
 import os
+import random
 import signal
+import sys
 import time
 import traceback
+from collections import Counter, deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Callable
 
-from repro import metrics, perfcache
+from repro import faults, metrics, perfcache
 from repro.campaign.mutate import CorpusMutator
 from repro.campaign.oracle import run_differential
 from repro.campaign.results import (CampaignSummary, append_record,
@@ -44,6 +58,9 @@ CHUNK_FACTOR = 4
 
 #: how often the parent wakes to scan heartbeats while futures run
 HEARTBEAT_POLL_S = 2.0
+
+#: retry backoff sleeps are capped here no matter the configuration
+MAX_BACKOFF_S = 5.0
 
 
 @dataclass
@@ -69,6 +86,15 @@ class CampaignConfig:
     heartbeat_dir: str | None = None
     #: a worker silent for longer than this is flagged as stalled
     stall_after_s: float = DEFAULT_STALL_AFTER_S
+    #: re-run a failing seed (error/timeout/crash/fault) up to N times
+    retry: int = 0
+    #: SIGKILL + requeue a STALLED worker's seed up to N times
+    retry_stalled: int = 0
+    #: base for the deterministic jittered sleep before a retry
+    backoff_s: float = 0.0
+    #: JSON form of a :class:`repro.faults.FaultSpec`; each seed run
+    #: compiles it with stream=seed, attempt=retry-number
+    fault_spec: dict | None = None
 
     @property
     def seeds(self) -> list[int]:
@@ -98,29 +124,50 @@ def run_seed(seed: int, *, base_seed: int = 2021,
 
 
 def _guarded_run_seed(seed: int, config: "CampaignConfig", *,
-                      use_alarm: bool) -> dict:
-    """run_seed with crash capture and (in workers) a hard timeout."""
+                      use_alarm: bool, attempt: int = 0) -> dict:
+    """run_seed with crash capture, optional fault plan, and (in
+    workers) a hard timeout."""
     start = time.monotonic()
+    plan = None
+    if config.fault_spec:
+        plan = faults.FaultSpec.from_json(config.fault_spec).compile(
+            stream=seed, attempt=attempt)
     previous = None
     if use_alarm and hasattr(signal, "SIGALRM") and config.timeout_s:
         previous = signal.signal(signal.SIGALRM, _alarm_handler)
         signal.alarm(max(1, int(config.timeout_s)))
     try:
-        return run_seed(seed, base_seed=config.base_seed,
-                        mutations_per_seed=config.mutations_per_seed,
-                        scale=config.scale, phys_mb=config.phys_mb,
-                        trace_events=config.trace_events)
+        with faults.session(plan):
+            if "campaign.worker.crash" in faults.active_sites \
+                    and faults.fires("campaign.worker.crash"):
+                raise faults.InjectedWorkerCrash("campaign.worker.crash")
+            if "campaign.worker.hang" in faults.active_sites:
+                hang = faults.fires("campaign.worker.hang")
+                if hang is not None:
+                    time.sleep(hang.arg or 30.0)
+            record = run_seed(seed, base_seed=config.base_seed,
+                              mutations_per_seed=config.mutations_per_seed,
+                              scale=config.scale, phys_mb=config.phys_mb,
+                              trace_events=config.trace_events)
     except _SeedTimeout:
-        return failure_record(seed, "timeout",
-                              f"exceeded {config.timeout_s}s",
-                              duration_s=time.monotonic() - start)
+        record = failure_record(seed, "timeout",
+                                f"exceeded {config.timeout_s}s",
+                                duration_s=time.monotonic() - start)
+    except faults.InjectedFault as exc:
+        # an injected fault escaped every recovery path: name the site
+        record = failure_record(seed, "fault",
+                                f"injected fault at {exc.site}",
+                                duration_s=time.monotonic() - start)
     except Exception:
-        return failure_record(seed, "error", traceback.format_exc(),
-                              duration_s=time.monotonic() - start)
+        record = failure_record(seed, "error", traceback.format_exc(),
+                                duration_s=time.monotonic() - start)
     finally:
         if previous is not None:
             signal.alarm(0)
             signal.signal(signal.SIGALRM, previous)
+    if attempt:
+        record["attempt"] = attempt
+    return record
 
 
 #: set once per worker process by :func:`_init_worker`; each submitted
@@ -145,14 +192,15 @@ def _init_worker(config: "CampaignConfig") -> None:
         _WORKER_HEARTBEAT = None
 
 
-def _worker(seed: int) -> dict:
+def _worker(seed: int, attempt: int = 0) -> dict:
     global _WORKER_SEEDS_DONE
     assert _WORKER_CONFIG is not None, "worker initializer did not run"
     beat = _WORKER_HEARTBEAT
     if beat is not None:
         beat.beat(stage="running", seed=seed,
                   seeds_done=_WORKER_SEEDS_DONE)
-    record = _guarded_run_seed(seed, _WORKER_CONFIG, use_alarm=True)
+    record = _guarded_run_seed(seed, _WORKER_CONFIG, use_alarm=True,
+                               attempt=attempt)
     _WORKER_SEEDS_DONE += 1
     if beat is not None:
         beat.beat(stage="idle", seed=seed,
@@ -177,15 +225,60 @@ def run_campaign(config: CampaignConfig, *,
     :class:`~repro.metrics.heartbeat.WorkerHealth` list every poll
     interval (requires ``config.heartbeat_dir``).
     """
-    existing = load_records(config.output) if config.resume \
-        and config.output else {}
+    existing: dict[int, dict] = {}
+    if config.resume and config.output:
+        bad_lines: list[int] = []
+        existing = load_records(
+            config.output,
+            on_bad_line=lambda lineno, _line: bad_lines.append(lineno))
+        if bad_lines:
+            shown = ", ".join(map(str, bad_lines[:8]))
+            print(f"campaign: warning: {config.output}: skipped "
+                  f"{len(bad_lines)} truncated/corrupt record line(s) "
+                  f"({shown}); the affected seeds will be re-run",
+                  file=sys.stderr)
     done = completed_seeds(existing)
     pending = [seed for seed in config.seeds if seed not in done]
     records = {seed: record for seed, record in existing.items()
                if seed in config.seeds}
 
+    #: retry bookkeeping: budget spent per seed, and the attempt
+    #: number the seed's next run carries (drives fault-plan derivation)
+    error_retries: Counter = Counter()
+    stall_retries: Counter = Counter()
+    tries: Counter = Counter()
+    requeued: list[int] = []
+    backoff_rng = random.Random((config.base_seed << 16)
+                                ^ config.seed_base)
+
     def record_result(record: dict) -> None:
-        records[record["seed"]] = record
+        seed = record["seed"]
+        status = record["status"]
+        retryable = status == "stalled" \
+            and stall_retries[seed] < config.retry_stalled
+        retryable = retryable or (status not in ("ok", "stalled")
+                                  and error_retries[seed] < config.retry)
+        if retryable:
+            if status == "stalled":
+                stall_retries[seed] += 1
+            else:
+                error_retries[seed] += 1
+            tries[seed] += 1
+            record["will_retry"] = True
+            requeued.append(seed)
+            if config.output:
+                # the failed attempt stays in the JSONL audit trail;
+                # the eventual completed record supersedes it
+                append_record(config.output, record)
+            metrics.count("campaign", "retries", status=status)
+            if progress is not None:
+                progress(record)
+            if config.backoff_s > 0:
+                jitter = 0.5 + backoff_rng.random()
+                time.sleep(min(config.backoff_s * jitter,
+                               MAX_BACKOFF_S))
+            return
+        records[seed] = record
         if config.output:
             append_record(config.output, record)
         metrics.count("campaign", "seeds", status=record["status"])
@@ -201,41 +294,80 @@ def run_campaign(config: CampaignConfig, *,
                                    stall_after_s=config.stall_after_s)
         monitor.clear()
 
-    def poll_heartbeats() -> None:
-        if heartbeat is not None and monitor is not None:
-            heartbeat(monitor.scan())
-
     if config.cache_dir:
         perfcache.configure(config.cache_dir)
 
     if config.jobs <= 1:
         beat = Heartbeat(config.heartbeat_dir, "main") \
             if config.heartbeat_dir else None
-        for nr_done, seed in enumerate(pending):
+        queue = deque(pending)
+        nr_done = 0
+        while queue:
+            seed = queue.popleft()
             if beat is not None:
                 beat.beat(stage="running", seed=seed,
                           seeds_done=nr_done)
             record_result(_guarded_run_seed(seed, config,
-                                            use_alarm=False))
+                                            use_alarm=False,
+                                            attempt=tries[seed]))
+            if requeued:
+                queue.extend(requeued)
+                requeued.clear()
+            nr_done += 1
             if beat is not None:
-                beat.beat(stage="idle", seed=seed,
-                          seeds_done=nr_done + 1)
-            poll_heartbeats()
+                beat.beat(stage="idle", seed=seed, seeds_done=nr_done)
+            if heartbeat is not None and monitor is not None:
+                heartbeat(monitor.scan())
         if config.cache_dir:
             perfcache.default_cache().persist_stats()
         return summarize(records)
 
-    remaining = list(pending)
-    while remaining:
+    killed_pids: set[int] = set()
+
+    def poll_and_recover(inflight_seeds: set[int],
+                         stall_victims: dict[int, int]) -> None:
+        """Heartbeat scan; with ``retry_stalled`` armed, SIGKILL any
+        worker whose running seed has gone silent past the threshold."""
+        if monitor is None:
+            return
+        healths = monitor.scan()
+        if heartbeat is not None:
+            heartbeat(healths)
+        if config.retry_stalled <= 0:
+            return
+        for health in healths:
+            if not health.stalled or not health.pid \
+                    or health.pid == os.getpid() \
+                    or health.pid in killed_pids \
+                    or health.seed not in inflight_seeds:
+                continue
+            killed_pids.add(health.pid)
+            stall_victims[health.pid] = health.seed
+            try:
+                os.kill(health.pid, signal.SIGKILL)
+            except OSError:
+                continue
+            # retire the dead worker's beat so it is not re-flagged
+            try:
+                os.unlink(os.path.join(
+                    config.heartbeat_dir,
+                    f"worker-{health.worker_id}.json"))
+            except OSError:
+                pass
+
+    work = list(pending)
+    while work:
         executor = ProcessPoolExecutor(max_workers=config.jobs,
                                        initializer=_init_worker,
                                        initargs=(config,))
         broken = False
+        stall_victims: dict[int, int] = {}   # killed pid -> its seed
+        stalled_seeds: set[int] = set()
         try:
-            for chunk in _chunks(remaining,
+            for chunk in _chunks(list(work),
                                  config.jobs * CHUNK_FACTOR):
-                seed_of = {executor.submit(_worker, seed): seed
-                           for seed in chunk}
+                seed_of = {executor.submit(_worker, seed, tries[seed]):
+                           seed for seed in chunk}
                 not_done = set(seed_of)
                 while not_done:
                     finished, not_done = wait(
@@ -243,24 +375,38 @@ def run_campaign(config: CampaignConfig, *,
                         return_when=FIRST_COMPLETED)
                     for future in finished:
                         seed = seed_of[future]
+                        work.remove(seed)
                         try:
                             record = future.result()
                         except BrokenProcessPool:
-                            # the pool died (e.g. a worker was
-                            # OOM-killed): blame the seeds still in
-                            # flight, then rebuild the pool for
-                            # whatever is left
+                            # the pool died: either we shot a stalled
+                            # worker, or a worker was e.g. OOM-killed
                             broken = True
-                            record = failure_record(
-                                seed, "crash",
-                                "worker process pool collapsed")
+                            if seed in stalled_seeds:
+                                record = failure_record(
+                                    seed, "stalled",
+                                    f"worker killed after exceeding "
+                                    f"the {config.stall_after_s:.0f}s "
+                                    f"heartbeat stall threshold")
+                            elif stall_victims:
+                                # innocent bystander of the stall
+                                # kill: requeue without charging its
+                                # retry budget
+                                requeued.append(seed)
+                                continue
+                            else:
+                                record = failure_record(
+                                    seed, "crash",
+                                    "worker process pool collapsed")
                         record_result(record)
-                        remaining.remove(seed)
-                    poll_heartbeats()
+                    poll_and_recover({seed_of[f] for f in not_done},
+                                     stall_victims)
+                    stalled_seeds = set(stall_victims.values())
                 if broken:
                     break
         finally:
             executor.shutdown(wait=False, cancel_futures=True)
-        if not broken:
-            break
+        if requeued:
+            work.extend(requeued)
+            requeued.clear()
     return summarize(records)

@@ -15,6 +15,9 @@ Subcommands mirror the paper's workflow:
   export the aggregate counters (Prometheus text, JSON, /proc-style)
 * ``bench``     -- tracked perf benchmarks with a JSONL history and a
   rolling-median regression gate
+* ``chaos``     -- run the standard workloads and a differential
+  campaign under a deterministic fault-injection plan; exit nonzero
+  only on faults the stack failed to recover from
 
 Exit codes are uniform across subcommands: 0 success, 1 the
 experiment ran but its claim failed (attack blocked, seeds failed),
@@ -427,6 +430,14 @@ def cmd_campaign(args) -> int:
                                 Disagreement, format_summary,
                                 run_campaign, shrink_seed)
     from repro.campaign.mutate import Mutation
+    from repro.errors import FaultError
+
+    try:
+        fault_spec = _load_fault_spec(args.fault_plan)
+    except FaultError as exc:
+        return _fail(str(exc))
+    except (OSError, ValueError) as exc:
+        return _fail(f"--fault-plan {args.fault_plan}: {exc}")
 
     config = CampaignConfig(
         nr_seeds=args.seeds, seed_base=args.seed_base, jobs=args.jobs,
@@ -436,7 +447,10 @@ def cmd_campaign(args) -> int:
         trace_events=args.trace_events,
         cache_dir=args.cache_dir or None,
         heartbeat_dir=args.heartbeat_dir or None,
-        stall_after_s=args.stall_after)
+        stall_after_s=args.stall_after,
+        retry=args.retry, retry_stalled=args.retry_stalled,
+        backoff_s=args.backoff,
+        fault_spec=fault_spec.to_json() if fault_spec else None)
 
     if config.output:
         try:
@@ -595,6 +609,66 @@ def cmd_cache(args) -> int:
     return 0
 
 
+def _load_fault_spec(path: str | None):
+    """Resolve a fault spec from --plan / REPRO_FAULTS, else None."""
+    import json
+
+    from repro import faults
+
+    if path:
+        with open(path, encoding="utf-8") as handle:
+            return faults.FaultSpec.from_json(json.load(handle))
+    return faults.spec_from_env()
+
+
+def cmd_chaos(args) -> int:
+    import tempfile
+
+    from repro import faults, metrics
+    from repro.errors import FaultError
+    from repro.faults.chaos import format_chaos_report, run_chaos
+
+    try:
+        spec = _load_fault_spec(args.plan)
+    except FaultError as exc:
+        return _fail(str(exc))
+    except (OSError, ValueError) as exc:
+        return _fail(f"chaos: cannot load --plan {args.plan}: {exc}")
+    if spec is None:
+        spec = faults.standard_spec(args.plan_seed)
+    if not spec.rules:
+        return _fail("chaos: the fault plan has no rules")
+
+    def run(scratch: str):
+        return run_chaos(spec, scratch, seed=args.seed,
+                         rounds=args.rounds, commands=args.commands,
+                         profile_boots=args.profile_boots,
+                         campaign_seeds=args.campaign_seeds,
+                         campaign_scale=args.campaign_scale,
+                         jobs=args.jobs, retry=args.retry)
+
+    rendered = None
+    use_metrics = metrics.enabled_in_env() and metrics.active() is None
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-") as scratch:
+        if use_metrics:
+            with metrics.session() as registry:
+                report = run(scratch)
+                rendered = metrics.prometheus_text(registry,
+                                                   collect=False)
+        else:
+            report = run(scratch)
+
+    print(format_chaos_report(report))
+    if args.metrics_output:
+        if rendered is None:
+            return _fail("chaos: --metrics-output needs the metrics "
+                         "layer (REPRO_METRICS=off disables it)")
+        with open(args.metrics_output, "w", encoding="utf-8") as handle:
+            handle.write(rendered)
+        print(f"wrote prometheus metrics to {args.metrics_output}")
+    return 0 if report.ok else 1
+
+
 def cmd_bench(args) -> int:
     from repro.perfcache import bench, history
 
@@ -641,7 +715,9 @@ def build_parser() -> argparse.ArgumentParser:
                "  REPRO_CACHE_DIR=DIR enable the shared on-disk cache "
                "tier at DIR\n"
                "  REPRO_METRICS=off   disable the metrics registry "
-               "process-wide")
+               "process-wide\n"
+               "  REPRO_FAULTS=PLAN   arm the fault plan at PLAN.json "
+               "(chaos/campaign); 'off' disables")
     parser.add_argument("--version", action="version",
                         version=f"%(prog)s {__version__}")
     sub = parser.add_subparsers(dest="command", required=True)
@@ -717,6 +793,22 @@ def build_parser() -> argparse.ArgumentParser:
                           default=60.0, metavar="SECONDS",
                           help="flag a worker as stalled after this "
                                "much heartbeat silence")
+    campaign.add_argument("--retry", type=int, default=0, metavar="N",
+                          help="re-run a failing seed (error, timeout, "
+                               "crash, injected fault) up to N times")
+    campaign.add_argument("--retry-stalled", type=int, default=0,
+                          metavar="N",
+                          help="SIGKILL a stalled worker and requeue "
+                               "its seed up to N times (upgrades the "
+                               "STALLED flag into recovery)")
+    campaign.add_argument("--backoff", type=float, default=0.0,
+                          metavar="SECONDS",
+                          help="base for the deterministic jittered "
+                               "sleep before each retry")
+    campaign.add_argument("--fault-plan", metavar="PLAN.json",
+                          help="arm a repro.faults plan inside every "
+                               "worker (stream=seed, attempt=retry "
+                               "number); default: $REPRO_FAULTS")
     campaign.set_defaults(func=cmd_campaign)
 
     trace = sub.add_parser(
@@ -806,6 +898,40 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--window", type=_positive_int, default=10,
                        help="rolling-median window size")
     bench.set_defaults(func=cmd_bench)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="run the standard workloads and a differential campaign "
+             "under a deterministic fault-injection plan")
+    chaos.add_argument("--plan", metavar="PLAN.json",
+                       help="fault plan file (default: $REPRO_FAULTS, "
+                            "else the built-in recoverable plan)")
+    chaos.add_argument("--plan-seed", type=int, default=0,
+                       help="seed for the built-in plan's RNG streams")
+    chaos.add_argument("--seed", type=int, default=5,
+                       help="kernel seed for the phase-A workloads")
+    chaos.add_argument("--rounds", type=_positive_int, default=40,
+                       help="compile-ping workload rounds")
+    chaos.add_argument("--commands", type=_positive_int, default=48,
+                       help="storage workload commands")
+    chaos.add_argument("--profile-boots", type=_positive_int, default=8,
+                       help="ringflood replica boots (fault-free)")
+    chaos.add_argument("--campaign-seeds", type=_positive_int,
+                       default=2,
+                       help="seeds for the phase-B differential "
+                            "campaign")
+    chaos.add_argument("--campaign-scale", type=_positive_float,
+                       default=0.08,
+                       help="corpus scale for the phase-B campaign")
+    chaos.add_argument("--jobs", type=_positive_int, default=1,
+                       help="phase-B campaign worker processes")
+    chaos.add_argument("--retry", type=int, default=2,
+                       help="phase-B per-seed retry budget")
+    chaos.add_argument("--metrics-output", metavar="PATH",
+                       help="write the run's Prometheus metrics "
+                            "(including faults_injected counters) "
+                            "to PATH")
+    chaos.set_defaults(func=cmd_chaos)
 
     metrics = sub.add_parser(
         "metrics",

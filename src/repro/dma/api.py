@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro import trace
+from repro import faults, trace
 from repro.dma.tracking import MappingRegistry
 from repro.errors import DmaApiError
 from repro.iommu.iommu import Iommu
@@ -61,6 +61,8 @@ class DmaApi:
         """
         if size <= 0:
             raise DmaApiError(f"dma_map_single of size {size}")
+        if "dma.map" in faults.active_sites and faults.fires("dma.map"):
+            raise faults.InjectedDmaMapError("dma.map")
         perm = self._check_direction(direction)
         site = site or AllocSite("dma_map_single")
         paddr = self._addr_space.paddr_of_kva(kva)

@@ -94,6 +94,11 @@ class MetricsError(ReproError):
     negative counter increment, double install)."""
 
 
+class FaultError(ReproError):
+    """Fault-engine misuse (unknown site, bad trigger, double install,
+    unreadable ``REPRO_FAULTS`` plan)."""
+
+
 class CampaignError(ReproError):
     """A differential-fuzzing campaign hit an inconsistent state.
 

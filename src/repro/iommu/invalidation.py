@@ -16,7 +16,7 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 
-from repro import trace
+from repro import faults, trace
 from repro.iommu.iotlb import IOTLB_INVALIDATION_CYCLES, Iotlb
 from repro.sim.clock import SimClock
 
@@ -31,6 +31,7 @@ class InvalidationStats:
     deferred_invalidations: int = 0
     flushes: int = 0
     cycles_spent: int = 0
+    delayed_flushes: int = 0  # injected fq.delay faults absorbed
 
 
 class InvalidationPolicy(ABC):
@@ -133,6 +134,13 @@ class DeferredInvalidation(InvalidationPolicy):
         """The periodic global flush (one invalidation cost per batch)."""
         if not self._pending and not self._post_flush \
                 and len(self._iotlb) == 0:
+            return
+        if "iommu.fq.delay" in faults.active_sites \
+                and faults.fires("iommu.fq.delay"):
+            # Drain postponed one period: stale entries and queued IOVA
+            # releases survive until the next timer tick -- exactly the
+            # widened deferred-invalidation window of section 5.2.1.
+            self.stats.delayed_flushes += 1
             return
         nr_pending = len(self._pending)
         self._pending.clear()

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro import trace
+from repro import faults, trace
 from repro.iommu.domain import IovaEntry
 
 #: Cycle costs from the paper (section 5.2.1): an IOTLB invalidation is
@@ -75,6 +75,20 @@ class Iotlb:
         while len(entries) > self._capacity:
             del entries[next(iter(entries))]
             self.stats.evictions += 1
+        if "iommu.iotlb.evict" in faults.active_sites:
+            firing = faults.fires("iommu.iotlb.evict")
+            if firing is not None:
+                self.force_evict(firing.arg or 0.5)
+
+    def force_evict(self, fraction: float) -> int:
+        """Evict the coldest *fraction* of entries (an adversarial
+        eviction storm: only costs later misses, never correctness)."""
+        entries = self._entries
+        victims = max(1, int(len(entries) * fraction)) if entries else 0
+        for key in list(entries)[:victims]:
+            del entries[key]
+            self.stats.evictions += 1
+        return victims
 
     def invalidate(self, domain_id: int, iova_pfn: int) -> bool:
         """Invalidate one entry; True if it was cached."""

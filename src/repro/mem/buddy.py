@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from collections import defaultdict
 
-from repro import trace
+from repro import faults, trace
 from repro.errors import AllocatorError, OutOfMemoryError
 from repro.mem.accounting import NULL_SINK, AllocSite, MemEventSink
 from repro.mem.phys import PhysicalMemory
@@ -92,6 +92,9 @@ class BuddyAllocator:
         """Allocate 2^order contiguous page frames; returns the base PFN."""
         if not 0 <= order <= MAX_ORDER:
             raise AllocatorError(f"bad order {order}")
+        if "mem.buddy.alloc" in faults.active_sites \
+                and faults.fires("mem.buddy.alloc"):
+            raise faults.InjectedOutOfMemory("mem.buddy.alloc")
         if order == 0 and self._pcp[cpu]:
             pfn = self._pcp[cpu].pop()  # LIFO: hottest page first
         else:

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro import trace
+from repro import faults, trace
 from repro.errors import AllocatorError
 from repro.mem.accounting import NULL_SINK, AllocSite, MemEventSink
 from repro.mem.buddy import BuddyAllocator
@@ -109,6 +109,9 @@ class PageFragCache:
         if size > self.chunk_size:
             raise AllocatorError(
                 f"page_frag alloc of {size} exceeds chunk ({self.chunk_size})")
+        if "mem.page_frag.alloc" in faults.active_sites \
+                and faults.fires("mem.page_frag.alloc"):
+            raise faults.InjectedOutOfMemory("mem.page_frag.alloc")
         site = site or AllocSite("page_frag_alloc")
         aligned = -(-size // align) * align
         chunk = self._current

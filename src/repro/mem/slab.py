@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro import trace
+from repro import faults, trace
 from repro.errors import AllocatorError
 from repro.mem.accounting import NULL_SINK, AllocSite, MemEventSink
 from repro.mem.buddy import BuddyAllocator
@@ -131,6 +131,9 @@ class SlabAllocator:
         """Allocate *size* bytes; returns the object's KVA."""
         if size <= 0:
             raise AllocatorError(f"kmalloc of non-positive size {size}")
+        if "mem.slab.kmalloc" in faults.active_sites \
+                and faults.fires("mem.slab.kmalloc"):
+            raise faults.InjectedOutOfMemory("mem.slab.kmalloc")
         site = site or AllocSite("kmalloc")
         cache = self._caches[self.size_class(size)]
         if not cache.partial:

@@ -35,7 +35,7 @@ from repro.errors import MetricsError
 #: Every subsystem that publishes instruments.  Exporters iterate this
 #: order (then sort within) so output is deterministic.
 SUBSYSTEMS = ("dma", "iommu", "net", "mem", "dkasan", "perfcache",
-              "spade", "campaign", "sim")
+              "spade", "campaign", "sim", "faults")
 
 LabelItems = tuple  # tuple[tuple[str, str], ...]
 

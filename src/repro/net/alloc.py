@@ -140,6 +140,16 @@ class SkbAllocator:
         return self._page_frag.alloc(truesize, cpu=cpu, site=site), \
             "page_frag"
 
+    def free_rx_buffer(self, kva: int, method: str, *,
+                       cpu: int = 0) -> None:
+        """Release a raw RX buffer that never became an sk_buff (the
+        driver's unwind path when the DMA mapping fails)."""
+        if method == "pages":
+            self._buddy.free_pages(self._addr_space.pfn_of_kva(kva),
+                                   cpu=cpu)
+        else:
+            self._page_frag.free(kva, cpu=cpu)
+
     def build_skb(self, data_kva: int, size: int, *, cpu: int = 0,
                   alloc_method: str = "page_frag") -> SkBuff:
         """``build_skb``: wrap an sk_buff around an existing I/O buffer.

@@ -24,9 +24,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
-from repro.errors import NetStackError
+from repro import faults
+from repro.errors import NetStackError, OutOfMemoryError
 from repro.mem.accounting import AllocSite
-from repro.net.proto import decode_header
+from repro.net.proto import HEADER_LEN, decode_header
 from repro.net.ring import RxDescriptor, RxRing, TxDescriptor, TxRing
 from repro.net.skbuff import SkBuff
 from repro.net.structs import skb_truesize
@@ -51,6 +52,10 @@ class NicStats:
     tx_packets: int = 0
     tx_timeouts: int = 0
     rx_ring_resets: int = 0
+    rx_refill_failed: int = 0  # alloc/map failures absorbed by refill
+    rx_ring_drops: int = 0     # injected descriptor drops
+    rx_truncated: int = 0      # injected truncated DMA writes
+    tx_dropped: int = 0        # TX skbs dropped on DMA map failure
 
 
 class Nic:
@@ -103,11 +108,24 @@ class Nic:
         for _ in range(count):
             if len(ring.posted_descriptors()) >= ring.nr_desc - 1:
                 break
-            kva, method = self.kernel.skb_alloc.alloc_rx_buffer(
-                self.rx_buf_size, cpu=cpu)
-            iova = self.kernel.dma.dma_map_single(
-                self.name, kva, self.rx_truesize, "DMA_FROM_DEVICE",
-                site=AllocSite(f"{self.name}_alloc_rx_buffers", 0x1A0, 0x300))
+            try:
+                kva, method = self.kernel.skb_alloc.alloc_rx_buffer(
+                    self.rx_buf_size, cpu=cpu)
+            except OutOfMemoryError:
+                # real drivers tolerate a short refill: the ring runs
+                # with fewer buffers until the next NAPI pass tops up
+                self.stats.rx_refill_failed += 1
+                break
+            try:
+                iova = self.kernel.dma.dma_map_single(
+                    self.name, kva, self.rx_truesize, "DMA_FROM_DEVICE",
+                    site=AllocSite(f"{self.name}_alloc_rx_buffers",
+                                   0x1A0, 0x300))
+            except faults.InjectedDmaMapError:
+                self.kernel.skb_alloc.free_rx_buffer(kva, method,
+                                                     cpu=cpu)
+                self.stats.rx_refill_failed += 1
+                break
             desc = ring.post(iova, kva, self.rx_buf_size)
             desc.alloc_method = method  # type: ignore[attr-defined]
             posted += 1
@@ -158,18 +176,29 @@ class Nic:
         skb.dst_port = header.dst_port
         return skb
 
-    def start_xmit(self, skb: SkBuff, *, cpu: int = 0) -> TxDescriptor:
+    def start_xmit(self, skb: SkBuff, *,
+                   cpu: int = 0) -> TxDescriptor | None:
         """Map a TX skb for READ and post it to the device.
 
         Maps the linear area by KVA/length; page granularity means the
         device can *read the whole page* -- including the shared info
         and anything co-located (sections 5.4, 9.1). Frags are mapped
         page-by-page via ``dma_map_page``.
+
+        A DMA mapping failure drops the packet (freeing the skb) and
+        returns None, as ``ndo_start_xmit`` implementations do on
+        ``dma_mapping_error``.
         """
         ring = self.tx_rings[cpu]
-        linear_iova = self.kernel.dma.dma_map_single(
-            self.name, skb.head_kva, max(skb.len, 1), "DMA_TO_DEVICE",
-            site=AllocSite(f"{self.name}_xmit", 0x2C0, 0x6A0))
+        try:
+            linear_iova = self.kernel.dma.dma_map_single(
+                self.name, skb.head_kva, max(skb.len, 1),
+                "DMA_TO_DEVICE",
+                site=AllocSite(f"{self.name}_xmit", 0x2C0, 0x6A0))
+        except faults.InjectedDmaMapError:
+            self.stats.tx_dropped += 1
+            self.kernel.stack.kfree_skb(skb)
+            return None
         frag_iovas = []
         for frag in skb.frags():
             pfn = skb.frag_pfn(frag)
@@ -223,6 +252,19 @@ class Nic:
 
     def device_receive(self, wire_bytes: bytes, *, cpu: int = 0) -> bool:
         """The device DMAs a received packet into the next RX buffer."""
+        if "net.ring.rx_drop" in faults.active_sites \
+                and faults.fires("net.ring.rx_drop"):
+            # dropped on the wire: the descriptor stays posted
+            self.stats.rx_ring_drops += 1
+            return False
+        if "net.nic.truncate" in faults.active_sites:
+            firing = faults.fires("net.nic.truncate")
+            if firing is not None:
+                # partial DMA write; the header always lands intact
+                keep = max(HEADER_LEN,
+                           int(len(wire_bytes) * (firing.arg or 0.5)))
+                wire_bytes = wire_bytes[:keep]
+                self.stats.rx_truncated += 1
         ring = self.rx_rings[cpu]
         desc = ring.next_for_device()
         if desc is None:

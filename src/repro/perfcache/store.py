@@ -28,7 +28,10 @@ import hashlib
 import json
 import os
 import tempfile
+import warnings
 from dataclasses import dataclass, field
+
+from repro import faults
 
 #: bump to invalidate every on-disk entry at once (wire-format changes)
 CACHE_SCHEMA = 1
@@ -110,6 +113,10 @@ class PerfCache:
                  memory_entries: int = DEFAULT_MEMORY_ENTRIES) -> None:
         self.directory = directory
         self.enabled = enabled
+        #: set once the disk tier proves unusable (read-only directory,
+        #: ENOSPC): the cache degrades to memory-only instead of paying
+        #: a failing syscall per entry -- and instead of aborting a run
+        self.degraded = False
         self._memory: dict[tuple[str, str], object] = {}
         self._memory_entries = max(1, memory_entries)
         self.stats = CacheStats()
@@ -134,7 +141,7 @@ class PerfCache:
         if memory_key in memory:
             self.stats.memory_hits += 1
             return memory[memory_key]
-        if self.directory is not None and decode is not None:
+        if self._disk_usable and decode is not None:
             payload = self._disk_read(namespace, key)
             if payload is not None:
                 try:
@@ -148,7 +155,7 @@ class PerfCache:
         self.stats.misses += 1
         obj = compute()
         self._memory_store(memory_key, obj)
-        if self.directory is not None and encode is not None:
+        if self._disk_usable and encode is not None:
             self._disk_write(namespace, key, encode(obj))
         self.stats.stores += 1
         return obj
@@ -172,15 +179,41 @@ class PerfCache:
 
     # -- disk tier -----------------------------------------------------------
 
+    @property
+    def _disk_usable(self) -> bool:
+        return self.directory is not None and not self.degraded
+
+    def _degrade(self, exc: OSError) -> None:
+        """Disable the disk tier after a genuine filesystem failure.
+
+        One warning per cache: every later lookup silently recomputes
+        or hits the memory tier, which is correct, just colder.
+        """
+        if self.degraded:
+            return
+        self.degraded = True
+        warnings.warn(
+            f"perfcache: disk tier at {self.directory!r} is "
+            f"unusable ({exc}); continuing with the in-memory cache "
+            f"only", RuntimeWarning, stacklevel=4)
+
     def _entry_path(self, namespace: str, key: str) -> str:
         return os.path.join(self.directory, namespace, key[:2],
                             f"{key}.json")
 
     def _disk_read(self, namespace: str, key: str):
         try:
+            if "perfcache.read" in faults.active_sites \
+                    and faults.fires("perfcache.read"):
+                raise faults.InjectedCacheError("perfcache.read")
             with open(self._entry_path(namespace, key),
                       encoding="utf-8") as handle:
                 record = json.load(handle)
+            if "perfcache.corrupt" in faults.active_sites \
+                    and faults.fires("perfcache.corrupt"):
+                # a flipped bit somewhere in the entry: model it as a
+                # key mismatch, which the validation below rejects
+                record["key"] = f"corrupted-{key[:8]}"
             if record.get("schema") != CACHE_SCHEMA \
                     or record.get("key") != key:
                 self.stats.corrupt += 1
@@ -196,6 +229,9 @@ class PerfCache:
         path = self._entry_path(namespace, key)
         record = {"schema": CACHE_SCHEMA, "key": key, "data": data}
         try:
+            if "perfcache.write" in faults.active_sites \
+                    and faults.fires("perfcache.write"):
+                raise faults.InjectedCacheError("perfcache.write")
             os.makedirs(os.path.dirname(path), exist_ok=True)
             self._write_marker()
             fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path),
@@ -210,8 +246,11 @@ class PerfCache:
                 except OSError:
                     pass
                 raise
-        except (OSError, TypeError, ValueError):
+        except (OSError, TypeError, ValueError) as exc:
             self.stats.write_errors += 1
+            if isinstance(exc, OSError) \
+                    and not isinstance(exc, faults.InjectedFault):
+                self._degrade(exc)
 
     def _write_marker(self) -> None:
         marker = os.path.join(self.directory, MARKER_NAME)
@@ -226,7 +265,7 @@ class PerfCache:
         """Snapshot this process's :class:`CacheStats` into the cache
         directory (atomic overwrite of our own file). Returns True on
         success; a memory-only or unwritable cache returns False."""
-        if self.directory is None:
+        if not self._disk_usable:
             return False
         root = os.path.join(self.directory, STATS_DIR)
         try:

@@ -14,9 +14,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
+from repro import faults
+from repro.errors import OutOfMemoryError
 from repro.mem.accounting import AllocSite
 from repro.net.proto import PROTO_UDP, make_packet
 from repro.net.stack import ECHO_PORT
+
+#: failures a real kernel path absorbs: allocation failure (the NULL
+#: path) and a DMA mapping error injected by the fault engine
+_RECOVERABLE = (OutOfMemoryError, faults.InjectedDmaMapError)
 
 if TYPE_CHECKING:
     from repro.net.nic import Nic
@@ -43,6 +49,7 @@ class WorkloadStats:
     pings: int = 0
     echoes: int = 0
     cpu_accesses: int = 0
+    faults_recovered: int = 0
 
 
 def pump_device(nic: "Nic", *, cpu: int = 0) -> int:
@@ -71,7 +78,12 @@ def run_compile_and_ping(kernel: "Kernel", nic: "Nic", *,
         # A burst of compile-path allocations...
         for _ in range(rng.randint(2, 5)):
             size, site = rng.choice(COMPILE_ALLOC_SITES)
-            kva = kernel.slab.kmalloc(size, cpu=cpu, site=site)
+            try:
+                kva = kernel.slab.kmalloc(size, cpu=cpu, site=site)
+            except OutOfMemoryError:
+                # the compile-path caller sees NULL and retries later
+                stats.faults_recovered += 1
+                continue
             # objects carry pointers (namespaces, ops tables), exactly
             # what makes their exposure dangerous
             kernel.cpu_write(kva, kernel.init_net_address()
@@ -88,22 +100,37 @@ def run_compile_and_ping(kernel: "Kernel", nic: "Nic", *,
         ping = make_packet(dst_ip=0x0A00_0001, dst_port=ECHO_PORT,
                            proto=PROTO_UDP, flow_id=0x1000 + round_no,
                            payload=b"ping-%03d" % round_no)
-        if nic.device_receive(ping, cpu=cpu):
-            stats.pings += 1
-            nic.napi_poll(cpu=cpu)
-            kernel.stack.process_backlog()
-            stats.echoes += pump_device(nic, cpu=cpu)
+        try:
+            if nic.device_receive(ping, cpu=cpu):
+                stats.pings += 1
+                nic.napi_poll(cpu=cpu)
+                kernel.stack.process_backlog()
+                stats.echoes += pump_device(nic, cpu=cpu)
+        except _RECOVERABLE:
+            # skb or echo allocation failed mid-delivery: the packet
+            # is lost, the stack stays consistent
+            stats.faults_recovered += 1
         # ...a periodic driver control command: a kmalloc-512 buffer is
         # DMA-mapped for a couple of rounds, exposing whatever
         # compile-path objects share its slab page (type (d))...
         if round_no % 4 == 1:
-            ctrl_kva = kernel.slab.kmalloc(
-                448, cpu=cpu, site=AllocSite("mlx5_cmd_exec", 0x11C,
-                                             0x5B0))
-            iova = kernel.dma.dma_map_single(
-                nic.name, ctrl_kva, 448, "DMA_TO_DEVICE",
-                site=AllocSite("mlx5_cmd_exec", 0x148, 0x5B0))
-            ctrl_maps.append((iova, ctrl_kva))
+            try:
+                ctrl_kva = kernel.slab.kmalloc(
+                    448, cpu=cpu, site=AllocSite("mlx5_cmd_exec", 0x11C,
+                                                 0x5B0))
+            except OutOfMemoryError:
+                ctrl_kva = None
+                stats.faults_recovered += 1
+            if ctrl_kva is not None:
+                try:
+                    iova = kernel.dma.dma_map_single(
+                        nic.name, ctrl_kva, 448, "DMA_TO_DEVICE",
+                        site=AllocSite("mlx5_cmd_exec", 0x148, 0x5B0))
+                except faults.InjectedDmaMapError:
+                    kernel.slab.kfree(ctrl_kva)
+                    stats.faults_recovered += 1
+                else:
+                    ctrl_maps.append((iova, ctrl_kva))
         if len(ctrl_maps) > 2:
             iova, ctrl_kva = ctrl_maps.pop(0)
             kernel.dma.dma_unmap_single(nic.name, iova, 448,
@@ -112,8 +139,12 @@ def run_compile_and_ping(kernel: "Kernel", nic: "Nic", *,
         # ...and occasionally a bulk send, whose payload copy touches a
         # page_frag page that may still back a mapped RX buffer.
         if round_no % 5 == 4:
-            kernel.stack.send(b"B" * 1200, dst_ip=0x0A00_0002, nic=nic,
-                              flow_id=0x2000 + round_no, cpu=cpu)
+            try:
+                kernel.stack.send(b"B" * 1200, dst_ip=0x0A00_0002,
+                                  nic=nic, flow_id=0x2000 + round_no,
+                                  cpu=cpu)
+            except _RECOVERABLE:
+                stats.faults_recovered += 1
             pump_device(nic, cpu=cpu)
         kernel.advance_time_us(250.0)
     for iova, ctrl_kva in ctrl_maps:
@@ -195,6 +226,7 @@ def run_manifest_replay(kernel: "Kernel", manifest, *,
 class StorageWorkloadStats:
     commands: int = 0
     bytes_transferred: int = 0
+    faults_recovered: int = 0
 
 
 def run_storage_workload(kernel: "Kernel", *, device_name: str = "nvme0",
@@ -215,20 +247,44 @@ def run_storage_workload(kernel: "Kernel", *, device_name: str = "nvme0",
     inflight: list[tuple[int, int, int, int]] = []
     for index in range(commands):
         # the command struct: embedded response area (type (a) pattern)
-        cmd_kva = kernel.slab.kmalloc(
-            384, cpu=cpu, site=AllocSite("nvme_fc_init_iod", 0x84,
-                                         0x2E0))
-        rsp_iova = kernel.dma.dma_map_single(
-            device_name, cmd_kva + 128, 128, "DMA_FROM_DEVICE",
-            site=AllocSite("nvme_fc_map_data", 0x99, 0x260))
+        try:
+            cmd_kva = kernel.slab.kmalloc(
+                384, cpu=cpu, site=AllocSite("nvme_fc_init_iod", 0x84,
+                                             0x2E0))
+        except OutOfMemoryError:
+            # BLK_STS_RESOURCE: the block layer requeues the request
+            stats.faults_recovered += 1
+            kernel.advance_time_us(80.0)
+            continue
+        try:
+            rsp_iova = kernel.dma.dma_map_single(
+                device_name, cmd_kva + 128, 128, "DMA_FROM_DEVICE",
+                site=AllocSite("nvme_fc_map_data", 0x99, 0x260))
+        except faults.InjectedDmaMapError:
+            kernel.slab.kfree(cmd_kva)
+            stats.faults_recovered += 1
+            kernel.advance_time_us(80.0)
+            continue
         # the data page
-        data_kva = kernel.slab.kmalloc(
-            4096, cpu=cpu, site=AllocSite("blk_mq_get_request", 0x14A,
-                                          0x3D0))
         direction = rng.choice(["DMA_TO_DEVICE", "DMA_FROM_DEVICE"])
-        data_iova = kernel.dma.dma_map_single(
-            device_name, data_kva, 4096, direction,
-            site=AllocSite("nvme_map_data", 0x6B, 0x2A0))
+        data_kva = None
+        try:
+            data_kva = kernel.slab.kmalloc(
+                4096, cpu=cpu, site=AllocSite("blk_mq_get_request",
+                                              0x14A, 0x3D0))
+            data_iova = kernel.dma.dma_map_single(
+                device_name, data_kva, 4096, direction,
+                site=AllocSite("nvme_map_data", 0x6B, 0x2A0))
+        except _RECOVERABLE:
+            # unwind the half-built command and requeue
+            if data_kva is not None:
+                kernel.slab.kfree(data_kva)
+            kernel.dma.dma_unmap_single(device_name, rsp_iova, 128,
+                                        "DMA_FROM_DEVICE")
+            kernel.slab.kfree(cmd_kva)
+            stats.faults_recovered += 1
+            kernel.advance_time_us(80.0)
+            continue
         if direction == "DMA_TO_DEVICE":
             kernel.iommu.device_read(device_name, data_iova, 4096)
         else:

@@ -27,7 +27,8 @@ from repro.errors import TraceError
 #: Every tracepoint category the instrumented layers emit.  Unknown
 #: categories are rejected at emit time so filters cannot silently
 #: miss a misspelled subsystem.
-CATEGORIES = ("dma", "iommu", "net", "mem", "dkasan", "attack", "sim")
+CATEGORIES = ("dma", "iommu", "net", "mem", "dkasan", "attack", "sim",
+              "fault")
 
 #: Default ring capacity: enough for the full Fig. 6/7 benches while
 #: staying a few MiB even with verbose args.
