@@ -1,0 +1,66 @@
+"""Perf: warm served analyze vs cold one-shot analysis (E21).
+
+The acceptance bar for the serving layer: once the daemon's corpus
+LRU and analysis coalescing are warm, an ``analyze`` request answered
+over the socket must be at least 5x faster than a fully cold one-shot
+run of the same analysis (corpus generation included) -- and
+byte-identical to it.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.serve import (AnalysisServer, LoadgenConfig, ServeClient,
+                        ServeConfig, measure_cold_oneshot)
+
+SCALE = 0.25
+MIN_WARM_SPEEDUP = 5.0
+
+
+def test_served_analyze_warm_speedup(benchmark):
+    config = ServeConfig(host="127.0.0.1", port=0, workers=2,
+                         queue_bound=16, install_metrics=False)
+    server = AnalysisServer(config)
+    address = server.start()
+    try:
+        with ServeClient(host=address[0], port=address[1]) as client:
+            request = {"type": "analyze", "scale": SCALE,
+                       "include_findings": False}
+            baseline = client.request(request)   # warm the caches
+
+            def served_analyze():
+                return client.request(request)
+
+            response = benchmark.pedantic(served_analyze, rounds=5,
+                                          iterations=1)
+            warm_s = benchmark.stats.stats.min
+        assert response == baseline   # warm never alters the answer
+    finally:
+        server.stop()
+
+    cold_s = measure_cold_oneshot(LoadgenConfig(scale=SCALE))
+    speedup = cold_s / warm_s
+    benchmark.extra_info["cold_oneshot_s"] = round(cold_s, 3)
+    benchmark.extra_info["speedup"] = round(speedup, 1)
+    assert speedup >= MIN_WARM_SPEEDUP, \
+        f"warm served analyze only {speedup:.1f}x faster than cold " \
+        f"one-shot (need >= {MIN_WARM_SPEEDUP}x)"
+
+
+def test_served_ping_roundtrip_latency(benchmark):
+    """Protocol + queue floor: a ping round trip stays sub-10ms."""
+    config = ServeConfig(host="127.0.0.1", port=0, workers=2,
+                         queue_bound=16, install_metrics=False)
+    server = AnalysisServer(config)
+    address = server.start()
+    try:
+        with ServeClient(host=address[0], port=address[1]) as client:
+            client.ping()   # connection + first-dispatch warmup
+            benchmark.pedantic(client.ping, rounds=20, iterations=1)
+            floor_s = benchmark.stats.stats.min
+    finally:
+        server.stop()
+    benchmark.extra_info["floor_ms"] = round(floor_s * 1000, 3)
+    assert floor_s < 0.010, \
+        f"ping round trip {floor_s * 1000:.1f}ms (expected < 10ms)"

@@ -18,6 +18,12 @@ Subcommands mirror the paper's workflow:
 * ``chaos``     -- run the standard workloads and a differential
   campaign under a deterministic fault-injection plan; exit nonzero
   only on faults the stack failed to recover from
+* ``serve``     -- long-lived SPADE-as-a-service daemon answering
+  analyze/replay/chaos requests over an NDJSON socket protocol,
+  byte-identical to the one-shot commands above
+* ``loadgen``   -- drive a serve daemon with a deterministic mixed
+  request load and feed the latency/throughput numbers into the
+  bench pipeline
 
 Exit codes are uniform across subcommands: 0 success, 1 the
 experiment ran but its claim failed (attack blocked, seeds failed),
@@ -109,13 +115,27 @@ def cmd_audit(args) -> int:
         print(f"loaded {len(tree.paths(suffix='.c'))} C files from "
               f"{args.tree}")
     else:
-        tree, manifest = CorpusGenerator(seed=args.corpus_seed).generate()
+        if args.scale != 1.0:
+            from repro.corpus.linux50 import scaled_composition
+            tree, manifest = CorpusGenerator(
+                seed=args.corpus_seed,
+                composition=scaled_composition(args.scale)).generate()
+        else:
+            tree, manifest = CorpusGenerator(
+                seed=args.corpus_seed).generate()
     if args.dump_tree:
         tree.write_to_dir(args.dump_tree)
         print(f"corpus written to {args.dump_tree}")
     spade = Spade(tree)
     findings = spade.analyze()
     print(format_table2(Table2Stats.from_findings(findings)))
+    if args.findings_json:
+        from repro.perfcache.codec import encode_findings
+        from repro.serve.protocol import canonical_json
+        with open(args.findings_json, "w", encoding="utf-8") as handle:
+            handle.write(canonical_json(encode_findings(findings)))
+            handle.write("\n")
+        print(f"wrote findings to {args.findings_json}")
     if args.trace:
         matched = [f for f in findings if args.trace in f.file]
         for finding in matched:
@@ -693,12 +713,151 @@ def cmd_bench(args) -> int:
             window=args.window)
         print(history.format_regressions(
             regressions, threshold=args.regression_threshold))
+        warning = history.parallel_scaling_warning(record)
+        if warning:
+            # advisory, not gating: the jobs=N-vs-jobs=1 ratio is too
+            # jittery at bench sizes to fail CI on, but it must be
+            # visible every run until the regression is fixed
+            print(warning)
         if regressions:
             ok = False
     if args.record:
         history.append_history(args.history, record)
         print(f"recorded run in {args.history} "
               f"({len(prior) + 1} comparable run(s) on record)")
+    return 0 if ok else 1
+
+
+def cmd_serve(args) -> int:
+    import signal
+
+    from repro.errors import ServeError
+    from repro.serve import AnalysisServer, ServeConfig
+
+    host = port = None
+    if args.tcp:
+        if args.socket:
+            return _fail("serve: --socket and --tcp are mutually "
+                         "exclusive")
+        host, _, port_text = args.tcp.rpartition(":")
+        try:
+            port = int(port_text)
+        except ValueError:
+            return _fail(f"serve: --tcp {args.tcp!r}: expected "
+                         f"HOST:PORT")
+    try:
+        config = ServeConfig.from_env(
+            socket_path=args.socket, host=host, port=port,
+            workers=args.workers, queue_bound=args.queue_bound,
+            memory_budget_bytes=(args.memory_budget << 20
+                                 if args.memory_budget else None),
+            warmup_scale=args.warmup,
+            allow_debug_sleep=args.allow_debug_sleep or None)
+    except ServeError as exc:
+        return _fail(f"serve: {exc}")
+    if not config.socket_path and port is None:
+        config.socket_path = "repro-serve.sock"
+
+    server = AnalysisServer(config)
+    try:
+        address = server.start()
+    except OSError as exc:
+        return _fail(f"serve: cannot bind: {exc}")
+    where = address if isinstance(address, str) \
+        else f"{address[0]}:{address[1]}"
+    print(f"serve: listening on {where} "
+          f"(workers={config.workers} "
+          f"queue={config.queue_bound} "
+          f"budget={config.memory_budget_bytes >> 20} MiB)",
+          flush=True)
+
+    def on_signal(_signum, _frame):
+        server.request_shutdown()
+
+    previous = [signal.signal(signal.SIGTERM, on_signal),
+                signal.signal(signal.SIGINT, on_signal)]
+    try:
+        server.wait()
+    finally:
+        signal.signal(signal.SIGTERM, previous[0])
+        signal.signal(signal.SIGINT, previous[1])
+        server.stop()
+    from repro.report.procfs import render_serve_stats
+    print(render_serve_stats(server.stats.snapshot()))
+    if args.stats_output:
+        import json as json_
+        with open(args.stats_output, "w", encoding="utf-8") as handle:
+            json_.dump(server.stats.snapshot(), handle, indent=2,
+                       sort_keys=True)
+            handle.write("\n")
+        print(f"wrote serve stats to {args.stats_output}")
+    return 0
+
+
+def cmd_loadgen(args) -> int:
+    import json as json_
+
+    from repro.errors import ServeError
+    from repro.perfcache.history import append_history
+    from repro.serve import (LoadgenConfig, format_loadgen_report,
+                             merge_into_bench, parse_mix, run_loadgen,
+                             serve_history_record, wait_until_ready)
+
+    host = port = None
+    if args.tcp:
+        if args.socket:
+            return _fail("loadgen: --socket and --tcp are mutually "
+                         "exclusive")
+        host, _, port_text = args.tcp.rpartition(":")
+        try:
+            port = int(port_text)
+        except ValueError:
+            return _fail(f"loadgen: --tcp {args.tcp!r}: expected "
+                         f"HOST:PORT")
+    if not args.socket and port is None:
+        return _fail("loadgen: need --socket PATH or --tcp HOST:PORT")
+    try:
+        mix = parse_mix(args.mix)
+    except ServeError as exc:
+        return _fail(f"loadgen: {exc}")
+    config = LoadgenConfig(
+        nr_requests=args.requests, connections=args.connections,
+        rps=args.rps, mix=mix, seed=args.seed, retries=args.retries,
+        corpus_seed=args.corpus_seed, scale=args.scale,
+        replay_scale=args.replay_scale,
+        replay_seeds=args.replay_seeds,
+        replay_mutations=args.mutations,
+        chaos_rounds=args.chaos_rounds,
+        chaos_commands=args.chaos_commands,
+        cold_baseline=not args.no_cold_baseline)
+    client_args = {"socket_path": args.socket, "host": host,
+                   "port": port}
+    try:
+        wait_until_ready(client_args, timeout_s=args.connect_timeout)
+    except (ServeError, OSError) as exc:
+        return _fail(f"loadgen: daemon not reachable: {exc}")
+    report = run_loadgen(config, socket_path=args.socket, host=host,
+                         port=port)
+    print(format_loadgen_report(report))
+    if args.output:
+        if args.output.endswith(".json") and "BENCH" in args.output:
+            merge_into_bench(report, args.output)
+        else:
+            with open(args.output, "w", encoding="utf-8") as handle:
+                json_.dump(report, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+        print(f"wrote {args.output}")
+    if args.record:
+        append_history(args.history, serve_history_record(report))
+        print(f"recorded run in {args.history}")
+    ok = report["ok"]
+    if args.require_speedup:
+        speedup = report.get("speedup_warm_vs_cold")
+        if speedup is None or speedup < args.require_speedup:
+            print(f"loadgen: FAIL: warm-vs-cold speedup "
+                  f"{speedup if speedup is not None else 'n/a'} < "
+                  f"required {args.require_speedup}")
+            ok = False
     return 0 if ok else 1
 
 
@@ -717,7 +876,15 @@ def build_parser() -> argparse.ArgumentParser:
                "  REPRO_METRICS=off   disable the metrics registry "
                "process-wide\n"
                "  REPRO_FAULTS=PLAN   arm the fault plan at PLAN.json "
-               "(chaos/campaign); 'off' disables")
+               "(chaos/campaign); 'off' disables\n"
+               "  REPRO_SERVE_SOCKET=PATH      default Unix socket for "
+               "the serve daemon\n"
+               "  REPRO_SERVE_WORKERS=N        serve worker threads "
+               "(default 2)\n"
+               "  REPRO_SERVE_QUEUE=N          serve admission queue "
+               "bound (default 16)\n"
+               "  REPRO_SERVE_MEM_BUDGET=MIB   serve corpus LRU byte "
+               "budget (default 64)")
     parser.add_argument("--version", action="version",
                         version=f"%(prog)s {__version__}")
     sub = parser.add_subparsers(dest="command", required=True)
@@ -727,6 +894,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="analyze a real source directory instead "
                             "of the generated corpus")
     audit.add_argument("--corpus-seed", type=int, default=2021)
+    audit.add_argument("--scale", type=_positive_float, default=1.0,
+                       help="scale the generated corpus (matches the "
+                            "serve daemon's analyze requests)")
+    audit.add_argument("--findings-json", metavar="PATH",
+                       help="write the canonical findings JSON (the "
+                            "byte-identity artifact serve compares "
+                            "against)")
     audit.add_argument("--dump-tree", metavar="DIR")
     audit.add_argument("--trace", metavar="FILE_SUBSTR",
                        help="print Figure-2 traces for matching files")
@@ -970,6 +1144,88 @@ def build_parser() -> argparse.ArgumentParser:
                                help="section 7 OS comparison")
     oscompare.add_argument("--seed", type=int, default=81)
     oscompare.set_defaults(func=cmd_oscompare)
+
+    serve = sub.add_parser(
+        "serve",
+        help="persistent SPADE-as-a-service analysis daemon")
+    serve.add_argument("--socket", metavar="PATH",
+                       help="Unix socket path (default "
+                            "$REPRO_SERVE_SOCKET, else "
+                            "./repro-serve.sock)")
+    serve.add_argument("--tcp", metavar="HOST:PORT",
+                       help="listen on TCP instead (port 0 = "
+                            "ephemeral)")
+    serve.add_argument("--workers", type=_positive_int, default=None,
+                       help="worker threads "
+                            "(default $REPRO_SERVE_WORKERS or 2)")
+    serve.add_argument("--queue-bound", type=_positive_int,
+                       default=None,
+                       help="admission queue bound; full -> requests "
+                            "are rejected "
+                            "(default $REPRO_SERVE_QUEUE or 16)")
+    serve.add_argument("--memory-budget", type=_positive_int,
+                       default=None, metavar="MIB",
+                       help="corpus LRU byte budget "
+                            "(default $REPRO_SERVE_MEM_BUDGET or 64)")
+    serve.add_argument("--warmup", type=_positive_float, default=None,
+                       metavar="SCALE",
+                       help="pre-run one analyze at SCALE before "
+                            "accepting connections")
+    serve.add_argument("--allow-debug-sleep", action="store_true",
+                       help="honor ping.sleep_ms (load tests only)")
+    serve.add_argument("--stats-output", metavar="PATH",
+                       help="write the serve stats JSON on shutdown")
+    serve.set_defaults(func=cmd_serve)
+
+    loadgen = sub.add_parser(
+        "loadgen",
+        help="drive a serve daemon with a mixed request load")
+    loadgen.add_argument("--socket", metavar="PATH")
+    loadgen.add_argument("--tcp", metavar="HOST:PORT")
+    loadgen.add_argument("--requests", type=_positive_int, default=50)
+    loadgen.add_argument("--connections", type=_positive_int,
+                         default=4)
+    loadgen.add_argument("--rps", type=float, default=20.0,
+                         help="target aggregate request rate "
+                              "(0 = as fast as possible)")
+    loadgen.add_argument("--mix", default="analyze=6,replay=3,chaos=1",
+                         help="weighted request mix, e.g. "
+                              "analyze=6,replay=3,chaos=1")
+    loadgen.add_argument("--scale", type=_positive_float, default=0.25,
+                         help="analyze corpus scale")
+    loadgen.add_argument("--corpus-seed", type=int, default=2021)
+    loadgen.add_argument("--replay-scale", type=_positive_float,
+                         default=0.1)
+    loadgen.add_argument("--replay-seeds", type=_positive_int,
+                         default=4)
+    loadgen.add_argument("--mutations", type=_positive_int, default=3)
+    loadgen.add_argument("--chaos-rounds", type=_positive_int,
+                         default=6)
+    loadgen.add_argument("--chaos-commands", type=_positive_int,
+                         default=8)
+    loadgen.add_argument("--seed", type=int, default=0)
+    loadgen.add_argument("--retries", type=_positive_int, default=5,
+                         help="per-request retry budget for "
+                              "rejected/aborted/dropped requests")
+    loadgen.add_argument("--connect-timeout", type=_positive_float,
+                         default=30.0,
+                         help="seconds to wait for the daemon to "
+                              "answer ping")
+    loadgen.add_argument("--no-cold-baseline", action="store_true",
+                         help="skip the in-process uncached one-shot "
+                              "baseline measurement")
+    loadgen.add_argument("--require-speedup", type=_positive_float,
+                         default=None, metavar="X",
+                         help="exit 1 unless warm analyze p50 beats "
+                              "the cold one-shot by at least X times")
+    loadgen.add_argument("--output", default="BENCH_perf.json",
+                         help="merge a 'serve' section into this "
+                              "BENCH json (or write a standalone "
+                              "report elsewhere)")
+    loadgen.add_argument("--record", action="store_true",
+                         help="append a record to the bench history")
+    loadgen.add_argument("--history", default="BENCH_history.jsonl")
+    loadgen.set_defaults(func=cmd_loadgen)
     return parser
 
 

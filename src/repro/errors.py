@@ -99,6 +99,12 @@ class FaultError(ReproError):
     unreadable ``REPRO_FAULTS`` plan)."""
 
 
+class ServeError(ReproError):
+    """Analysis-server misuse or protocol violation (malformed NDJSON
+    request, unknown request type, oversized line, exhausted retry
+    budget against a rejecting/aborting daemon)."""
+
+
 class CampaignError(ReproError):
     """A differential-fuzzing campaign hit an inconsistent state.
 

@@ -46,12 +46,14 @@ TOOLING_SITES = (
     "perfcache.corrupt",       # bit-flipped entry (fails validation)
     "campaign.worker.crash",   # injected exception inside run_seed
     "campaign.worker.hang",    # injected sleep (arg = seconds)
+    "serve.accept_drop",       # daemon drops a connection at accept
+    "serve.request_abort",     # daemon aborts an accepted request
 )
 
 SITES = KERNEL_SITES + TOOLING_SITES
 
 #: site prefixes that identify tooling-layer rules (see split())
-_TOOLING_PREFIXES = ("perfcache.", "campaign.")
+_TOOLING_PREFIXES = ("perfcache.", "campaign.", "serve.")
 
 
 @dataclass(frozen=True)

@@ -69,11 +69,38 @@ def tracked_metrics(report: dict) -> dict[str, float]:
         "iotlb_events_per_s": kernel.get("iotlb_events_per_s"),
         "page_frag_events_per_s": kernel.get("page_frag_events_per_s"),
     }
+    rate_by_jobs: dict[int, float] = {}
     for run in report.get("campaign", {}).get("runs", ()):
         metrics[f"campaign_seeds_per_s_jobs{run.get('jobs')}"] = \
             run.get("seeds_per_s")
+        if isinstance(run.get("jobs"), int) \
+                and isinstance(run.get("seeds_per_s"), (int, float)):
+            rate_by_jobs[run["jobs"]] = float(run["seeds_per_s"])
+    # the parallel-scaling signal: jobs=N throughput over jobs=1.
+    # < 1.0 means adding workers made the campaign *slower* (the
+    # known per-task-overhead regression); tracked so the trajectory
+    # shows it, warned on by ``bench --check``, but not hard-gated.
+    if len(rate_by_jobs) >= 2 and rate_by_jobs.get(1):
+        top_jobs = max(rate_by_jobs)
+        if top_jobs != 1:
+            metrics["campaign_parallel_ratio"] = round(
+                rate_by_jobs[top_jobs] / rate_by_jobs[1], 4)
     return {name: float(value) for name, value in metrics.items()
             if isinstance(value, (int, float))}
+
+
+def parallel_scaling_warning(record: dict) -> str | None:
+    """A warning line when jobs=N ran slower than jobs=1, else None."""
+    ratio = record.get("metrics", {}).get("campaign_parallel_ratio")
+    if not isinstance(ratio, (int, float)) or ratio >= 1.0:
+        return None
+    jobs = [name.split("jobs")[-1] for name in record.get("metrics", {})
+            if name.startswith("campaign_seeds_per_s_jobs")
+            and not name.endswith("jobs1")]
+    label = f"jobs={jobs[0]}" if len(jobs) == 1 else "parallel"
+    return (f"bench check: warning: {label} campaign is slower than "
+            f"jobs=1 (ratio {ratio:.2f}); parallel scaling regression "
+            f"-- see ROADMAP 'Make parallel campaigns actually scale'")
 
 
 def history_record(report: dict) -> dict:

@@ -164,9 +164,16 @@ class PerfCache:
 
     def _memory_store(self, memory_key: tuple[str, str], obj) -> None:
         memory = self._memory
-        if len(memory) >= self._memory_entries:
-            # dicts iterate in insertion order: drop the oldest entry
-            del memory[next(iter(memory))]
+        while len(memory) >= self._memory_entries:
+            # dicts iterate in insertion order: drop the oldest entry.
+            # Server worker threads share one cache, so the victim can
+            # vanish (or the dict resize) between the len() check and
+            # the delete -- losing that race is fine, the entry is
+            # gone either way.
+            try:
+                del memory[next(iter(memory))]
+            except (KeyError, RuntimeError, StopIteration):
+                break
         memory[memory_key] = obj
 
     @property

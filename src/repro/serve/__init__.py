@@ -1,0 +1,63 @@
+"""repro.serve -- SPADE-as-a-service: the persistent analysis daemon.
+
+One-shot CLI runs pay the full setup cost on every invocation: corpus
+generation, parse and index, layout interning, cache priming.  This
+package keeps a process alive instead -- ``repro-dma serve`` -- and
+answers analyze/replay/chaos requests over a newline-delimited-JSON
+socket protocol, with three promises:
+
+* **byte-identity** -- a served request answers exactly what the
+  equivalent one-shot CLI run prints/computes (the differential
+  invariant; the warm caches may make it *faster*, never *different*);
+* **bounded admission** -- a full queue rejects explicitly (the
+  429-style ``rejected`` status) and the corpus LRU evicts under a
+  byte budget, so overload degrades honestly instead of growing
+  without bound;
+* **per-request isolation** -- metrics collector slots and the trace
+  clock binding reset between requests, so back-to-back requests
+  export independently instead of last-boot-wins.
+
+``repro-dma loadgen`` is the measuring stick: a deterministic mixed
+workload at target RPS whose latency histograms and warm-vs-cold
+speedup feed the ``BENCH_perf.json`` / ``BENCH_history.jsonl``
+pipeline.
+
+Importing this package has no side effects: no socket, no threads, no
+registry until a server is constructed and started.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ServeError
+from repro.serve.client import (DEFAULT_RETRIES, ServeClient,
+                                wait_until_ready)
+from repro.serve.loadgen import (DEFAULT_MIX, LoadgenConfig,
+                                 build_schedule, format_loadgen_report,
+                                 measure_cold_oneshot, merge_into_bench,
+                                 parse_mix, run_loadgen,
+                                 serve_history_record, serve_signature)
+from repro.serve.protocol import (CHAOS_WORKLOADS, MAX_LINE_BYTES,
+                                  PROTOCOL_SCHEMA, REQUEST_TYPES,
+                                  RETRYABLE_STATUSES, batch_key,
+                                  canonical_json, encode_line,
+                                  error_response, normalize_request,
+                                  parse_request, payload_digest,
+                                  response_for)
+from repro.serve.server import (DEFAULT_MEMORY_BUDGET_MIB,
+                                DEFAULT_QUEUE_BOUND, DEFAULT_WORKERS,
+                                AnalysisServer, CorpusLru, ServeConfig,
+                                ServeStats, serve_collector)
+
+__all__ = [
+    "AnalysisServer", "CHAOS_WORKLOADS", "CorpusLru", "DEFAULT_MIX",
+    "DEFAULT_MEMORY_BUDGET_MIB", "DEFAULT_QUEUE_BOUND",
+    "DEFAULT_RETRIES", "DEFAULT_WORKERS", "LoadgenConfig",
+    "MAX_LINE_BYTES", "PROTOCOL_SCHEMA", "REQUEST_TYPES",
+    "RETRYABLE_STATUSES", "ServeClient", "ServeConfig", "ServeError",
+    "ServeStats", "batch_key", "build_schedule", "canonical_json",
+    "encode_line", "error_response", "format_loadgen_report",
+    "measure_cold_oneshot", "merge_into_bench", "normalize_request",
+    "parse_mix", "parse_request", "payload_digest", "response_for",
+    "run_loadgen", "serve_collector", "serve_history_record",
+    "serve_signature", "wait_until_ready",
+]

@@ -1,0 +1,138 @@
+"""A small blocking client for the analysis daemon.
+
+Speaks the NDJSON protocol request-by-request (no pipelining: one
+request, one response) and absorbs the daemon's chaos weather: a
+dropped connection (``serve.accept_drop``), an aborted request
+(``serve.request_abort``), or an admission rejection (queue full) is
+retried up to the budget with a deterministic linear backoff.  The
+retry loop is what the serve fault sites exist to exercise -- a
+well-behaved client plus a recovering daemon must yield byte-identical
+payloads to a fault-free run.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import time
+
+from repro.errors import ServeError
+from repro.serve.protocol import (RETRYABLE_STATUSES, encode_line)
+
+DEFAULT_TIMEOUT_S = 120.0
+DEFAULT_RETRIES = 5
+DEFAULT_BACKOFF_S = 0.05
+
+
+class ServeClient:
+    """One connection to the daemon (reconnects transparently)."""
+
+    def __init__(self, socket_path: str | None = None, *,
+                 host: str | None = None, port: int | None = None,
+                 timeout_s: float = DEFAULT_TIMEOUT_S,
+                 retries: int = DEFAULT_RETRIES,
+                 backoff_s: float = DEFAULT_BACKOFF_S) -> None:
+        if not socket_path and port is None:
+            raise ServeError("client needs a socket path or host/port")
+        self._socket_path = socket_path
+        self._host = host or "127.0.0.1"
+        self._port = port
+        self._timeout_s = timeout_s
+        self._retries = retries
+        self._backoff_s = backoff_s
+        self._sock: socket.socket | None = None
+        self._reader = None
+
+    # -- connection ------------------------------------------------------
+
+    def _connect(self) -> None:
+        if self._socket_path:
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.settimeout(self._timeout_s)
+            sock.connect(self._socket_path)
+        else:
+            sock = socket.create_connection(
+                (self._host, self._port), timeout=self._timeout_s)
+        self._sock = sock
+        self._reader = sock.makefile("rb")
+
+    def close(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+        self._sock = None
+        self._reader = None
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # -- requests --------------------------------------------------------
+
+    def request(self, doc: dict) -> dict:
+        """Send *doc*, return the parsed response.
+
+        Retries transparently on connection loss and on retryable
+        statuses (``rejected``/``aborted``); raises
+        :class:`~repro.errors.ServeError` when the budget runs out or
+        the daemon answers ``status: error``.
+        """
+        last = "no attempt made"
+        for attempt in range(self._retries + 1):
+            if attempt:
+                time.sleep(self._backoff_s * attempt)
+            try:
+                response = self._roundtrip(doc)
+            except (OSError, ValueError) as exc:
+                self.close()
+                last = f"connection failed: {exc}"
+                continue
+            status = response.get("status")
+            if status in RETRYABLE_STATUSES:
+                last = f"{status}: {response.get('error', '')}"
+                continue
+            if status != "ok":
+                raise ServeError(f"server error: "
+                                 f"{response.get('error', response)}")
+            return response
+        raise ServeError(f"request failed after "
+                         f"{self._retries + 1} attempt(s): {last}")
+
+    def request_raw(self, doc: dict) -> tuple[bytes, dict]:
+        """One attempt, no retries: the raw response line + parsed doc
+        (byte-identity checks compare the line itself)."""
+        line = self._roundtrip_line(doc)
+        return line, json.loads(line)
+
+    def _roundtrip(self, doc: dict) -> dict:
+        return json.loads(self._roundtrip_line(doc))
+
+    def _roundtrip_line(self, doc: dict) -> bytes:
+        if self._sock is None:
+            self._connect()
+        self._sock.sendall(encode_line(doc))
+        line = self._reader.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        return line.rstrip(b"\n")
+
+    def ping(self) -> dict:
+        return self.request({"type": "ping"})
+
+
+def wait_until_ready(client_args: dict, *, timeout_s: float = 30.0,
+                     interval_s: float = 0.05) -> dict:
+    """Poll ping until the daemon answers (startup synchronization)."""
+    deadline = time.monotonic() + timeout_s
+    while True:
+        try:
+            with ServeClient(**client_args) as client:
+                return client.ping()
+        except (ServeError, OSError):
+            if time.monotonic() >= deadline:
+                raise
+            time.sleep(interval_s)

@@ -1,0 +1,128 @@
+"""Request handlers: each mirrors one one-shot CLI run, byte for byte.
+
+The differential invariant of the serving layer is that a request
+answered by a warm, long-lived daemon is indistinguishable from the
+equivalent cold CLI invocation:
+
+* ``analyze``  == ``repro-dma audit --scale S --corpus-seed N``
+  (same Table 2 text, same canonical findings JSON),
+* ``replay``   == ``repro-dma campaign --seeds 1 --seed-base N
+  --trace-events 0`` (same :func:`findings_digest`),
+* ``chaos``    == one phase-A workload line of ``repro-dma chaos``
+  (same formatted outcome line, same per-site fire counts).
+
+Handlers therefore reuse the exact code paths the CLI uses -- the
+server adds caching *around* them (corpus LRU, perfcache), never a
+second implementation *of* them.  Replay always runs with
+``trace_events=0``: the flight recorder is a process-global singleton
+and a concurrent second ``trace.install`` raises, so a daemon serving
+parallel requests must not trace from workers.
+"""
+
+from __future__ import annotations
+
+from repro import faults
+from repro.serve.protocol import payload_digest
+
+
+def handle_ping(request: dict, *, allow_sleep: bool = False) -> dict:
+    from repro import __version__
+    if allow_sleep and request.get("sleep_ms"):
+        import time
+        time.sleep(request["sleep_ms"] / 1000.0)
+    return {"version": __version__}
+
+
+def analyze_corpus(tree, manifest) -> dict:
+    """The shared computation behind coalesced analyze requests."""
+    from repro.core.spade import Spade, Table2Stats
+    from repro.core.spade.report import format_table2
+    from repro.perfcache.codec import encode_findings
+
+    spade = Spade(tree)
+    findings = spade.analyze()
+    encoded = encode_findings(findings)
+    body = {
+        "nr_files": len(tree.files),
+        "nr_findings": len(encoded),
+        "findings_digest": payload_digest(encoded),
+        "table2": format_table2(Table2Stats.from_findings(findings)),
+        "findings": encoded,
+    }
+    if manifest is not None:
+        validation = spade.validate(findings, manifest)
+        body["precision"] = round(validation.precision, 3)
+        body["recall"] = round(validation.recall, 3)
+    return body
+
+
+def handle_analyze(request: dict, shared: dict) -> dict:
+    body = dict(shared)
+    body["corpus_seed"] = request["corpus_seed"]
+    body["scale"] = request["scale"]
+    if not request["include_findings"]:
+        del body["findings"]
+    return body
+
+
+def handle_replay(request: dict) -> dict:
+    from repro.campaign.results import _VOLATILE_KEYS, findings_digest
+    from repro.campaign.runner import run_seed
+
+    record = run_seed(request["seed"], base_seed=request["base_seed"],
+                      mutations_per_seed=request["mutations"],
+                      scale=request["scale"],
+                      phys_mb=request["phys_mb"], trace_events=0)
+    digest = findings_digest({request["seed"]: record})
+    return {
+        "seed": request["seed"],
+        "findings_digest": digest,
+        "record": {key: value for key, value in sorted(record.items())
+                   if key not in _VOLATILE_KEYS},
+    }
+
+
+def handle_chaos(request: dict) -> dict:
+    """One phase-A workload under the plan's kernel-layer rules.
+
+    The caller (the server) already holds the exclusive request lock:
+    this handler installs a process-global fault plan via
+    ``faults.session`` inside ``_run_workload`` and must never run
+    concurrently with any other request.
+    """
+    from repro.faults.chaos import WorkloadOutcome, _run_workload
+    from repro.faults.spec import FaultSpec, standard_spec
+
+    if request["plan"] is not None:
+        spec = FaultSpec.from_json(request["plan"])
+    else:
+        spec = standard_spec(request["plan_seed"])
+    kernel_spec, _tooling = spec.split()
+    plan = kernel_spec.compile(stream=request["stream"]) \
+        if kernel_spec.rules else None
+    name = request["workload"]
+    try:
+        outcome = _run_workload(name, plan, seed=request["seed"],
+                                rounds=request["rounds"],
+                                commands=request["commands"],
+                                profile_boots=0)
+    except faults.InjectedFault as exc:
+        outcome = WorkloadOutcome(
+            name, False, detail=f"unrecovered injected fault: {exc}",
+            unrecovered_site=exc.site)
+    except Exception as exc:  # mirror run_chaos: crash -> report entry
+        outcome = WorkloadOutcome(
+            name, False, detail=f"workload crashed under faults: {exc!r}")
+    status = "ok" if outcome.ok else "UNRECOVERED"
+    line = (f"workload {outcome.name}: {status} "
+            f"({outcome.recovered} fault(s) recovered; "
+            f"{outcome.detail})")
+    return {
+        "workload": name,
+        "ok": outcome.ok,
+        "recovered": outcome.recovered,
+        "detail": outcome.detail,
+        "unrecovered_site": outcome.unrecovered_site,
+        "fired": plan.fired_counts() if plan is not None else {},
+        "line": line,
+    }

@@ -1,0 +1,343 @@
+"""``repro-dma loadgen``: drive the daemon with a mixed request load.
+
+Replays a deterministic schedule -- a weighted mix of analyze, replay,
+and chaos requests -- at a target aggregate RPS over N concurrent
+connections, and measures what the serving layer promises:
+
+* **latency** per request type (pow-2 histogram + percentiles),
+* **throughput** (achieved RPS vs target),
+* **warm-vs-cold speedup**: the p50 of warm served ``analyze``
+  requests against one in-process *uncached* one-shot analysis of the
+  same corpus (corpus generation included -- that is what a cold CLI
+  run pays).
+
+Results merge into the repo's perf pipeline: a ``serve`` section in
+``BENCH_perf.json`` and an appended ``BENCH_history.jsonl`` record
+with its own config signature, so the serving numbers get the same
+trajectory treatment as the SPADE/campaign benchmarks.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.errors import ServeError
+from repro.metrics.registry import Histogram
+from repro.perfcache.history import HISTORY_SCHEMA
+from repro.serve.client import ServeClient
+
+LOADGEN_SCHEMA = 1
+
+DEFAULT_MIX = {"analyze": 6, "replay": 3, "chaos": 1}
+
+
+@dataclass
+class LoadgenConfig:
+    nr_requests: int = 50
+    connections: int = 4
+    rps: float = 20.0
+    mix: dict = field(default_factory=lambda: dict(DEFAULT_MIX))
+    seed: int = 0
+    retries: int = 5
+    #: analyze knobs
+    corpus_seed: int = 2021
+    scale: float = 0.25
+    #: replay knobs (deliberately smaller: replays boot kernels)
+    replay_scale: float = 0.1
+    replay_seeds: int = 4
+    replay_mutations: int = 3
+    #: chaos knobs
+    chaos_rounds: int = 6
+    chaos_commands: int = 8
+    chaos_plan_seed: int = 0
+    #: measure the uncached one-shot baseline for the speedup ratio
+    cold_baseline: bool = True
+
+
+def parse_mix(text: str) -> dict:
+    """``analyze=6,replay=3,chaos=1`` -> weight dict."""
+    mix = {}
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        name, _, weight = part.partition("=")
+        if name not in ("analyze", "replay", "chaos", "ping"):
+            raise ServeError(f"unknown request type in mix: {name!r}")
+        try:
+            mix[name] = int(weight) if weight else 1
+        except ValueError:
+            raise ServeError(f"bad mix weight: {part!r}")
+        if mix[name] < 0:
+            raise ServeError(f"mix weight must be >= 0: {part!r}")
+    if not any(mix.values()):
+        raise ServeError(f"mix has no positive weight: {text!r}")
+    return mix
+
+
+def build_schedule(config: LoadgenConfig) -> list[dict]:
+    """The request list, a pure function of the config.
+
+    Types interleave by weighted round-robin (no RNG: two loadgen runs
+    with one config send byte-identical request streams, which keeps
+    load results comparable across runs and machines).
+    """
+    weights = {name: weight for name, weight in config.mix.items()
+               if weight > 0}
+    total = sum(weights.values())
+    schedule = []
+    credits = {name: 0.0 for name in weights}
+    replay_next = 0
+    for index in range(config.nr_requests):
+        for name in credits:
+            credits[name] += weights[name] / total
+        chosen = max(sorted(credits), key=lambda name: credits[name])
+        credits[chosen] -= 1.0
+        if chosen == "analyze":
+            request = {"type": "analyze",
+                       "corpus_seed": config.corpus_seed,
+                       "scale": config.scale,
+                       "include_findings": False}
+        elif chosen == "replay":
+            request = {"type": "replay",
+                       "seed": 1 + replay_next % config.replay_seeds,
+                       "scale": config.replay_scale,
+                       "mutations": config.replay_mutations}
+            replay_next += 1
+        elif chosen == "chaos":
+            request = {"type": "chaos", "workload": "storage",
+                       "plan_seed": config.chaos_plan_seed,
+                       "stream": index,
+                       "rounds": config.chaos_rounds,
+                       "commands": config.chaos_commands}
+        else:
+            request = {"type": "ping"}
+        request["id"] = index
+        schedule.append(request)
+    return schedule
+
+
+def measure_cold_oneshot(config: LoadgenConfig) -> float:
+    """Wall-clock of one fully cold, uncached analyze in this process.
+
+    Matches what ``repro-dma audit`` pays on a cold machine: corpus
+    generation plus the whole parse/index/classify pipeline, with
+    every cache disabled so no earlier warm run can flatter the
+    baseline.
+    """
+    from repro.core.spade.analyzer import Spade
+    from repro.corpus import CorpusGenerator
+    from repro.corpus.linux50 import scaled_composition
+    from repro.perfcache.store import PerfCache
+
+    start = time.perf_counter()
+    tree, _manifest = CorpusGenerator(
+        seed=config.corpus_seed,
+        composition=scaled_composition(config.scale)).generate()
+    Spade(tree, cache=PerfCache(None, enabled=False)).analyze()
+    return time.perf_counter() - start
+
+
+def _percentile(ordered: list[float], fraction: float) -> float:
+    index = min(len(ordered) - 1,
+                max(0, int(round(fraction * (len(ordered) - 1)))))
+    return ordered[index]
+
+
+@dataclass
+class _Result:
+    rtype: str
+    latency_s: float
+    ok: bool
+    error: str = ""
+
+
+def run_loadgen(config: LoadgenConfig, *,
+                socket_path: str | None = None,
+                host: str | None = None,
+                port: int | None = None) -> dict:
+    """Run the schedule against a live daemon; returns the report."""
+    schedule = build_schedule(config)
+    results: list[_Result | None] = [None] * len(schedule)
+    started = time.perf_counter()
+
+    def drive(connection_index: int) -> None:
+        client = ServeClient(socket_path, host=host, port=port,
+                             retries=config.retries)
+        try:
+            for index in range(connection_index, len(schedule),
+                               config.connections):
+                request = schedule[index]
+                if config.rps > 0:
+                    not_before = started + index / config.rps
+                    delay = not_before - time.perf_counter()
+                    if delay > 0:
+                        time.sleep(delay)
+                begin = time.perf_counter()
+                try:
+                    client.request(request)
+                    ok, error = True, ""
+                except ServeError as exc:
+                    ok, error = False, str(exc)
+                results[index] = _Result(request["type"],
+                                         time.perf_counter() - begin,
+                                         ok, error)
+        finally:
+            client.close()
+
+    threads = [threading.Thread(target=drive, args=(index,),
+                                name=f"loadgen-{index}", daemon=True)
+               for index in range(min(config.connections,
+                                      len(schedule)))]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed_s = time.perf_counter() - started
+
+    completed = [result for result in results if result is not None]
+    failed = [result for result in completed if not result.ok]
+    by_type: dict[str, list[float]] = {}
+    histograms: dict[str, Histogram] = {}
+    for result in completed:
+        if result.ok:
+            by_type.setdefault(result.rtype, []).append(
+                result.latency_s)
+            histogram = histograms.setdefault(result.rtype,
+                                              Histogram())
+            histogram.observe(result.latency_s * 1000.0)
+
+    latency = {}
+    for rtype, values in sorted(by_type.items()):
+        ordered = sorted(values)
+        latency[rtype] = {
+            "count": len(ordered),
+            "min_s": round(ordered[0], 6),
+            "p50_s": round(_percentile(ordered, 0.50), 6),
+            "p95_s": round(_percentile(ordered, 0.95), 6),
+            "p99_s": round(_percentile(ordered, 0.99), 6),
+            "max_s": round(ordered[-1], 6),
+            "mean_s": round(sum(ordered) / len(ordered), 6),
+            "histogram_ms": histograms[rtype].to_json(),
+        }
+
+    report = {
+        "schema": LOADGEN_SCHEMA,
+        "config": {
+            "nr_requests": config.nr_requests,
+            "connections": config.connections,
+            "target_rps": config.rps,
+            "mix": dict(sorted(config.mix.items())),
+            "scale": config.scale,
+            "corpus_seed": config.corpus_seed,
+            "replay_scale": config.replay_scale,
+            "seed": config.seed,
+        },
+        "elapsed_s": round(elapsed_s, 4),
+        "achieved_rps": round(len(completed) / elapsed_s, 4)
+        if elapsed_s else 0.0,
+        "nr_sent": len(completed),
+        "nr_failed": len(failed),
+        "failures": [{"type": result.rtype, "error": result.error}
+                     for result in failed[:8]],
+        "latency": latency,
+    }
+    if config.cold_baseline and "analyze" in latency:
+        cold_s = measure_cold_oneshot(config)
+        warm_s = latency["analyze"]["p50_s"]
+        report["oneshot_cold_s"] = round(cold_s, 6)
+        report["warm_analyze_p50_s"] = warm_s
+        report["speedup_warm_vs_cold"] = round(cold_s / warm_s, 2) \
+            if warm_s else None
+    report["ok"] = not failed
+    return report
+
+
+def format_loadgen_report(report: dict) -> str:
+    lines = [f"loadgen: {report['nr_sent']} request(s) over "
+             f"{report['config']['connections']} connection(s) in "
+             f"{report['elapsed_s']}s "
+             f"({report['achieved_rps']} req/s achieved, "
+             f"{report['config']['target_rps']} targeted)"]
+    for rtype, stats in report["latency"].items():
+        lines.append(f"  {rtype:8s} n={stats['count']:<4d} "
+                     f"p50 {stats['p50_s'] * 1000:.1f}ms  "
+                     f"p95 {stats['p95_s'] * 1000:.1f}ms  "
+                     f"max {stats['max_s'] * 1000:.1f}ms")
+    if "speedup_warm_vs_cold" in report:
+        lines.append(f"  warm analyze p50 "
+                     f"{report['warm_analyze_p50_s'] * 1000:.1f}ms vs "
+                     f"cold one-shot "
+                     f"{report['oneshot_cold_s'] * 1000:.1f}ms: "
+                     f"{report['speedup_warm_vs_cold']}x speedup")
+    if report["nr_failed"]:
+        lines.append(f"  FAILED: {report['nr_failed']} request(s), "
+                     f"first: {report['failures'][0]['error']}")
+    lines.append(f"loadgen verdict: "
+                 f"{'PASS' if report['ok'] else 'FAIL'}")
+    return "\n".join(lines)
+
+
+# -- the BENCH pipeline ----------------------------------------------------
+
+def serve_signature(report: dict) -> str:
+    """Config signature for history comparability (serve-prefixed so
+    serve records never gate against SPADE/campaign bench records)."""
+    config = report.get("config", {})
+    mix = ",".join(f"{name}:{weight}" for name, weight
+                   in sorted(config.get("mix", {}).items()))
+    return (f"serve:requests={config.get('nr_requests')}"
+            f",connections={config.get('connections')}"
+            f",rps={config.get('target_rps')}"
+            f",scale={config.get('scale')}"
+            f",mix={mix}")
+
+
+def serve_history_record(report: dict) -> dict:
+    from repro import __version__
+    metrics = {
+        "serve_achieved_rps": report.get("achieved_rps"),
+        "serve_oneshot_cold_s": report.get("oneshot_cold_s"),
+        "serve_warm_analyze_p50_s": report.get("warm_analyze_p50_s"),
+        "serve_speedup_warm_vs_cold":
+            report.get("speedup_warm_vs_cold"),
+    }
+    for rtype, stats in report.get("latency", {}).items():
+        metrics[f"serve_{rtype}_p50_s"] = stats.get("p50_s")
+    return {
+        "schema": HISTORY_SCHEMA,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ",
+                                   time.gmtime()),
+        "version": __version__,
+        "signature": serve_signature(report),
+        "ok": report.get("ok"),
+        "metrics": {name: float(value)
+                    for name, value in metrics.items()
+                    if isinstance(value, (int, float))},
+    }
+
+
+def merge_into_bench(report: dict, path: str) -> None:
+    """Fold the loadgen numbers into ``BENCH_perf.json`` as a ``serve``
+    section, preserving whatever the bench command wrote there."""
+    doc: dict = {}
+    try:
+        with open(path, encoding="utf-8") as handle:
+            existing = json.load(handle)
+        if isinstance(existing, dict):
+            doc = existing
+    except (OSError, ValueError):
+        pass
+    doc["serve"] = report
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    tmp = f"{path}.tmp-{os.getpid()}"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(doc, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    os.replace(tmp, path)

@@ -1,0 +1,193 @@
+"""Wire protocol for ``repro-dma serve``: newline-delimited JSON.
+
+One request per line, one response line per request.  Pipelining is
+allowed (a client may write many lines before reading) and responses
+may complete out of order across workers, so requests carry an ``id``
+the response echoes.  Both sides emit *canonical* JSON -- sorted keys, no
+whitespace -- so a response is a deterministic function of the request
+and the code version: the differential invariant ("the server answers
+byte-identically to the one-shot CLI") is checked by comparing bytes,
+not parsed structures.
+
+Responses deliberately carry **no wall-clock fields**.  Latency lives
+in the serve metrics subsystem and in the load generator's histogram,
+never in the payload, because a timestamp would break byte-identity
+between repeated requests.
+
+Request documents::
+
+    {"type": "ping", "id": 1}
+    {"type": "analyze", "corpus_seed": 2021, "scale": 0.25}
+    {"type": "replay", "seed": 3, "scale": 0.1, "mutations": 3}
+    {"type": "chaos", "workload": "storage", "plan_seed": 7}
+
+Every request is validated and *normalized* (defaults filled in) before
+it reaches a worker, so two logically identical requests coalesce to
+the same batch key even when one spelled out the defaults.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+from repro.errors import ServeError
+
+PROTOCOL_SCHEMA = 1
+
+#: a request line longer than this is a protocol error, not a request
+MAX_LINE_BYTES = 4 << 20
+
+REQUEST_TYPES = ("ping", "analyze", "replay", "chaos")
+
+#: chaos requests run one phase-A workload each; ringflood is excluded
+#: because its replica-profiling boots make a single request unbounded
+CHAOS_WORKLOADS = ("compile-ping", "storage")
+
+STATUS_OK = "ok"
+STATUS_ERROR = "error"
+#: admission control turned the request away (queue full) -- the
+#: NDJSON analogue of HTTP 429; the client may retry
+STATUS_REJECTED = "rejected"
+#: an injected ``serve.request_abort`` fault killed the request after
+#: admission; the client may retry
+STATUS_ABORTED = "aborted"
+
+RETRYABLE_STATUSES = (STATUS_REJECTED, STATUS_ABORTED)
+
+
+def canonical_json(doc) -> str:
+    """The one true serialization: sorted keys, no whitespace."""
+    return json.dumps(doc, sort_keys=True, separators=(",", ":"))
+
+
+def encode_line(doc: dict) -> bytes:
+    return canonical_json(doc).encode("utf-8") + b"\n"
+
+
+def payload_digest(doc) -> str:
+    """Hex SHA-256 of the canonical serialization of *doc*."""
+    return hashlib.sha256(canonical_json(doc).encode("utf-8")).hexdigest()
+
+
+def _require(doc: dict, field: str, kinds, default=None, *,
+             positive: bool = False):
+    value = doc.get(field, default)
+    if value is None:
+        raise ServeError(f"request field {field!r} is required")
+    if kinds is float and isinstance(value, int) \
+            and not isinstance(value, bool):
+        value = float(value)
+    if not isinstance(value, kinds) or isinstance(value, bool):
+        raise ServeError(f"request field {field!r}: expected "
+                         f"{getattr(kinds, '__name__', kinds)}, "
+                         f"got {value!r}")
+    if positive and value <= 0:
+        raise ServeError(f"request field {field!r} must be > 0, "
+                         f"got {value!r}")
+    return value
+
+
+def parse_request(line: bytes) -> dict:
+    """Decode and validate one request line into a normalized dict.
+
+    Raises :class:`~repro.errors.ServeError` on anything malformed;
+    the server turns that into a ``status: error`` response without
+    admitting the request.
+    """
+    if len(line) > MAX_LINE_BYTES:
+        raise ServeError(f"request line exceeds {MAX_LINE_BYTES} bytes")
+    try:
+        doc = json.loads(line.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise ServeError(f"request is not valid JSON: {exc}") from None
+    if not isinstance(doc, dict):
+        raise ServeError("request must be a JSON object")
+    return normalize_request(doc)
+
+
+def normalize_request(doc: dict) -> dict:
+    rtype = doc.get("type")
+    if rtype not in REQUEST_TYPES:
+        raise ServeError(f"unknown request type {rtype!r} "
+                         f"(expected one of {REQUEST_TYPES})")
+    request: dict = {"type": rtype}
+    request_id = doc.get("id")
+    if request_id is not None:
+        if not isinstance(request_id, (int, str)) \
+                or isinstance(request_id, bool):
+            raise ServeError(f"request id must be int or str, "
+                             f"got {request_id!r}")
+        request["id"] = request_id
+    if rtype == "ping":
+        request["sleep_ms"] = _require(doc, "sleep_ms", float, 0.0)
+    elif rtype == "analyze":
+        request["corpus_seed"] = _require(doc, "corpus_seed", int, 2021)
+        request["scale"] = _require(doc, "scale", float, 1.0,
+                                    positive=True)
+        include = doc.get("include_findings", True)
+        if not isinstance(include, bool):
+            raise ServeError("request field 'include_findings' "
+                             "must be a bool")
+        request["include_findings"] = include
+    elif rtype == "replay":
+        request["seed"] = _require(doc, "seed", int)
+        request["base_seed"] = _require(doc, "base_seed", int, 2021)
+        request["mutations"] = _require(doc, "mutations", int, 6,
+                                        positive=True)
+        request["scale"] = _require(doc, "scale", float, 1.0,
+                                    positive=True)
+        request["phys_mb"] = _require(doc, "phys_mb", int, 256,
+                                      positive=True)
+    else:  # chaos
+        workload = doc.get("workload", "compile-ping")
+        if workload not in CHAOS_WORKLOADS:
+            raise ServeError(f"unknown chaos workload {workload!r} "
+                             f"(expected one of {CHAOS_WORKLOADS})")
+        request["workload"] = workload
+        plan = doc.get("plan")
+        if plan is not None and not isinstance(plan, dict):
+            raise ServeError("request field 'plan' must be a fault-spec "
+                             "object")
+        request["plan"] = plan
+        request["plan_seed"] = _require(doc, "plan_seed", int, 0)
+        request["stream"] = _require(doc, "stream", int, 0)
+        request["seed"] = _require(doc, "seed", int, 5)
+        request["rounds"] = _require(doc, "rounds", int, 40,
+                                     positive=True)
+        request["commands"] = _require(doc, "commands", int, 48,
+                                       positive=True)
+    return request
+
+
+def batch_key(request: dict) -> str | None:
+    """Coalescing key: identical in-flight computations share one run.
+
+    Only ``analyze`` coalesces -- its result is a pure function of
+    ``(corpus_seed, scale)`` and expensive enough to be worth sharing.
+    Replay and chaos are cheap and stateful (fault plans count their
+    own firings), so each admitted request computes alone.
+    """
+    if request["type"] != "analyze":
+        return None
+    return f"analyze:{request['corpus_seed']}:{request['scale']!r}"
+
+
+def response_for(request: dict, body: dict, *,
+                 status: str = STATUS_OK) -> dict:
+    """Assemble a response doc: type/status/id envelope + *body*."""
+    response = {"type": request.get("type", "unknown"),
+                "status": status}
+    if "id" in request:
+        response["id"] = request["id"]
+    response.update(body)
+    return response
+
+
+def error_response(request: dict | None, message: str, *,
+                   status: str = STATUS_ERROR) -> dict:
+    response = {"type": (request or {}).get("type", "unknown"),
+                "status": status, "error": message}
+    if request and "id" in request:
+        response["id"] = request["id"]
+    return response

@@ -1,0 +1,690 @@
+"""The ``repro-dma serve`` daemon: SPADE-as-a-service.
+
+A long-lived analysis server over a Unix or TCP socket.  The process
+pays the expensive setup once -- corpus generation, parse/index work,
+interned layouts, the perfcache tiers -- and every later request rides
+the warm state, which is what makes a served ``analyze`` an order of
+magnitude faster than a cold one-shot CLI run.
+
+Architecture::
+
+    accept thread ──> per-connection reader threads
+                          │  parse + validate (protocol errors answered
+                          │  inline, never admitted)
+                          ▼
+                   bounded request queue  ── full? ──> "rejected"
+                          │                             (429-style)
+                          ▼
+                   N worker threads ──> handlers ──> response line
+
+Admission control is the bounded queue: when ``queue_bound`` requests
+are already waiting, new work is *explicitly rejected* with a
+retryable status instead of queueing without bound -- overload
+degrades into fast, honest refusals, never into unbounded memory.
+
+Per-request isolation: workers call
+:func:`repro.metrics.reset_for_request` and
+:func:`repro.trace.unbind_clock` after every request, so one request's
+kernel never leaks into the next request's exports.  Shared *read-only*
+state -- the corpus LRU, the perfcache tiers, interned layouts -- is
+what makes warm serving fast; shared *mutable* singletons (the fault
+engine) are guarded by an exclusive request lock: ``chaos`` requests
+run alone, everything else shares.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from queue import Empty, Full, Queue
+
+from repro import faults, metrics, trace
+from repro.errors import ServeError
+from repro.metrics.registry import Histogram
+from repro.serve import handlers
+from repro.serve.protocol import (STATUS_ABORTED, STATUS_REJECTED,
+                                  batch_key, encode_line, error_response,
+                                  parse_request, response_for)
+
+DEFAULT_WORKERS = 2
+DEFAULT_QUEUE_BOUND = 16
+DEFAULT_MEMORY_BUDGET_MIB = 64
+
+
+def _env_int(environ, name: str, default: int) -> int:
+    raw = environ.get(name)
+    if raw is None:
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ServeError(f"{name}={raw!r}: not an integer")
+    if value <= 0:
+        raise ServeError(f"{name} must be > 0, got {value}")
+    return value
+
+
+@dataclass
+class ServeConfig:
+    """Daemon knobs; every one has a ``REPRO_SERVE_*`` env override."""
+
+    socket_path: str | None = None
+    host: str | None = None
+    port: int = 0
+    workers: int = DEFAULT_WORKERS
+    queue_bound: int = DEFAULT_QUEUE_BOUND
+    memory_budget_bytes: int = DEFAULT_MEMORY_BUDGET_MIB << 20
+    #: honor ``ping.sleep_ms`` -- load tests only, never production
+    allow_debug_sleep: bool = False
+    #: install a process-wide metrics registry when none is active
+    #: (tests hosting a daemon next to their own sessions turn it off)
+    install_metrics: bool = True
+    #: pre-run one analyze at this scale before accepting connections
+    warmup_scale: float | None = None
+    warmup_corpus_seed: int = 2021
+
+    @classmethod
+    def from_env(cls, environ=None, **overrides) -> "ServeConfig":
+        environ = os.environ if environ is None else environ
+        config = cls(
+            socket_path=environ.get("REPRO_SERVE_SOCKET"),
+            workers=_env_int(environ, "REPRO_SERVE_WORKERS",
+                             DEFAULT_WORKERS),
+            queue_bound=_env_int(environ, "REPRO_SERVE_QUEUE",
+                                 DEFAULT_QUEUE_BOUND),
+            memory_budget_bytes=_env_int(
+                environ, "REPRO_SERVE_MEM_BUDGET",
+                DEFAULT_MEMORY_BUDGET_MIB) << 20,
+        )
+        for name, value in overrides.items():
+            if value is not None:
+                setattr(config, name, value)
+        return config
+
+
+class ServeStats:
+    """Cumulative daemon counters + per-type latency histograms.
+
+    Updated under one lock (requests are milliseconds-long; the lock
+    is not contended at realistic request rates) and mirrored into the
+    ``serve`` metrics subsystem, which survives
+    :func:`~repro.metrics.reset_for_request` by design.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.requests: dict[tuple[str, str], int] = {}
+        self.connections = 0
+        self.protocol_errors = 0
+        self.rejected = 0
+        self.aborted = 0
+        self.accept_drops = 0
+        self.batched = 0
+        self.inflight = 0
+        self.corpus_hits = 0
+        self.corpus_misses = 0
+        self.corpus_evictions = 0
+        self.latency_ms: dict[str, Histogram] = {}
+
+    def note_connection(self) -> None:
+        with self._lock:
+            self.connections += 1
+
+    def note_protocol_error(self) -> None:
+        with self._lock:
+            self.protocol_errors += 1
+
+    def note_accept_drop(self) -> None:
+        with self._lock:
+            self.accept_drops += 1
+        metrics.count("serve", "accept_drops")
+
+    def note_batched(self) -> None:
+        with self._lock:
+            self.batched += 1
+        metrics.count("serve", "batched_requests")
+
+    def begin_request(self) -> None:
+        with self._lock:
+            self.inflight += 1
+
+    def finish_request(self, rtype: str, status: str,
+                       latency_ms: float | None = None) -> None:
+        with self._lock:
+            self.inflight -= 1
+            key = (rtype, status)
+            self.requests[key] = self.requests.get(key, 0) + 1
+            if status == STATUS_REJECTED:
+                self.rejected += 1
+            elif status == STATUS_ABORTED:
+                self.aborted += 1
+            if latency_ms is not None:
+                histogram = self.latency_ms.get(rtype)
+                if histogram is None:
+                    histogram = self.latency_ms[rtype] = Histogram()
+                histogram.observe(latency_ms)
+        metrics.count("serve", "requests", type=rtype, status=status)
+        if latency_ms is not None:
+            metrics.observe("serve", "latency_ms", latency_ms,
+                            type=rtype)
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "requests": {f"{rtype}/{status}": count
+                             for (rtype, status), count
+                             in sorted(self.requests.items())},
+                "connections": self.connections,
+                "protocol_errors": self.protocol_errors,
+                "rejected": self.rejected,
+                "aborted": self.aborted,
+                "accept_drops": self.accept_drops,
+                "batched": self.batched,
+                "inflight": self.inflight,
+                "corpus_hits": self.corpus_hits,
+                "corpus_misses": self.corpus_misses,
+                "corpus_evictions": self.corpus_evictions,
+                "latency_ms": {rtype: histogram.to_json()
+                               for rtype, histogram
+                               in sorted(self.latency_ms.items())},
+            }
+
+
+class _Flight:
+    """One in-flight shared computation (single-flight coalescing)."""
+
+    __slots__ = ("event", "value", "error")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.value = None
+        self.error: BaseException | None = None
+
+    def resolve(self, value) -> None:
+        self.value = value
+        self.event.set()
+
+    def reject(self, error: BaseException) -> None:
+        self.error = error
+        self.event.set()
+
+    def result(self):
+        self.event.wait()
+        if self.error is not None:
+            raise self.error
+        return self.value
+
+
+class CorpusLru:
+    """Materialized corpora under a byte budget, LRU-evicted.
+
+    A generated :class:`~repro.corpus.generate.SourceTree` at full
+    scale is tens of megabytes of synthetic C; a daemon serving many
+    ``(corpus_seed, scale)`` combinations must not keep them all.
+    Entries are charged the sum of their file contents; when the
+    budget is exceeded the least recently used corpora are dropped
+    (the newest entry always survives, even alone over budget --
+    evicting the corpus a request needs right now would livelock).
+    Generation single-flights per key so a thundering herd of
+    identical cold requests generates once.
+    """
+
+    def __init__(self, budget_bytes: int, stats: ServeStats) -> None:
+        self._budget = budget_bytes
+        self._stats = stats
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[tuple, tuple]" = OrderedDict()
+        self._bytes = 0
+        self._flights: dict[tuple, _Flight] = {}
+
+    @property
+    def total_bytes(self) -> int:
+        with self._lock:
+            return self._bytes
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get(self, corpus_seed: int, scale: float):
+        """``(tree, manifest)`` for the keyed corpus, generating once."""
+        key = (corpus_seed, repr(scale))
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                with self._stats._lock:
+                    self._stats.corpus_hits += 1
+                return entry[0], entry[1]
+            flight = self._flights.get(key)
+            leader = flight is None
+            if leader:
+                flight = self._flights[key] = _Flight()
+        if not leader:
+            return flight.result()
+        try:
+            pair = self._generate(corpus_seed, scale)
+            nbytes = sum(len(content)
+                         for content in pair[0].files.values())
+            with self._lock:
+                self._entries[key] = (*pair, nbytes)
+                self._bytes += nbytes
+                with self._stats._lock:
+                    self._stats.corpus_misses += 1
+                while self._bytes > self._budget \
+                        and len(self._entries) > 1:
+                    _, (_t, _m, dropped) = self._entries.popitem(
+                        last=False)
+                    self._bytes -= dropped
+                    with self._stats._lock:
+                        self._stats.corpus_evictions += 1
+            flight.resolve(pair)
+            return pair
+        except BaseException as exc:
+            flight.reject(exc)
+            raise
+        finally:
+            with self._lock:
+                self._flights.pop(key, None)
+
+    @staticmethod
+    def _generate(corpus_seed: int, scale: float):
+        from repro.corpus import CorpusGenerator
+        from repro.corpus.linux50 import scaled_composition
+        if scale == 1.0:
+            return CorpusGenerator(seed=corpus_seed).generate()
+        return CorpusGenerator(
+            seed=corpus_seed,
+            composition=scaled_composition(scale)).generate()
+
+
+class _RwLock:
+    """Reader-writer lock with writer preference.
+
+    ``analyze``/``replay``/``ping`` requests hold it shared; ``chaos``
+    holds it exclusive because the fault engine is a process-global
+    singleton (``faults.session`` swaps the active plan) and its fire
+    counters are per-plan, not per-thread.  Writer preference keeps a
+    queued chaos request from starving behind a steady analyze stream.
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer = False
+        self._waiting_writers = 0
+
+    def acquire_shared(self) -> None:
+        with self._cond:
+            while self._writer or self._waiting_writers:
+                self._cond.wait()
+            self._readers += 1
+
+    def release_shared(self) -> None:
+        with self._cond:
+            self._readers -= 1
+            if not self._readers:
+                self._cond.notify_all()
+
+    def acquire_exclusive(self) -> None:
+        with self._cond:
+            self._waiting_writers += 1
+            try:
+                while self._writer or self._readers:
+                    self._cond.wait()
+            finally:
+                self._waiting_writers -= 1
+            self._writer = True
+
+    def release_exclusive(self) -> None:
+        with self._cond:
+            self._writer = False
+            self._cond.notify_all()
+
+
+def serve_collector(server: "AnalysisServer"):
+    """Pull-model collector publishing daemon state under ``serve``."""
+
+    def collect(registry) -> None:
+        stats = server.stats
+        registry.gauge("serve", "queue_depth").set(server.queue_depth)
+        with stats._lock:
+            registry.gauge("serve", "inflight").set(stats.inflight)
+            registry.counter("serve", "connections").set(
+                stats.connections)
+            registry.counter("serve", "protocol_errors").set(
+                stats.protocol_errors)
+            registry.counter("serve", "rejected").set(stats.rejected)
+            hits, misses = stats.corpus_hits, stats.corpus_misses
+            registry.counter("serve", "corpus_hits").set(hits)
+            registry.counter("serve", "corpus_misses").set(misses)
+            registry.counter("serve", "corpus_evictions").set(
+                stats.corpus_evictions)
+            registry.gauge("serve", "cache_hit_ratio").set(
+                round(hits / (hits + misses), 4) if hits + misses
+                else 0.0)
+        registry.gauge("serve", "corpus_bytes").set(
+            server.corpora.total_bytes)
+        registry.gauge("serve", "corpus_entries").set(
+            len(server.corpora))
+
+    return collect
+
+
+@dataclass(eq=False)
+class _Connection:
+    sock: socket.socket
+    write_lock: threading.Lock = field(default_factory=threading.Lock)
+
+    def send(self, doc: dict) -> None:
+        data = encode_line(doc)
+        with self.write_lock:
+            self.sock.sendall(data)
+
+
+_STOP = object()
+
+
+class AnalysisServer:
+    """The daemon: accept loop, reader threads, bounded worker pool."""
+
+    def __init__(self, config: ServeConfig | None = None) -> None:
+        self.config = config or ServeConfig()
+        self.stats = ServeStats()
+        self.corpora = CorpusLru(self.config.memory_budget_bytes,
+                                 self.stats)
+        self._queue: Queue = Queue(maxsize=self.config.queue_bound)
+        self._flights: dict[str, _Flight] = {}
+        self._flights_lock = threading.Lock()
+        self._request_lock = _RwLock()
+        self._stop = threading.Event()
+        self._threads: list[threading.Thread] = []
+        self._connections: set = set()
+        self._connections_lock = threading.Lock()
+        self._listener: socket.socket | None = None
+        self._installed_registry = None
+        self.address: tuple[str, int] | str | None = None
+
+    # -- lifecycle -------------------------------------------------------
+
+    def start(self):
+        """Bind, warm up, and begin serving; returns the bound address
+        (a path for Unix sockets, ``(host, port)`` for TCP)."""
+        if self._listener is not None:
+            raise ServeError("server already started")
+        if self.config.install_metrics and metrics.active() is None \
+                and metrics.enabled_in_env():
+            self._installed_registry = metrics.install()
+        registry = metrics.active() if self.config.install_metrics \
+            else None
+        if registry is not None:
+            registry.register_collector(serve_collector(self),
+                                        slot="serve")
+        self._listener = self._bind()
+        if self.config.warmup_scale:
+            pair = self.corpora.get(self.config.warmup_corpus_seed,
+                                    self.config.warmup_scale)
+            handlers.analyze_corpus(*pair)
+        for index in range(self.config.workers):
+            self._spawn(self._worker, f"serve-worker-{index}")
+        self._spawn(self._accept_loop, "serve-accept")
+        return self.address
+
+    def _bind(self) -> socket.socket:
+        config = self.config
+        if config.socket_path:
+            if os.path.exists(config.socket_path):
+                os.unlink(config.socket_path)
+            listener = socket.socket(socket.AF_UNIX,
+                                     socket.SOCK_STREAM)
+            listener.bind(config.socket_path)
+            self.address = config.socket_path
+        else:
+            listener = socket.socket(socket.AF_INET,
+                                     socket.SOCK_STREAM)
+            listener.setsockopt(socket.SOL_SOCKET,
+                                socket.SO_REUSEADDR, 1)
+            listener.bind((config.host or "127.0.0.1", config.port))
+            self.address = listener.getsockname()
+        listener.listen(128)
+        # closing a socket does not reliably wake a thread blocked in
+        # accept() on Linux; a poll timeout bounds shutdown latency
+        listener.settimeout(0.5)
+        return listener
+
+    def _spawn(self, target, name: str) -> None:
+        thread = threading.Thread(target=target, name=name, daemon=True)
+        thread.start()
+        self._threads.append(thread)
+
+    def request_shutdown(self) -> None:
+        """Signal-safe: ask the daemon to drain and stop."""
+        self._stop.set()
+        listener = self._listener
+        if listener is not None:
+            try:
+                listener.close()
+            except OSError:
+                pass
+
+    def wait(self, timeout: float | None = None) -> bool:
+        return self._stop.wait(timeout)
+
+    def stop(self) -> None:
+        """Drain the queue, join every thread, release the socket."""
+        self.request_shutdown()
+        for _ in range(self.config.workers):
+            self._queue.put(_STOP)
+        with self._connections_lock:
+            doomed = list(self._connections)
+        for connection in doomed:
+            try:
+                connection.sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                connection.sock.close()
+            except OSError:
+                pass
+        for thread in self._threads:
+            thread.join(timeout=10)
+        self._threads.clear()
+        if isinstance(self.address, str):
+            try:
+                os.unlink(self.address)
+            except OSError:
+                pass
+        self._listener = None
+        registry = metrics.active() if self.config.install_metrics \
+            else None
+        if registry is not None:
+            registry.unregister_collector("serve")
+        if self._installed_registry is not None \
+                and metrics.active() is self._installed_registry:
+            metrics.uninstall()
+            self._installed_registry = None
+
+    def __enter__(self) -> "AnalysisServer":
+        self.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    @property
+    def queue_depth(self) -> int:
+        return self._queue.qsize()
+
+    # -- accept / read ---------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        listener = self._listener
+        while not self._stop.is_set():
+            try:
+                sock, _addr = listener.accept()
+            except TimeoutError:
+                continue  # poll tick: re-check the stop flag
+            except OSError:
+                break  # listener closed by shutdown
+            if "serve.accept_drop" in faults.active_sites \
+                    and faults.fires("serve.accept_drop"):
+                # chaos weather: the daemon pretends the connection
+                # never happened; a well-behaved client reconnects
+                self.stats.note_accept_drop()
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+                continue
+            connection = _Connection(sock)
+            self.stats.note_connection()
+            with self._connections_lock:
+                self._connections.add(connection)
+            thread = threading.Thread(
+                target=self._read_loop, args=(connection,),
+                name="serve-conn", daemon=True)
+            thread.start()
+
+    def _read_loop(self, connection: _Connection) -> None:
+        try:
+            reader = connection.sock.makefile("rb")
+            for line in reader:
+                if self._stop.is_set():
+                    break
+                line = line.strip()
+                if not line:
+                    continue
+                self._admit(connection, line)
+        except (OSError, ValueError):
+            pass  # peer went away mid-read
+        finally:
+            with self._connections_lock:
+                self._connections.discard(connection)
+            try:
+                connection.sock.close()
+            except OSError:
+                pass
+
+    def _admit(self, connection: _Connection, line: bytes) -> None:
+        """Validate, then apply admission control (bounded queue)."""
+        try:
+            request = parse_request(line)
+        except ServeError as exc:
+            self.stats.note_protocol_error()
+            metrics.count("serve", "protocol_errors")
+            self._respond(connection, error_response(None, str(exc)))
+            return
+        try:
+            self._queue.put_nowait((connection, request))
+        except Full:
+            self.stats.begin_request()
+            self.stats.finish_request(request["type"], STATUS_REJECTED)
+            self._respond(connection, error_response(
+                request, f"queue full "
+                         f"({self.config.queue_bound} waiting); "
+                         f"retry later", status=STATUS_REJECTED))
+
+    def _respond(self, connection: _Connection, doc: dict) -> None:
+        try:
+            connection.send(doc)
+        except OSError:
+            pass  # peer went away mid-write; nothing to tell it
+
+    # -- execute ---------------------------------------------------------
+
+    def _worker(self) -> None:
+        while True:
+            try:
+                item = self._queue.get(timeout=0.5)
+            except Empty:
+                if self._stop.is_set():
+                    return
+                continue
+            if item is _STOP:
+                return
+            connection, request = item
+            self._execute(connection, request)
+
+    def _execute(self, connection: _Connection, request: dict) -> None:
+        import time
+        rtype = request["type"]
+        self.stats.begin_request()
+        if "serve.request_abort" in faults.active_sites \
+                and faults.fires("serve.request_abort"):
+            self.stats.finish_request(rtype, STATUS_ABORTED)
+            self._respond(connection, error_response(
+                request, "request aborted by injected fault; retry",
+                status=STATUS_ABORTED))
+            return
+        exclusive = rtype == "chaos"
+        started = time.perf_counter()
+        if exclusive:
+            self._request_lock.acquire_exclusive()
+        else:
+            self._request_lock.acquire_shared()
+        try:
+            body = self._dispatch(request)
+            response = response_for(request, body)
+            status = "ok"
+        except Exception as exc:
+            response = error_response(request, f"{type(exc).__name__}: "
+                                               f"{exc}")
+            status = "error"
+        finally:
+            try:
+                metrics.reset_for_request()
+            except RuntimeError:
+                pass  # racing a concurrent instrument insert
+            trace.unbind_clock()
+            if exclusive:
+                self._request_lock.release_exclusive()
+            else:
+                self._request_lock.release_shared()
+        latency_ms = (time.perf_counter() - started) * 1000.0
+        self.stats.finish_request(rtype, status, latency_ms)
+        self._respond(connection, response)
+
+    def _dispatch(self, request: dict) -> dict:
+        rtype = request["type"]
+        if rtype == "ping":
+            return handlers.handle_ping(
+                request, allow_sleep=self.config.allow_debug_sleep)
+        if rtype == "analyze":
+            shared = self._coalesced_analyze(request)
+            return handlers.handle_analyze(request, shared)
+        if rtype == "replay":
+            return handlers.handle_replay(request)
+        return handlers.handle_chaos(request)
+
+    def _coalesced_analyze(self, request: dict) -> dict:
+        """Single-flight: identical concurrent analyzes compute once.
+
+        This is the request-batching tier: a burst of requests for the
+        same ``(corpus_seed, scale)`` admits each request (they all
+        count, they all answer) but runs the expensive analysis once,
+        with followers blocking on the leader's flight.
+        """
+        key = batch_key(request)
+        with self._flights_lock:
+            flight = self._flights.get(key)
+            leader = flight is None
+            if leader:
+                flight = self._flights[key] = _Flight()
+        if not leader:
+            self.stats.note_batched()
+            return flight.result()
+        try:
+            pair = self.corpora.get(request["corpus_seed"],
+                                    request["scale"])
+            shared = handlers.analyze_corpus(*pair)
+            flight.resolve(shared)
+            return shared
+        except BaseException as exc:
+            flight.reject(exc)
+            raise
+        finally:
+            with self._flights_lock:
+                self._flights.pop(key, None)

@@ -1,0 +1,469 @@
+"""repro.serve: protocol, daemon lifecycle, admission, isolation."""
+
+import json
+import socket
+import threading
+
+import pytest
+
+from repro import faults, metrics, trace
+from repro.errors import ServeError
+from repro.faults.spec import FaultSpec, SiteRule
+from repro.serve import (AnalysisServer, CorpusLru, ServeClient,
+                         ServeConfig, ServeStats, batch_key,
+                         canonical_json, normalize_request,
+                         parse_request)
+from repro.serve.protocol import MAX_LINE_BYTES
+
+SCALE = 0.08
+
+
+# -- protocol --------------------------------------------------------------
+
+def test_parse_request_fills_defaults():
+    request = parse_request(b'{"type": "analyze"}')
+    assert request == {"type": "analyze", "corpus_seed": 2021,
+                       "scale": 1.0, "include_findings": True}
+
+
+def test_parse_request_normalizes_int_scale_to_float():
+    request = parse_request(b'{"type": "analyze", "scale": 1}')
+    assert request["scale"] == 1.0
+    assert isinstance(request["scale"], float)
+
+
+def test_parse_request_rejects_garbage():
+    with pytest.raises(ServeError, match="not valid JSON"):
+        parse_request(b"not json at all")
+    with pytest.raises(ServeError, match="JSON object"):
+        parse_request(b'[1, 2]')
+    with pytest.raises(ServeError, match="unknown request type"):
+        parse_request(b'{"type": "frobnicate"}')
+    with pytest.raises(ServeError, match="exceeds"):
+        parse_request(b"x" * (MAX_LINE_BYTES + 1))
+
+
+def test_parse_request_type_checks_fields():
+    with pytest.raises(ServeError, match="'scale'"):
+        parse_request(b'{"type": "analyze", "scale": "big"}')
+    with pytest.raises(ServeError, match="must be > 0"):
+        parse_request(b'{"type": "analyze", "scale": -1}')
+    with pytest.raises(ServeError, match="'seed' is required"):
+        parse_request(b'{"type": "replay"}')
+    with pytest.raises(ServeError, match="unknown chaos workload"):
+        parse_request(b'{"type": "chaos", "workload": "ringflood"}')
+    with pytest.raises(ServeError, match="request id"):
+        parse_request(b'{"type": "ping", "id": true}')
+
+
+def test_batch_key_only_coalesces_analyze():
+    analyze = normalize_request({"type": "analyze", "scale": 0.5})
+    spelled = normalize_request({"type": "analyze", "scale": 0.5,
+                                 "corpus_seed": 2021, "id": 9})
+    assert batch_key(analyze) == batch_key(spelled)
+    assert batch_key(normalize_request({"type": "replay",
+                                        "seed": 1})) is None
+    assert batch_key(normalize_request({"type": "ping"})) is None
+
+
+# -- daemon fixture --------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def server():
+    instance = AnalysisServer(ServeConfig(
+        host="127.0.0.1", port=0, workers=2, queue_bound=8,
+        allow_debug_sleep=True, install_metrics=False))
+    address = instance.start()
+    try:
+        yield instance, address
+    finally:
+        instance.stop()
+
+
+def _client(address, **kwargs) -> ServeClient:
+    return ServeClient(host=address[0], port=address[1],
+                       timeout_s=120.0, **kwargs)
+
+
+# -- request types ---------------------------------------------------------
+
+def test_ping(server):
+    _, address = server
+    with _client(address) as client:
+        response = client.ping()
+    assert response["status"] == "ok"
+    assert response["type"] == "ping"
+    assert "version" in response
+
+
+def test_analyze_round_trip(server):
+    _, address = server
+    with _client(address) as client:
+        response = client.request({"type": "analyze", "scale": SCALE,
+                                   "include_findings": True})
+    assert response["status"] == "ok"
+    assert response["nr_findings"] == len(response["findings"])
+    assert response["nr_findings"] > 0
+    assert "table2" in response
+    assert 0.0 <= response["precision"] <= 1.0
+
+
+def test_analyze_repeats_are_byte_identical(server):
+    _, address = server
+    request = {"type": "analyze", "scale": SCALE,
+               "include_findings": True}
+    with _client(address) as client:
+        first, _ = client.request_raw(request)
+        second, _ = client.request_raw(request)
+    assert first == second
+
+
+def test_analyze_can_omit_findings_payload(server):
+    _, address = server
+    with _client(address) as client:
+        response = client.request({"type": "analyze", "scale": SCALE,
+                                   "include_findings": False})
+    assert "findings" not in response
+    assert response["nr_findings"] > 0
+
+
+def test_replay_repeats_are_byte_identical(server):
+    _, address = server
+    request = {"type": "replay", "seed": 3, "scale": SCALE,
+               "mutations": 2}
+    with _client(address) as client:
+        first, doc = client.request_raw(request)
+        second, _ = client.request_raw(request)
+    assert first == second
+    assert doc["status"] == "ok"
+    assert doc["record"]["status"] == "ok"
+    assert "duration_s" not in doc["record"]  # volatile keys stripped
+
+
+def test_chaos_request(server):
+    _, address = server
+    with _client(address) as client:
+        response = client.request({"type": "chaos",
+                                   "workload": "storage",
+                                   "rounds": 4, "commands": 8})
+    assert response["status"] == "ok"
+    assert response["ok"] is True
+    assert response["line"].startswith("workload storage: ok (")
+    assert isinstance(response["fired"], dict)
+
+
+def test_request_id_is_echoed(server):
+    _, address = server
+    with _client(address) as client:
+        response = client.request({"type": "ping", "id": "abc-123"})
+    assert response["id"] == "abc-123"
+
+
+def test_protocol_error_answers_without_killing_connection(server):
+    _, address = server
+    sock = socket.create_connection(address, timeout=30)
+    try:
+        sock.sendall(b"this is not json\n")
+        reader = sock.makefile("rb")
+        response = json.loads(reader.readline())
+        assert response["status"] == "error"
+        assert "JSON" in response["error"]
+        # same connection still serves valid requests afterwards
+        sock.sendall(b'{"type": "ping"}\n')
+        assert json.loads(reader.readline())["status"] == "ok"
+    finally:
+        sock.close()
+
+
+def test_handler_exception_becomes_error_response(server):
+    _, address = server
+    with _client(address) as client, \
+            pytest.raises(ServeError, match="server error"):
+        # a fault-spec with an unknown site fails inside the handler
+        client.request({"type": "chaos", "workload": "storage",
+                        "plan": {"seed": 0, "rules":
+                                 [{"site": "no.such.site",
+                                   "probability": 1.0}]}})
+    # and the daemon is still healthy
+    with _client(address) as client:
+        assert client.ping()["status"] == "ok"
+
+
+# -- admission control -----------------------------------------------------
+
+def test_overload_is_rejected_explicitly():
+    instance = AnalysisServer(ServeConfig(
+        host="127.0.0.1", port=0, workers=1, queue_bound=1,
+        allow_debug_sleep=True))
+    address = instance.start()
+    try:
+        sock = socket.create_connection(address, timeout=30)
+        reader = sock.makefile("rb")
+        # pipeline a burst: 1 executing + 1 queued, the rest must be
+        # turned away with an explicit retryable rejection
+        for index in range(8):
+            sock.sendall(canonical_json(
+                {"type": "ping", "sleep_ms": 150,
+                 "id": index}).encode() + b"\n")
+        statuses = [json.loads(reader.readline())["status"]
+                    for _ in range(8)]
+        sock.close()
+        assert statuses.count("rejected") >= 1
+        assert statuses.count("ok") >= 1
+        assert len(statuses) == 8  # every request got an answer
+        snapshot = instance.stats.snapshot()
+        assert snapshot["rejected"] >= 1
+        # after the burst drains the daemon accepts work again
+        with ServeClient(host=address[0], port=address[1]) as client:
+            assert client.ping()["status"] == "ok"
+    finally:
+        instance.stop()
+
+
+def test_client_retries_through_rejections():
+    instance = AnalysisServer(ServeConfig(
+        host="127.0.0.1", port=0, workers=1, queue_bound=1,
+        allow_debug_sleep=True))
+    address = instance.start()
+    try:
+        results = []
+
+        def hammer() -> None:
+            with ServeClient(host=address[0], port=address[1],
+                             retries=20, backoff_s=0.05) as client:
+                results.append(client.request(
+                    {"type": "ping", "sleep_ms": 50}))
+
+        threads = [threading.Thread(target=hammer) for _ in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(results) == 6
+        assert all(r["status"] == "ok" for r in results)
+    finally:
+        instance.stop()
+
+
+# -- the corpus LRU --------------------------------------------------------
+
+def test_corpus_lru_hits_and_evicts():
+    stats = ServeStats()
+    lru = CorpusLru(1, stats)  # 1 byte: any second entry evicts
+    tree_a, _ = lru.get(2021, 0.05)
+    tree_again, _ = lru.get(2021, 0.05)
+    assert tree_again is tree_a              # LRU hit, same object
+    lru.get(2022, 0.05)                      # over budget -> evict A
+    assert stats.corpus_hits == 1
+    assert stats.corpus_misses == 2
+    assert stats.corpus_evictions == 1
+    assert len(lru) == 1                     # newest entry survives
+    tree_b, _ = lru.get(2021, 0.05)
+    assert tree_b is not tree_a              # regenerated after evict
+
+
+def test_corpus_lru_single_flights_concurrent_generation():
+    stats = ServeStats()
+    lru = CorpusLru(64 << 20, stats)
+    results = []
+
+    def fetch() -> None:
+        results.append(lru.get(2021, 0.05)[0])
+
+    threads = [threading.Thread(target=fetch) for _ in range(4)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert len({id(tree) for tree in results}) == 1
+    assert stats.corpus_misses == 1          # generated exactly once
+
+
+# -- single-flight request batching ----------------------------------------
+
+def test_identical_analyzes_coalesce(monkeypatch):
+    from repro.serve import handlers, server as server_mod
+    instance = AnalysisServer(ServeConfig(host="127.0.0.1", port=0))
+    computing = threading.Event()
+    gate = threading.Event()
+    computed = []
+
+    def slow_analyze(tree, manifest):
+        computed.append(1)
+        computing.set()
+        gate.wait(timeout=30)
+        return {"nr_findings": 7, "findings": [],
+                "findings_digest": "x", "nr_files": 1, "table2": ""}
+
+    class FakeTree:
+        files = {"drv.c": "int x;"}
+
+    monkeypatch.setattr(handlers, "analyze_corpus", slow_analyze)
+    monkeypatch.setattr(
+        server_mod.CorpusLru, "_generate",
+        staticmethod(lambda seed, scale: (FakeTree(), None)))
+    request = normalize_request({"type": "analyze", "scale": 0.5})
+    results = []
+
+    def worker() -> None:
+        results.append(instance._coalesced_analyze(request))
+
+    threads = [threading.Thread(target=worker) for _ in range(3)]
+    for thread in threads:
+        thread.start()
+    assert computing.wait(timeout=30)   # leader is inside the compute
+    gate.set()
+    for thread in threads:
+        thread.join()
+    assert len(computed) == 1   # one computation, three answers
+    assert all(result["nr_findings"] == 7 for result in results)
+    assert instance.stats.batched == 2
+
+
+# -- chaos weather: the serve fault sites ----------------------------------
+
+def test_serve_fault_sites_recover_with_identical_payloads(server):
+    _, address = server
+    with _client(address) as client:
+        baseline = client.request({"type": "analyze", "scale": SCALE,
+                                   "include_findings": False})
+    spec = FaultSpec([
+        SiteRule("serve.accept_drop", at_steps=(0,)),
+        SiteRule("serve.request_abort", at_steps=(0,)),
+    ], seed=3)
+    kernel_spec, tooling_spec = spec.split()
+    assert not kernel_spec.rules     # serve.* is a tooling prefix
+    assert tooling_spec.sites == {"serve.accept_drop",
+                                  "serve.request_abort"}
+    plan = tooling_spec.compile()
+    instance, _ = server
+    before = instance.stats.snapshot()
+    with faults.session(plan):
+        with _client(address, retries=10) as client:
+            faulted = client.request({"type": "analyze",
+                                      "scale": SCALE,
+                                      "include_findings": False})
+    assert plan.fired_counts() == {"serve.accept_drop": 1,
+                                   "serve.request_abort": 1}
+    after = instance.stats.snapshot()
+    assert after["accept_drops"] == before["accept_drops"] + 1
+    assert after["aborted"] == before["aborted"] + 1
+    # the retried request answered exactly what a fault-free one does
+    assert faulted["findings_digest"] == baseline["findings_digest"]
+    assert faulted["table2"] == baseline["table2"]
+
+
+# -- per-request isolation (the state-leakage fix) -------------------------
+
+def _deterministic_export(registry) -> str:
+    """Export of the simulation-derived subsystems only (spade timing
+    histograms are wall-clock and legitimately vary run to run)."""
+    record = metrics.json_record(registry)
+    keep = ("dma", "iommu", "net", "mem", "dkasan", "sim")
+    return canonical_json([sample for sample in record["metrics"]
+                           if sample["subsystem"] in keep])
+
+
+def _boot_and_run() -> None:
+    from repro.sim.kernel import Kernel
+    from repro.sim.workload import run_compile_and_ping
+    kernel = Kernel(seed=11, phys_mb=256)
+    nic = kernel.add_nic("eth0")
+    run_compile_and_ping(kernel, nic, rounds=3)
+
+
+def test_reset_for_request_gives_independent_exports():
+    exports = []
+    with metrics.session() as registry:
+        for _ in range(2):   # two back-to-back "requests"
+            _boot_and_run()
+            exports.append(_deterministic_export(registry))
+            assert metrics.reset_for_request() > 0
+            trace.unbind_clock()
+        # after a reset the per-request subsystems are gone until the
+        # next boot publishes them again
+        assert "dma" not in registry.subsystems_present()
+    assert exports[0] == exports[1]
+
+
+def test_without_reset_stale_kernel_leaks_into_next_export():
+    """The leak this PR fixes: a request that boots no kernel still
+    exports the previous request's kernel collector slot (last-boot
+    wins); after ``reset_for_request`` the export is clean."""
+    with metrics.session() as registry:
+        _boot_and_run()
+        stale = _deterministic_export(registry)
+        assert stale != canonical_json([])   # the boot published samples
+        # "request 2" runs no simulation, yet without a reset its
+        # export still carries request 1's kernel
+        assert _deterministic_export(registry) == stale
+        metrics.reset_for_request()
+        assert _deterministic_export(registry) == canonical_json([])
+
+
+def test_reset_preserves_cumulative_subsystems():
+    with metrics.session() as registry:
+        registry.counter("serve", "requests").inc()
+        registry.counter("perfcache", "probe").inc(3)
+        _boot_and_run()
+        metrics.reset_for_request()
+        assert registry.counter("serve", "requests").value == 1
+        assert registry.counter("perfcache", "probe").value == 3
+
+
+def test_unbind_clock_stops_stale_stamping():
+    from repro.sim.kernel import Kernel
+    with trace.session(categories=("iommu", "dma")) as recorder:
+        kernel = Kernel(seed=7, phys_mb=256)
+        kernel.clock.advance_us(25.0)
+        assert recorder.now_us > 0.0    # bound to the boot's clock
+        trace.unbind_clock()
+        assert recorder.now_us == 0.0   # no stale time base
+        other = Kernel(seed=8, phys_mb=256)
+        other.clock.advance_us(25.0)
+        assert recorder.now_us > 0.0    # next boot re-binds
+
+
+def test_reset_is_noop_when_metrics_off():
+    assert metrics.reset_for_request() == 0
+
+
+# -- serve metrics subsystem -----------------------------------------------
+
+def test_serve_collector_publishes_registry_samples():
+    instance = AnalysisServer(ServeConfig(
+        host="127.0.0.1", port=0, workers=1, queue_bound=2))
+    address = instance.start()
+    try:
+        registry = metrics.active()
+        assert registry is not None   # the daemon installed one
+        with ServeClient(host=address[0], port=address[1]) as client:
+            client.ping()
+        record = metrics.json_record(registry)
+        by_name = {(s["subsystem"], s["name"], tuple(sorted(
+            s["labels"].items()))): s for s in record["metrics"]}
+        assert by_name[("serve", "requests",
+                        (("status", "ok"),
+                         ("type", "ping")))]["value"] == 1
+        assert ("serve", "queue_depth", ()) in by_name
+        assert ("serve", "cache_hit_ratio", ()) in by_name
+        latency = by_name[("serve", "latency_ms",
+                           (("type", "ping"),))]
+        assert latency["kind"] == "histogram"
+        assert latency["histogram"]["count"] == 1
+    finally:
+        instance.stop()
+    assert metrics.active() is None   # daemon uninstalled its registry
+
+
+def test_render_serve_stats():
+    from repro.report import render_serve_stats
+    stats = ServeStats()
+    stats.note_connection()
+    stats.begin_request()
+    stats.finish_request("analyze", "ok", 12.5)
+    text = render_serve_stats(stats.snapshot())
+    assert "serve_stats:" in text
+    assert "analyze/ok" in text
+    assert "CorpusHitRatio" in text
+    assert "Latency_analyze" in text

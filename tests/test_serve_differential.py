@@ -1,0 +1,210 @@
+"""Differential invariant: served answers == one-shot CLI answers.
+
+The serving layer's core promise (ISSUE 6, EXPERIMENTS E21) is that a
+warm daemon never *changes* an answer, only its latency.  These tests
+drive a real daemon over TCP and compare byte-for-byte against the
+equivalent cold, in-process code path the CLI uses:
+
+* analyze  vs ``repro-dma audit --scale S --findings-json``
+* replay   vs a one-shot ``run_seed`` (campaign --seeds 1, no trace)
+* chaos    vs a locally computed phase-A ``_run_workload`` line
+
+plus the loadgen plumbing (deterministic schedules, the BENCH merge).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro import metrics
+from repro.errors import ServeError
+from repro.serve import (AnalysisServer, LoadgenConfig, ServeClient,
+                         ServeConfig, build_schedule, canonical_json,
+                         format_loadgen_report, merge_into_bench,
+                         parse_mix, run_loadgen, serve_history_record,
+                         serve_signature)
+
+SCALE = 0.08          # small corpus: differential fidelity, not load
+REPLAY_SCALE = 0.08
+REPLAY_SEED = 3
+REPLAY_MUTATIONS = 3
+
+
+@pytest.fixture(scope="module")
+def server():
+    instance = AnalysisServer(ServeConfig(
+        host="127.0.0.1", port=0, workers=2, queue_bound=8,
+        install_metrics=False))
+    address = instance.start()
+    yield address
+    instance.stop()
+
+
+@pytest.fixture(scope="module")
+def client(server):
+    with ServeClient(host=server[0], port=server[1]) as instance:
+        yield instance
+
+
+# -- analyze vs audit ------------------------------------------------------
+
+def test_analyze_matches_audit_cli(server, client, tmp_path, capsys):
+    from repro.cli import main
+
+    findings_path = tmp_path / "findings.json"
+    assert main(["audit", "--scale", str(SCALE),
+                 "--findings-json", str(findings_path)]) == 0
+    audit_stdout = capsys.readouterr().out
+    audit_bytes = findings_path.read_bytes()
+
+    response = client.request({"type": "analyze", "scale": SCALE})
+    served_bytes = (canonical_json(response["findings"])
+                    + "\n").encode("utf-8")
+    assert served_bytes == audit_bytes
+    assert response["table2"] in audit_stdout
+    assert response["nr_findings"] == len(response["findings"])
+
+
+def test_analyze_digest_stable_across_daemon_lifetime(client):
+    first = client.request({"type": "analyze", "scale": SCALE,
+                            "include_findings": False})
+    second = client.request({"type": "analyze", "scale": SCALE,
+                             "include_findings": False})
+    assert first == second   # warm cache may speed it up, never alter it
+
+
+# -- replay vs one-shot campaign seed --------------------------------------
+
+def test_replay_matches_oneshot_run_seed(server, client):
+    from repro.campaign.results import _VOLATILE_KEYS, findings_digest
+    from repro.campaign.runner import run_seed
+
+    record = run_seed(REPLAY_SEED, base_seed=2021,
+                      mutations_per_seed=REPLAY_MUTATIONS,
+                      scale=REPLAY_SCALE, phys_mb=256, trace_events=0)
+    expected_digest = findings_digest({REPLAY_SEED: record})
+
+    response = client.request({"type": "replay", "seed": REPLAY_SEED,
+                               "scale": REPLAY_SCALE,
+                               "mutations": REPLAY_MUTATIONS})
+    assert response["findings_digest"] == expected_digest
+    stripped = {key: value for key, value in sorted(record.items())
+                if key not in _VOLATILE_KEYS}
+    assert response["record"] == stripped
+    for volatile in _VOLATILE_KEYS:
+        assert volatile not in response["record"]
+
+
+# -- chaos vs one-shot workload line ---------------------------------------
+
+def test_chaos_matches_oneshot_workload_line(server, client):
+    from repro.faults.chaos import _run_workload
+    from repro.faults.spec import standard_spec
+
+    kernel_spec, _tooling = standard_spec(0).split()
+    plan = kernel_spec.compile(stream=7)
+    outcome = _run_workload("storage", plan, seed=5, rounds=6,
+                            commands=8, profile_boots=0)
+    status = "ok" if outcome.ok else "UNRECOVERED"
+    expected_line = (f"workload {outcome.name}: {status} "
+                     f"({outcome.recovered} fault(s) recovered; "
+                     f"{outcome.detail})")
+    expected_fired = plan.fired_counts()
+
+    response = client.request({"type": "chaos", "workload": "storage",
+                               "plan_seed": 0, "stream": 7, "seed": 5,
+                               "rounds": 6, "commands": 8})
+    assert response["line"] == expected_line
+    assert response["fired"] == expected_fired
+    assert response["ok"] == outcome.ok
+
+
+# -- loadgen ---------------------------------------------------------------
+
+def test_build_schedule_is_deterministic_and_weighted():
+    config = LoadgenConfig(nr_requests=20, mix={"analyze": 6,
+                                                "replay": 3,
+                                                "chaos": 1})
+    first = build_schedule(config)
+    second = build_schedule(config)
+    assert first == second                      # no RNG anywhere
+    counts: dict[str, int] = {}
+    for request in first:
+        counts[request["type"]] = counts.get(request["type"], 0) + 1
+    assert counts == {"analyze": 12, "replay": 6, "chaos": 2}
+    assert [request["id"] for request in first] == list(range(20))
+
+
+def test_parse_mix():
+    assert parse_mix("analyze=6,replay=3,chaos=1") == {
+        "analyze": 6, "replay": 3, "chaos": 1}
+    assert parse_mix("ping") == {"ping": 1}
+    with pytest.raises(ServeError):
+        parse_mix("bogus=1")
+    with pytest.raises(ServeError):
+        parse_mix("analyze=x")
+    with pytest.raises(ServeError):
+        parse_mix("analyze=0")
+
+
+def test_loadgen_against_live_server(server):
+    config = LoadgenConfig(nr_requests=8, connections=2, rps=0.0,
+                           mix={"analyze": 3, "ping": 1}, scale=SCALE,
+                           cold_baseline=False)
+    report = run_loadgen(config, host=server[0], port=server[1])
+    assert report["ok"] is True
+    assert report["nr_sent"] == 8
+    assert report["nr_failed"] == 0
+    assert set(report["latency"]) == {"analyze", "ping"}
+    assert report["latency"]["analyze"]["count"] == 6
+    text = format_loadgen_report(report)
+    assert "loadgen verdict: PASS" in text
+
+
+def test_merge_into_bench_and_history_record(tmp_path):
+    report = {"schema": 1, "ok": True, "achieved_rps": 12.5,
+              "nr_sent": 8, "nr_failed": 0, "elapsed_s": 0.5,
+              "oneshot_cold_s": 0.4, "warm_analyze_p50_s": 0.02,
+              "speedup_warm_vs_cold": 20.0,
+              "config": {"nr_requests": 8, "connections": 2,
+                         "target_rps": 0.0, "scale": SCALE,
+                         "mix": {"analyze": 3, "ping": 1}},
+              "latency": {"analyze": {"p50_s": 0.02}}}
+    path = tmp_path / "BENCH_perf.json"
+    path.write_text(json.dumps({"spade": {"files_per_s": 100}}),
+                    encoding="utf-8")
+    merge_into_bench(report, str(path))
+    merged = json.loads(path.read_text(encoding="utf-8"))
+    assert merged["spade"] == {"files_per_s": 100}   # preserved
+    assert merged["serve"]["achieved_rps"] == 12.5
+
+    signature = serve_signature(report)
+    assert signature.startswith("serve:")            # never cross-gates
+    record = serve_history_record(report)
+    assert record["signature"] == signature
+    assert record["metrics"]["serve_speedup_warm_vs_cold"] == 20.0
+    assert record["metrics"]["serve_analyze_p50_s"] == 0.02
+    assert record["ok"] is True
+
+
+def test_loadgen_concurrent_with_direct_clients(server):
+    """Loadgen traffic and ad-hoc clients share one daemon cleanly."""
+    config = LoadgenConfig(nr_requests=6, connections=2, rps=0.0,
+                           mix={"ping": 1}, cold_baseline=False)
+    reports: list[dict] = []
+
+    def background() -> None:
+        reports.append(run_loadgen(config, host=server[0],
+                                   port=server[1]))
+
+    thread = threading.Thread(target=background, daemon=True)
+    thread.start()
+    with ServeClient(host=server[0], port=server[1]) as direct:
+        for _ in range(4):
+            direct.ping()
+    thread.join(timeout=60)
+    assert not thread.is_alive()
+    assert reports and reports[0]["ok"] is True
