@@ -1,0 +1,91 @@
+"""The IOMMU backend spec: one frozen dataclass per hardware model.
+
+The paper characterizes the vulnerability windows of one Intel
+VT-d-like IOMMU, but the exposure is a function of parameters that
+differ across real IOMMUs: IOTLB capacity/associativity/replacement,
+the granularity of deferred-drain invalidations (per-page vs ranged
+vs domain-wide), the deferred-flush cadence, and IOVA-allocator
+quirks. :class:`IommuBackend` captures exactly those axes so the
+simulator core can be parameterized instead of hardcoded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+#: Legal IOTLB replacement policies.
+REPLACEMENT_POLICIES = ("lru", "fifo")
+
+#: Legal deferred-drain invalidation granularities.
+#:
+#: * ``"domain"`` -- the drain issues one domain-wide invalidation
+#:   (Linux's VT-d flush queue behavior): every cached entry drops.
+#: * ``"range"``  -- the drain issues one batched range invalidation
+#:   covering exactly the queued pages (SMMUv3 ``TLBI`` + sync).
+#: * ``"page"``   -- the drain invalidates each queued page
+#:   individually, paying the invalidation cost per page.
+INVALIDATION_GRANULARITIES = ("page", "range", "domain")
+
+#: Legal default invalidation modes.
+INVALIDATION_MODES = ("strict", "deferred")
+
+
+@dataclass(frozen=True)
+class IommuBackend:
+    """Immutable description of one IOMMU hardware model.
+
+    ``iotlb_associativity`` is the number of ways per set; ``None``
+    means fully associative (one set holding the whole capacity).
+    """
+
+    name: str
+    description: str
+    iotlb_capacity: int
+    iotlb_associativity: int | None
+    iotlb_replacement: str
+    invalidation_granularity: str
+    invalidation_cycles: int
+    default_mode: str
+    flush_period_us: float
+    iova_limit: int
+    iova_free_cache: bool
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("backend name must be non-empty")
+        if self.iotlb_capacity <= 0:
+            raise ValueError(
+                f"backend {self.name}: bad IOTLB capacity "
+                f"{self.iotlb_capacity}")
+        ways = self.iotlb_associativity
+        if ways is not None and (ways <= 0 or self.iotlb_capacity % ways):
+            raise ValueError(
+                f"backend {self.name}: associativity {ways} does not "
+                f"divide capacity {self.iotlb_capacity}")
+        if self.iotlb_replacement not in REPLACEMENT_POLICIES:
+            raise ValueError(
+                f"backend {self.name}: unknown replacement policy "
+                f"{self.iotlb_replacement!r}")
+        if self.invalidation_granularity not in INVALIDATION_GRANULARITIES:
+            raise ValueError(
+                f"backend {self.name}: unknown invalidation granularity "
+                f"{self.invalidation_granularity!r}")
+        if self.invalidation_cycles <= 0:
+            raise ValueError(
+                f"backend {self.name}: bad invalidation cost "
+                f"{self.invalidation_cycles}")
+        if self.default_mode not in INVALIDATION_MODES:
+            raise ValueError(
+                f"backend {self.name}: unknown default mode "
+                f"{self.default_mode!r}")
+        if self.flush_period_us <= 0:
+            raise ValueError(
+                f"backend {self.name}: bad flush period "
+                f"{self.flush_period_us}")
+        if self.iova_limit <= 0:
+            raise ValueError(
+                f"backend {self.name}: bad IOVA limit {self.iova_limit:#x}")
+
+    def to_json(self) -> dict:
+        """Plain-dict form with deterministic, JSON-safe values."""
+        return asdict(self)

@@ -14,6 +14,13 @@ corpora with per-call-site ground truth, at corpus scale:
   seed's mutations down to a minimal reproducing tree.
 """
 
+from repro.campaign.differential import (BACKEND_DISAGREEMENT_KINDS,
+                                         MultiBackendSummary,
+                                         backend_results_path,
+                                         cross_backend_disagreements,
+                                         cross_results_path,
+                                         format_multi_backend_summary,
+                                         run_multi_backend_campaign)
 from repro.campaign.mutate import (MUTATION_KINDS, CorpusMutator,
                                    MutatedCorpus, Mutation)
 from repro.campaign.oracle import (Disagreement, DetectorScore,
@@ -29,4 +36,8 @@ __all__ = [
     "run_differential", "CampaignSummary", "format_summary",
     "load_records", "summarize", "CampaignConfig", "run_campaign",
     "run_seed", "ShrinkResult", "shrink_seed",
+    "BACKEND_DISAGREEMENT_KINDS", "MultiBackendSummary",
+    "backend_results_path", "cross_backend_disagreements",
+    "cross_results_path", "format_multi_backend_summary",
+    "run_multi_backend_campaign",
 ]

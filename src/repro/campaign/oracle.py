@@ -106,6 +106,12 @@ class DifferentialResult:
     #: last-N flight-recorder events from the dynamic replay, captured
     #: only when the detectors disagreed (JSON dicts, oldest first)
     trace_tail: list[dict] = field(default_factory=list)
+    #: non-default backend the replay ran on, else None (the default
+    #: keeps pre-backend records byte-identical)
+    backend: str | None = None
+    #: per-site post-unmap window observations ("path:line" -> open),
+    #: measured only on non-default-backend runs
+    window_sites: dict[str, bool] = field(default_factory=dict)
 
     @property
     def agreement_rate(self) -> float:
@@ -117,7 +123,8 @@ class DifferentialResult:
 def run_differential(tree: SourceTree, manifest: Manifest, *,
                      seed: int = 0, max_exemplars: int = 5,
                      phys_mb: int = 256,
-                     trace_events: int = 0) -> DifferentialResult:
+                     trace_events: int = 0,
+                     backend: str | None = None) -> DifferentialResult:
     """Run both detectors over one (tree, manifest) pair and score.
 
     ``trace_events > 0`` runs the dynamic replay under a bounded
@@ -126,12 +133,25 @@ def run_differential(tree: SourceTree, manifest: Manifest, *,
     the context a triager needs to see *why* D-KASAN fired (or stayed
     silent) at the disputed call site. An already-installed recorder
     (e.g. a surrounding ``repro-dma trace`` session) is reused as-is.
+
+    ``backend`` selects the IOMMU model for the dynamic replay. The
+    default (``None`` or ``"intel-vtd"``) is the exact pre-backend
+    path, byte-identical results included. Any other backend boots
+    the kernel with that model under its *default invalidation mode*
+    and additionally probes every site's post-unmap vulnerability
+    window (Fig 6 per call site), recorded in ``window_sites`` --
+    the axis cross-backend campaigns diff.
     """
+    from repro import backends as backend_registry
     from repro import trace
     from repro.core.dkasan import DKasan
     from repro.core.spade import Spade, exposures_by_site
     from repro.sim.kernel import Kernel
     from repro.sim.workload import run_manifest_replay
+
+    backend_name = backend_registry.backend_label(backend)
+    spec = (backend_registry.resolve_backend(backend_name)
+            if backend_name is not None else None)
 
     spade_labels = exposures_by_site(Spade(tree).analyze())
 
@@ -148,10 +168,20 @@ def run_differential(tree: SourceTree, manifest: Manifest, *,
             owns_recorder = True
     try:
         dkasan = DKasan(phys_mb << 20)
-        kernel = Kernel(seed=seed, phys_mb=phys_mb, iommu_mode="strict",
-                        boot_jitter_pages=0, boot_jitter_blocks=0,
-                        sink=dkasan)
-        run_manifest_replay(kernel, manifest)
+        if spec is None:
+            kernel = Kernel(seed=seed, phys_mb=phys_mb,
+                            iommu_mode="strict",
+                            boot_jitter_pages=0, boot_jitter_blocks=0,
+                            sink=dkasan)
+            replay = run_manifest_replay(kernel, manifest)
+        else:
+            kernel = Kernel(seed=seed, phys_mb=phys_mb,
+                            iommu_mode=spec.default_mode,
+                            iommu_backend=spec,
+                            boot_jitter_pages=0, boot_jitter_blocks=0,
+                            sink=dkasan)
+            replay = run_manifest_replay(kernel, manifest,
+                                         probe_windows=True)
     finally:
         if owns_recorder:
             trace.uninstall()
@@ -208,6 +238,10 @@ def run_differential(tree: SourceTree, manifest: Manifest, *,
     if recorder is not None and disagreements:
         trace_tail = [event.to_json()
                       for event in recorder.tail(trace_events)]
-    return DifferentialResult(seed, manifest.nr_calls, spade_score,
-                              dkasan_score, disagreements,
-                              spade_fn, dkasan_fn, trace_tail)
+    result = DifferentialResult(seed, manifest.nr_calls, spade_score,
+                                dkasan_score, disagreements,
+                                spade_fn, dkasan_fn, trace_tail)
+    if spec is not None:
+        result.backend = spec.name
+        result.window_sites = dict(replay.window_sites)
+    return result

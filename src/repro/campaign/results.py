@@ -26,8 +26,13 @@ COMPLETED_STATUSES = ("ok",)
 def result_record(result: DifferentialResult,
                   mutations: list[Mutation], *,
                   duration_s: float = 0.0) -> dict:
-    """Serialize one successful seed run to its JSONL record."""
-    return {
+    """Serialize one successful seed run to its JSONL record.
+
+    Backend annotations (``backend``, ``window_sites``) appear only on
+    non-default-backend results: default records must keep producing
+    the pre-backend findings_digest byte-for-byte.
+    """
+    record = {
         "seed": result.seed,
         "status": "ok",
         "duration_s": round(duration_s, 4),
@@ -40,6 +45,12 @@ def result_record(result: DifferentialResult,
         "dkasan_fn_exemplars": result.dkasan_fn_exemplars,
         "trace_tail": result.trace_tail,
     }
+    if result.backend is not None:
+        record["backend"] = result.backend
+        record["window_sites"] = {
+            site: bool(open_) for site, open_
+            in sorted(result.window_sites.items())}
+    return record
 
 
 def failure_record(seed: int, status: str, error: str, *,

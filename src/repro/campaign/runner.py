@@ -95,6 +95,9 @@ class CampaignConfig:
     #: JSON form of a :class:`repro.faults.FaultSpec`; each seed run
     #: compiles it with stream=seed, attempt=retry-number
     fault_spec: dict | None = None
+    #: IOMMU backend model for the dynamic replay; ``None`` (or
+    #: ``"intel-vtd"``) is the pre-backend default path
+    backend: str | None = None
 
     @property
     def seeds(self) -> list[int]:
@@ -111,14 +114,16 @@ def _alarm_handler(_signum, _frame):
 
 def run_seed(seed: int, *, base_seed: int = 2021,
              mutations_per_seed: int = 6, scale: float = 1.0,
-             phys_mb: int = 256, trace_events: int = 64) -> dict:
+             phys_mb: int = 256, trace_events: int = 64,
+             backend: str | None = None) -> dict:
     """Derive, analyze, replay, and score one campaign seed."""
     start = time.monotonic()
     mutator = CorpusMutator(base_seed, scale=scale)
     mutated = mutator.derive(seed, mutations_per_seed)
     result = run_differential(mutated.tree, mutated.manifest, seed=seed,
                               phys_mb=phys_mb,
-                              trace_events=trace_events)
+                              trace_events=trace_events,
+                              backend=backend)
     return result_record(result, mutated.mutations,
                          duration_s=time.monotonic() - start)
 
@@ -148,7 +153,8 @@ def _guarded_run_seed(seed: int, config: "CampaignConfig", *,
             record = run_seed(seed, base_seed=config.base_seed,
                               mutations_per_seed=config.mutations_per_seed,
                               scale=config.scale, phys_mb=config.phys_mb,
-                              trace_events=config.trace_events)
+                              trace_events=config.trace_events,
+                              backend=config.backend)
     except _SeedTimeout:
         record = failure_record(seed, "timeout",
                                 f"exceeded {config.timeout_s}s",

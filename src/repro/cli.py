@@ -43,6 +43,24 @@ def _fail(message: str) -> int:
     return 2
 
 
+def _resolve_backend(value):
+    """Validate a ``--backend`` value against the registry.
+
+    Returns ``(canonical_name_or_None, error_message_or_None)`` --
+    every ``--backend`` consumer funnels unknown names through this
+    one path so they all fail identically (exit 2, same message as
+    the serve protocol's ``backend`` field).
+    """
+    if value is None:
+        return None, None
+    from repro import backends
+    from repro.errors import BackendError
+    try:
+        return backends.get_backend(value).name, None
+    except BackendError as exc:
+        return None, str(exc)
+
+
 def _positive_int(text: str) -> int:
     try:
         value = int(text)
@@ -99,11 +117,22 @@ def _build_victim(args):
 
 
 def cmd_audit(args) -> int:
+    from repro import backends as backend_registry
     from repro.core.spade import Spade, Table2Stats
     from repro.core.spade.report import (format_finding_trace,
                                          format_table2)
     from repro.corpus import CorpusGenerator
     from repro.corpus.generate import SourceTree
+
+    backend, error = _resolve_backend(args.backend)
+    if error:
+        return _fail(error)
+    if backend_registry.backend_label(backend):
+        # SPADE never boots a kernel; findings cannot depend on the
+        # IOMMU model. Accept the flag (uniform UX with the dynamic
+        # subcommands) but say so instead of silently ignoring it.
+        print(f"backend {backend}: SPADE is static analysis; "
+              f"findings are backend-independent")
 
     if args.tree:
         if not os.path.isdir(args.tree):
@@ -234,6 +263,9 @@ def cmd_trace(args) -> int:
                               render_timeline, render_trace_summary)
     from repro.sim.kernel import Kernel
 
+    backend, error = _resolve_backend(args.backend)
+    if error:
+        return _fail(error)
     categories = None
     if args.categories:
         requested = tuple(dict.fromkeys(
@@ -265,7 +297,8 @@ def cmd_trace(args) -> int:
             from repro.core.attacks.ringflood import (make_attacker,
                                                       run_ringflood)
             victim = Kernel(seed=args.seed,
-                            iommu_mode=args.iommu_mode)
+                            iommu_mode=args.iommu_mode,
+                            iommu_backend=backend)
             nic = victim.add_nic("eth0")
             device = make_attacker(victim, "eth0")
             report = run_ringflood(victim, nic, device, profile,
@@ -276,7 +309,8 @@ def cmd_trace(args) -> int:
         elif args.workload == "compile-ping":
             from repro.sim.workload import run_compile_and_ping
             kernel = Kernel(seed=args.seed, phys_mb=256,
-                            iommu_mode=args.iommu_mode)
+                            iommu_mode=args.iommu_mode,
+                            iommu_backend=backend)
             nic = kernel.add_nic("eth0")
             stats = run_compile_and_ping(kernel, nic,
                                          rounds=args.rounds)
@@ -285,7 +319,8 @@ def cmd_trace(args) -> int:
         else:  # storage
             from repro.sim.workload import run_storage_workload
             kernel = Kernel(seed=args.seed, phys_mb=256,
-                            iommu_mode=args.iommu_mode)
+                            iommu_mode=args.iommu_mode,
+                            iommu_backend=backend)
             stats = run_storage_workload(kernel,
                                          commands=args.commands)
             print(f"storage: {stats.commands} commands, "
@@ -326,6 +361,9 @@ def cmd_metrics(args) -> int:
                               render_meminfo, render_netdev)
     from repro.sim.kernel import Kernel
 
+    backend, error = _resolve_backend(args.backend)
+    if error:
+        return _fail(error)
     if not metrics.enabled_in_env():
         return _fail("metrics: REPRO_METRICS=off disables the metrics "
                      "layer")
@@ -347,7 +385,7 @@ def cmd_metrics(args) -> int:
                                                       run_ringflood)
             dkasan = DKasan(1024 << 20)
             victim = Kernel(seed=args.seed, iommu_mode=args.iommu_mode,
-                            sink=dkasan)
+                            iommu_backend=backend, sink=dkasan)
             nic = victim.add_nic("eth0")
             device = make_attacker(victim, "eth0")
             report = run_ringflood(victim, nic, device, profile,
@@ -360,7 +398,8 @@ def cmd_metrics(args) -> int:
             from repro.sim.workload import run_compile_and_ping
             dkasan = DKasan(256 << 20)
             kernel = Kernel(seed=args.seed, phys_mb=256,
-                            iommu_mode=args.iommu_mode, sink=dkasan)
+                            iommu_mode=args.iommu_mode,
+                            iommu_backend=backend, sink=dkasan)
             nic = kernel.add_nic("eth0")
             stats = run_compile_and_ping(kernel, nic,
                                          rounds=args.rounds)
@@ -370,7 +409,8 @@ def cmd_metrics(args) -> int:
             from repro.sim.workload import run_storage_workload
             dkasan = DKasan(256 << 20)
             kernel = Kernel(seed=args.seed, phys_mb=256,
-                            iommu_mode=args.iommu_mode, sink=dkasan)
+                            iommu_mode=args.iommu_mode,
+                            iommu_backend=backend, sink=dkasan)
             stats = run_storage_workload(kernel,
                                          commands=args.commands)
             print(f"storage: {stats.commands} commands, "
@@ -450,7 +490,25 @@ def cmd_campaign(args) -> int:
                                 Disagreement, format_summary,
                                 run_campaign, shrink_seed)
     from repro.campaign.mutate import Mutation
-    from repro.errors import FaultError
+    from repro.errors import BackendError, FaultError
+
+    backend_list = None
+    if args.backends:
+        if args.backend:
+            return _fail("campaign: --backend and --backends are "
+                         "mutually exclusive")
+        if args.shrink:
+            return _fail("campaign: --shrink is not supported with "
+                         "--backends (shrink one backend's seed via "
+                         "--backend instead)")
+        from repro import backends as backend_registry
+        try:
+            backend_list = backend_registry.parse_backends(args.backends)
+        except BackendError as exc:
+            return _fail(str(exc))
+    backend, error = _resolve_backend(args.backend)
+    if error:
+        return _fail(error)
 
     try:
         fault_spec = _load_fault_spec(args.fault_plan)
@@ -460,6 +518,7 @@ def cmd_campaign(args) -> int:
         return _fail(f"--fault-plan {args.fault_plan}: {exc}")
 
     config = CampaignConfig(
+        backend=backend,
         nr_seeds=args.seeds, seed_base=args.seed_base, jobs=args.jobs,
         base_seed=args.base_seed,
         mutations_per_seed=args.mutations, timeout_s=args.timeout,
@@ -501,6 +560,38 @@ def cmd_campaign(args) -> int:
         if line != last_health_line:
             print(line)
             last_health_line = line
+
+    if backend_list:
+        from repro.campaign import (format_multi_backend_summary,
+                                    run_multi_backend_campaign)
+        if not config.output:
+            return _fail("campaign: --backends needs an --output stem "
+                         "for the per-backend results files")
+
+        def multi_progress(backend_name: str, record: dict) -> None:
+            status = record["status"]
+            extra = ""
+            if status == "ok":
+                extra = (f" ({len(record['disagreements'])} "
+                         f"disagreements)")
+            print(f"[{backend_name}] seed {record['seed']}: {status} "
+                  f"in {record['duration_s']:.2f}s{extra}")
+
+        try:
+            multi = run_multi_backend_campaign(
+                config, list(backend_list), progress=multi_progress,
+                heartbeat=heartbeat if config.heartbeat_dir else None)
+        finally:
+            if config.cache_dir:
+                from repro import perfcache
+                perfcache.reset_default()
+        for name in multi.backends:
+            print()
+            print(f"== backend {name} ==")
+            print(format_summary(multi.summaries[name]))
+        print()
+        print(format_multi_backend_summary(multi))
+        return 0 if multi.all_ok else 1
 
     try:
         summary = run_campaign(config, progress=progress,
@@ -648,6 +739,9 @@ def cmd_chaos(args) -> int:
     from repro.errors import FaultError
     from repro.faults.chaos import format_chaos_report, run_chaos
 
+    backend, error = _resolve_backend(args.backend)
+    if error:
+        return _fail(error)
     try:
         spec = _load_fault_spec(args.plan)
     except FaultError as exc:
@@ -665,7 +759,8 @@ def cmd_chaos(args) -> int:
                          profile_boots=args.profile_boots,
                          campaign_seeds=args.campaign_seeds,
                          campaign_scale=args.campaign_scale,
-                         jobs=args.jobs, retry=args.retry)
+                         jobs=args.jobs, retry=args.retry,
+                         backend=backend)
 
     rendered = None
     use_metrics = metrics.enabled_in_env() and metrics.active() is None
@@ -692,11 +787,15 @@ def cmd_chaos(args) -> int:
 def cmd_bench(args) -> int:
     from repro.perfcache import bench, history
 
+    backend, error = _resolve_backend(args.backend)
+    if error:
+        return _fail(error)
     jobs = tuple(sorted({1, args.jobs})) if args.jobs else (1,)
     report = bench.run_benchmarks(
         scale=args.scale, campaign_seeds=args.campaign_seeds,
         campaign_scale=args.campaign_scale, jobs=jobs,
-        rounds=args.rounds, kernel_events=args.kernel_events)
+        rounds=args.rounds, kernel_events=args.kernel_events,
+        backend=backend)
     bench.write_report(report, args.output)
     print(bench.format_report(report))
     print(f"wrote {args.output}")
@@ -734,6 +833,9 @@ def cmd_serve(args) -> int:
     from repro.errors import ServeError
     from repro.serve import AnalysisServer, ServeConfig
 
+    backend, error = _resolve_backend(args.backend)
+    if error:
+        return _fail(error)
     host = port = None
     if args.tcp:
         if args.socket:
@@ -752,6 +854,7 @@ def cmd_serve(args) -> int:
             memory_budget_bytes=(args.memory_budget << 20
                                  if args.memory_budget else None),
             warmup_scale=args.warmup,
+            default_backend=backend,
             allow_debug_sleep=args.allow_debug_sleep or None)
     except ServeError as exc:
         return _fail(f"serve: {exc}")
@@ -861,6 +964,31 @@ def cmd_loadgen(args) -> int:
     return 0 if ok else 1
 
 
+def cmd_backends(args) -> int:
+    import json
+
+    from repro import backends
+    from repro.errors import BackendError
+
+    if args.action == "list":
+        doc = {
+            "default": backends.DEFAULT_BACKEND_NAME,
+            "backends": {name: backends.get_backend(name).to_json()
+                         for name in backends.backend_names()},
+        }
+        print(json.dumps(doc, indent=2, sort_keys=True))
+        return 0
+    # show
+    if not args.name:
+        return _fail("backends show: a backend name is required")
+    try:
+        spec = backends.get_backend(args.name)
+    except BackendError as exc:
+        return _fail(str(exc))
+    print(json.dumps(spec.to_json(), indent=2, sort_keys=True))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     from repro import __version__
 
@@ -904,6 +1032,10 @@ def build_parser() -> argparse.ArgumentParser:
     audit.add_argument("--dump-tree", metavar="DIR")
     audit.add_argument("--trace", metavar="FILE_SUBSTR",
                        help="print Figure-2 traces for matching files")
+    audit.add_argument("--backend", metavar="NAME",
+                       help="IOMMU backend model (see 'repro-dma "
+                            "backends list'); accepted for uniformity "
+                            "-- SPADE findings are backend-independent")
     audit.set_defaults(func=cmd_audit)
 
     sanitize = sub.add_parser("sanitize", help="D-KASAN runtime run")
@@ -983,6 +1115,16 @@ def build_parser() -> argparse.ArgumentParser:
                           help="arm a repro.faults plan inside every "
                                "worker (stream=seed, attempt=retry "
                                "number); default: $REPRO_FAULTS")
+    campaign.add_argument("--backend", metavar="NAME",
+                          help="IOMMU backend model for the dynamic "
+                               "replay (see 'repro-dma backends "
+                               "list'; default: intel-vtd)")
+    campaign.add_argument("--backends", metavar="NAME,NAME[,...]",
+                          help="cross-backend differential mode: run "
+                               "every seed against each listed "
+                               "backend and record backend-dependent "
+                               "disagreements in "
+                               "<output-stem>.cross.jsonl")
     campaign.set_defaults(func=cmd_campaign)
 
     trace = sub.add_parser(
@@ -1017,6 +1159,11 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--summary", action="store_true",
                        help="print counters, histograms, and the "
                             "trace-derived invalidation windows")
+    trace.add_argument("--backend", metavar="NAME",
+                       help="IOMMU backend model (see 'repro-dma "
+                            "backends list'; default: intel-vtd); "
+                            "non-default backends tag their trace "
+                            "events with a 'backend' field")
     trace.set_defaults(func=cmd_trace)
 
     cache = sub.add_parser(
@@ -1071,6 +1218,11 @@ def build_parser() -> argparse.ArgumentParser:
                             "25%%)")
     bench.add_argument("--window", type=_positive_int, default=10,
                        help="rolling-median window size")
+    bench.add_argument("--backend", metavar="NAME",
+                       help="IOMMU backend model for the campaign and "
+                            "kernel-event benches; per-backend runs "
+                            "get their own history signature and "
+                            "never cross-gate")
     bench.set_defaults(func=cmd_bench)
 
     chaos = sub.add_parser(
@@ -1105,6 +1257,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write the run's Prometheus metrics "
                             "(including faults_injected counters) "
                             "to PATH")
+    chaos.add_argument("--backend", metavar="NAME",
+                       help="IOMMU backend model for the phase-A "
+                            "workloads and phase-B campaign replay")
     chaos.set_defaults(func=cmd_chaos)
 
     metrics = sub.add_parser(
@@ -1134,6 +1289,10 @@ def build_parser() -> argparse.ArgumentParser:
     metrics.add_argument("--output", metavar="PATH",
                          help="write the export to PATH instead of "
                               "stdout")
+    metrics.add_argument("--backend", metavar="NAME",
+                         help="IOMMU backend model; non-default "
+                              "backends label their iommu metric "
+                              "families with backend=NAME")
     metrics.set_defaults(func=cmd_metrics)
 
     matrix = sub.add_parser("matrix", help="defense matrix")
@@ -1175,7 +1334,21 @@ def build_parser() -> argparse.ArgumentParser:
                        help="honor ping.sleep_ms (load tests only)")
     serve.add_argument("--stats-output", metavar="PATH",
                        help="write the serve stats JSON on shutdown")
+    serve.add_argument("--backend", metavar="NAME",
+                       help="default IOMMU backend model for replay "
+                            "requests that do not carry their own "
+                            "'backend' field "
+                            "(default $REPRO_SERVE_BACKEND, else "
+                            "intel-vtd)")
     serve.set_defaults(func=cmd_serve)
+
+    backends_cmd = sub.add_parser(
+        "backends",
+        help="list or show the pluggable IOMMU backend models")
+    backends_cmd.add_argument("action", choices=("list", "show"))
+    backends_cmd.add_argument("name", nargs="?",
+                              help="backend name (show only)")
+    backends_cmd.set_defaults(func=cmd_backends)
 
     loadgen = sub.add_parser(
         "loadgen",
@@ -1236,6 +1409,12 @@ def main(argv: list[str] | None = None) -> int:
     except KeyboardInterrupt:
         print("interrupted", file=sys.stderr)
         return 130
+    except BrokenPipeError:
+        # stdout went away mid-print (e.g. `backends list | head`);
+        # the downstream consumer got what it asked for
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

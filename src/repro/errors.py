@@ -99,6 +99,14 @@ class FaultError(ReproError):
     unreadable ``REPRO_FAULTS`` plan)."""
 
 
+class BackendError(ReproError):
+    """Unknown or invalid IOMMU backend model.
+
+    The single error path shared by every ``--backend`` consumer (CLI
+    exit code 2) and the serve protocol's ``backend`` request field.
+    """
+
+
 class ServeError(ReproError):
     """Analysis-server misuse or protocol violation (malformed NDJSON
     request, unknown request type, oversized line, exhausted retry

@@ -84,13 +84,14 @@ def _nic_recoveries(nic) -> int:
 
 
 def _run_workload(name: str, plan, *, seed: int, rounds: int,
-                  commands: int, profile_boots: int) -> WorkloadOutcome:
+                  commands: int, profile_boots: int,
+                  backend: str | None = None) -> WorkloadOutcome:
     """Boot a clean kernel, then run *name* with *plan* armed."""
     from repro.sim.kernel import Kernel
 
     if name == "compile-ping":
         from repro.sim.workload import run_compile_and_ping
-        kernel = Kernel(seed=seed, phys_mb=256)
+        kernel = Kernel(seed=seed, phys_mb=256, iommu_backend=backend)
         nic = kernel.add_nic("eth0")
         with faults.session(plan):
             stats = run_compile_and_ping(kernel, nic, rounds=rounds)
@@ -102,7 +103,7 @@ def _run_workload(name: str, plan, *, seed: int, rounds: int,
 
     if name == "storage":
         from repro.sim.workload import run_storage_workload
-        kernel = Kernel(seed=seed, phys_mb=256)
+        kernel = Kernel(seed=seed, phys_mb=256, iommu_backend=backend)
         with faults.session(plan):
             stats = run_storage_workload(kernel, commands=commands)
         return WorkloadOutcome(
@@ -122,7 +123,7 @@ def _run_workload(name: str, plan, *, seed: int, rounds: int,
     from repro.errors import AttackFailed
     profile = profile_replica_boots(profile_boots, seed=seed,
                                     nr_slots=48)
-    victim = Kernel(seed=seed)
+    victim = Kernel(seed=seed, iommu_backend=backend)
     nic = victim.add_nic("eth0")
     device = make_attacker(victim, "eth0")
     with faults.session(plan):
@@ -141,8 +142,9 @@ def _run_workload(name: str, plan, *, seed: int, rounds: int,
 
 def _campaign_phase(tooling_spec: FaultSpec, scratch: str, *,
                     campaign_seeds: int, campaign_scale: float,
-                    jobs: int, retry: int) -> tuple[WorkloadOutcome,
-                                                    str, str]:
+                    jobs: int, retry: int,
+                    backend: str | None = None
+                    ) -> tuple[WorkloadOutcome, str, str]:
     """Run the campaign fault-free then faulted; compare digests."""
     from repro import perfcache
     from repro.campaign.results import findings_digest, load_records
@@ -159,7 +161,7 @@ def _campaign_phase(tooling_spec: FaultSpec, scratch: str, *,
             output=os.path.join(scratch, f"{label}.jsonl"),
             trace_events=16,
             cache_dir=os.path.join(scratch, "cache"),
-            fault_spec=fault_spec,
+            fault_spec=fault_spec, backend=backend,
             retry=retry, retry_stalled=max(1, retry))
 
     spec_doc = tooling_spec.to_json() if tooling_spec.rules else None
@@ -212,8 +214,8 @@ def run_chaos(spec: FaultSpec, scratch: str, *, seed: int = 5,
               rounds: int = 40, commands: int = 48,
               profile_boots: int = 8, campaign_seeds: int = 2,
               campaign_scale: float = 0.08, jobs: int = 1,
-              retry: int = 2,
-              trace_capacity: int = 65536) -> ChaosReport:
+              retry: int = 2, trace_capacity: int = 65536,
+              backend: str | None = None) -> ChaosReport:
     """Run both chaos phases under *spec*; never raises for injected
     faults (they become report entries), only for genuine bugs."""
     kernel_spec, tooling_spec = spec.split()
@@ -229,7 +231,8 @@ def run_chaos(spec: FaultSpec, scratch: str, *, seed: int = 5,
                 outcome = _run_workload(name, plan, seed=seed,
                                         rounds=rounds,
                                         commands=commands,
-                                        profile_boots=profile_boots)
+                                        profile_boots=profile_boots,
+                                        backend=backend)
             except faults.InjectedFault as exc:
                 outcome = WorkloadOutcome(
                     name, False,
@@ -247,7 +250,7 @@ def run_chaos(spec: FaultSpec, scratch: str, *, seed: int = 5,
         _campaign_phase(tooling_spec, scratch,
                         campaign_seeds=campaign_seeds,
                         campaign_scale=campaign_scale, jobs=jobs,
-                        retry=retry)
+                        retry=retry, backend=backend)
     report.fired = faults.fired_counts()
     return report
 

@@ -1,4 +1,10 @@
-"""IOMMU model: IOVA domains, page tables, IOTLB, invalidation policies."""
+"""IOMMU model: IOVA domains, page tables, IOTLB, invalidation policies.
+
+The core is parameterized by a pluggable hardware model from
+:mod:`repro.backends` (IOTLB geometry, invalidation granularity and
+cost, flush cadence, IOVA quirks); the default is the paper's Intel
+VT-d model.
+"""
 
 from repro.iommu.perms import DmaPerm
 from repro.iommu.domain import IommuDomain, IovaEntry

@@ -32,12 +32,16 @@ class IovaEntry:
 class IommuDomain:
     """One device's I/O address space."""
 
-    def __init__(self, domain_id: int, name: str) -> None:
+    def __init__(self, domain_id: int, name: str, *,
+                 iova_limit: int | None = None,
+                 iova_free_cache: bool = True) -> None:
         self.domain_id = domain_id
         self.name = name
         self._entries: dict[int, IovaEntry] = {}        # iova_pfn -> entry
         self._by_pfn: dict[int, set[int]] = defaultdict(set)  # pfn -> iova_pfns
-        self.iova_allocator = IovaAllocator()
+        iova_kwargs = {} if iova_limit is None else {"limit": iova_limit}
+        self.iova_allocator = IovaAllocator(free_cache=iova_free_cache,
+                                            **iova_kwargs)
 
     def map_page(self, iova_pfn: int, pfn: int, perm: DmaPerm) -> IovaEntry:
         if iova_pfn in self._entries:

@@ -1,14 +1,18 @@
 """IOTLB invalidation policies: strict vs. deferred (Figure 6).
 
 * **Strict** invalidates the IOTLB entry synchronously on every unmap,
-  charging the ~2000-cycle invalidation cost each time. After unmap the
-  device has *no* window.
-* **Deferred** (the Linux default) queues invalidations and performs a
-  periodic global flush (default every 10 ms), amortizing the cost. The
-  page-table entry is gone, but the cached translation keeps working
-  until the flush: "a malicious device can take advantage of this time
-  window, where it has access to memory pages unbeknownst to the CPU"
-  (section 5.2.1).
+  charging the backend's invalidation cost each time (~2000 cycles on
+  Intel VT-d, vmexit-priced on virtio-iommu). After unmap the device
+  has *no* window.
+* **Deferred** (the Linux default on VT-d) queues invalidations and
+  drains them on a periodic timer, amortizing the cost. The page-table
+  entry is gone, but the cached translation keeps working until the
+  flush: "a malicious device can take advantage of this time window,
+  where it has access to memory pages unbeknownst to the CPU"
+  (section 5.2.1). What a drain invalidates is backend-dependent:
+  ``"domain"`` drops every cached entry (VT-d, AMD-Vi), ``"range"``
+  drops exactly the queued pages with one batched cost (SMMUv3 TLBI),
+  and ``"page"`` drops the queued pages paying the cost per page.
 """
 
 from __future__ import annotations
@@ -17,11 +21,14 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass
 
 from repro import faults, trace
+from repro.backends import DEFAULT_BACKEND, INVALIDATION_GRANULARITIES
 from repro.iommu.iotlb import IOTLB_INVALIDATION_CYCLES, Iotlb
 from repro.sim.clock import SimClock
 
-#: Linux's deferred flush period upper bound cited by the paper: 10 ms.
-DEFAULT_FLUSH_PERIOD_US = 10_000.0
+#: Linux's deferred flush period upper bound cited by the paper: 10 ms
+#: (the default backend's cadence; per-backend periods live in the
+#: backend spec).
+DEFAULT_FLUSH_PERIOD_US = DEFAULT_BACKEND.flush_period_us
 
 
 @dataclass
@@ -37,10 +44,23 @@ class InvalidationStats:
 class InvalidationPolicy(ABC):
     """Strategy invoked by the IOMMU core on every unmap."""
 
-    def __init__(self, clock: SimClock, iotlb: Iotlb) -> None:
+    def __init__(self, clock: SimClock, iotlb: Iotlb, *,
+                 invalidation_cycles: int = IOTLB_INVALIDATION_CYCLES,
+                 trace_extra: dict | None = None) -> None:
+        if invalidation_cycles <= 0:
+            raise ValueError(
+                f"bad invalidation cost {invalidation_cycles}")
         self._clock = clock
         self._iotlb = iotlb
+        self._cycles = invalidation_cycles
+        # non-default backends tag their events (e.g. backend=NAME);
+        # the default tags nothing, keeping pre-backend traces intact
+        self._trace_extra = trace_extra or {}
         self.stats = InvalidationStats()
+
+    @property
+    def invalidation_cycles(self) -> int:
+        return self._cycles
 
     @property
     @abstractmethod
@@ -84,8 +104,8 @@ class StrictInvalidation(InvalidationPolicy):
         if trace.enabled("iommu"):
             trace.emit("iommu", "inv_sync", domain=domain_id,
                        iova_pfn=iova_pfn,
-                       cycles=IOTLB_INVALIDATION_CYCLES)
-        self._charge(IOTLB_INVALIDATION_CYCLES)
+                       cycles=self._cycles, **self._trace_extra)
+        self._charge(self._cycles)
 
     def max_window_us(self) -> float:
         return 0.0
@@ -95,14 +115,23 @@ class StrictInvalidation(InvalidationPolicy):
 
 
 class DeferredInvalidation(InvalidationPolicy):
-    """The Linux default: batch invalidations, flush globally on a timer."""
+    """The Linux default: batch invalidations, flush on a timer."""
 
     def __init__(self, clock: SimClock, iotlb: Iotlb, *,
-                 flush_period_us: float = DEFAULT_FLUSH_PERIOD_US) -> None:
-        super().__init__(clock, iotlb)
+                 flush_period_us: float = DEFAULT_FLUSH_PERIOD_US,
+                 invalidation_cycles: int = IOTLB_INVALIDATION_CYCLES,
+                 granularity: str = "domain",
+                 trace_extra: dict | None = None) -> None:
+        super().__init__(clock, iotlb,
+                         invalidation_cycles=invalidation_cycles,
+                         trace_extra=trace_extra)
         if flush_period_us <= 0:
             raise ValueError(f"bad flush period {flush_period_us}")
+        if granularity not in INVALIDATION_GRANULARITIES:
+            raise ValueError(
+                f"bad invalidation granularity {granularity!r}")
         self._flush_period_us = flush_period_us
+        self._granularity = granularity
         self._pending: list[tuple[int, int]] = []
         self._post_flush: list = []
         self._timer = clock.call_every(flush_period_us, self.flush_now)
@@ -116,6 +145,10 @@ class DeferredInvalidation(InvalidationPolicy):
         return self._flush_period_us
 
     @property
+    def granularity(self) -> str:
+        return self._granularity
+
+    @property
     def nr_pending(self) -> int:
         return len(self._pending)
 
@@ -125,13 +158,16 @@ class DeferredInvalidation(InvalidationPolicy):
         self._pending.append((domain_id, iova_pfn))
         if trace.enabled("iommu"):
             trace.emit("iommu", "fq_defer", domain=domain_id,
-                       iova_pfn=iova_pfn, nr_pending=len(self._pending))
+                       iova_pfn=iova_pfn, nr_pending=len(self._pending),
+                       **self._trace_extra)
 
     def queue_post_flush(self, fn) -> None:
         self._post_flush.append(fn)
 
     def flush_now(self) -> None:
-        """The periodic global flush (one invalidation cost per batch)."""
+        """The periodic flush (cost charged per the backend's drain
+        granularity: one batch cost for domain/range, per-page for
+        page)."""
         if not self._pending and not self._post_flush \
                 and len(self._iotlb) == 0:
             return
@@ -142,16 +178,24 @@ class DeferredInvalidation(InvalidationPolicy):
             # widened deferred-invalidation window of section 5.2.1.
             self.stats.delayed_flushes += 1
             return
-        nr_pending = len(self._pending)
-        self._pending.clear()
-        dropped = self._iotlb.flush_all()
+        pending, self._pending = self._pending, []
+        nr_pending = len(pending)
+        if self._granularity == "domain":
+            dropped = self._iotlb.flush_all()
+            nr_charges = 1
+        else:
+            dropped = 0
+            for domain_id, iova_pfn in pending:
+                dropped += self._iotlb.invalidate(domain_id, iova_pfn)
+            nr_charges = nr_pending if self._granularity == "page" else 1
+        cycles = self._cycles * max(1, nr_charges)
         self.stats.flushes += 1
         if trace.enabled("iommu"):
             trace.emit("iommu", "fq_drain", nr_pending=nr_pending,
                        iotlb_dropped=dropped,
-                       cycles=IOTLB_INVALIDATION_CYCLES)
+                       cycles=cycles, **self._trace_extra)
             trace.count("iommu", "flushes")
-        self._charge(IOTLB_INVALIDATION_CYCLES)
+        self._charge(cycles)
         callbacks, self._post_flush = self._post_flush, []
         for fn in callbacks:
             fn()

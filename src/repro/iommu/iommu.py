@@ -12,7 +12,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro import trace
+from repro import backends, trace
+from repro.backends import IommuBackend
 from repro.errors import DmaApiError, IommuFault
 from repro.mem.accounting import NULL_SINK, MemEventSink
 from repro.iommu.domain import IommuDomain, IovaEntry
@@ -51,19 +52,32 @@ class Iommu:
     def __init__(self, phys: PhysicalMemory, clock: SimClock, *,
                  mode: str = "deferred",
                  flush_period_us: float | None = None,
+                 backend: str | IommuBackend | None = None,
                  sink: MemEventSink = NULL_SINK) -> None:
         self._phys = phys
         self._clock = clock
         self._sink = sink
-        self.iotlb = Iotlb()
+        spec = backends.resolve_backend(backend)
+        self.backend = spec
+        # Non-default backends stamp their name on trace events so
+        # per-backend runs never alias; the default emits nothing
+        # extra, keeping pre-backend traces byte-identical.
+        label = backends.backend_label(spec)
+        self._trace_extra = {} if label is None else {"backend": label}
+        self.iotlb = Iotlb(backend=spec)
         if mode == "strict":
             self.policy: InvalidationPolicy = StrictInvalidation(
-                clock, self.iotlb)
+                clock, self.iotlb,
+                invalidation_cycles=spec.invalidation_cycles,
+                trace_extra=self._trace_extra)
         elif mode == "deferred":
-            kwargs = {}
-            if flush_period_us is not None:
-                kwargs["flush_period_us"] = flush_period_us
-            self.policy = DeferredInvalidation(clock, self.iotlb, **kwargs)
+            period = (flush_period_us if flush_period_us is not None
+                      else spec.flush_period_us)
+            self.policy = DeferredInvalidation(
+                clock, self.iotlb, flush_period_us=period,
+                invalidation_cycles=spec.invalidation_cycles,
+                granularity=spec.invalidation_granularity,
+                trace_extra=self._trace_extra)
         else:
             raise ValueError(f"unknown IOMMU mode {mode!r}")
         self._domains: dict[str, IommuDomain] = {}
@@ -81,7 +95,10 @@ class Iommu:
         """Create (or return) the protection domain for a device."""
         domain = self._domains.get(device_name)
         if domain is None:
-            domain = IommuDomain(self._next_domain_id, device_name)
+            domain = IommuDomain(
+                self._next_domain_id, device_name,
+                iova_limit=self.backend.iova_limit,
+                iova_free_cache=self.backend.iova_free_cache)
             self._next_domain_id += 1
             self._domains[device_name] = domain
         return domain
@@ -127,7 +144,7 @@ class Iommu:
                 if trace.enabled("iommu"):
                     trace.emit("iommu", "stale_hit", device=device_name,
                                iova=iova, write=write,
-                               iova_pfn=iova_pfn)
+                               iova_pfn=iova_pfn, **self._trace_extra)
         else:
             entry = domain.lookup(iova_pfn)
             if entry is None:
@@ -146,7 +163,7 @@ class Iommu:
             self._clock.now_us, device, iova, write, reason))
         if trace.enabled("iommu"):
             trace.emit("iommu", "fault", device=device, iova=iova,
-                       write=write, reason=reason)
+                       write=write, reason=reason, **self._trace_extra)
         raise IommuFault(
             f"DMA {'write' if write else 'read'} fault at IOVA {iova:#x} "
             f"by {device}: {reason}", iova=iova, device=device)

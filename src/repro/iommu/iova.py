@@ -4,6 +4,11 @@ Like the Linux IOVA allocator, ranges are handed out top-down from the
 device's addressable limit, and freed ranges are cached per size for
 fast reuse. Addresses are page-granular; sub-page offsets are preserved
 by the DMA API layer, not here.
+
+Backends without a free-list cache (``iova_free_cache=False``, the
+AMD-Vi model) never reuse ranges: allocations march monotonically down
+from the limit, so a freed IOVA stays dead -- which lengthens the
+useful life of a stale IOTLB entry covering it.
 """
 
 from __future__ import annotations
@@ -20,10 +25,12 @@ DEFAULT_IOVA_LIMIT = 1 << 48
 class IovaAllocator:
     """Allocates page-aligned IOVA ranges for one domain."""
 
-    def __init__(self, *, limit: int = DEFAULT_IOVA_LIMIT) -> None:
+    def __init__(self, *, limit: int = DEFAULT_IOVA_LIMIT,
+                 free_cache: bool = True) -> None:
         if limit <= 0 or limit % (1 << PAGE_SHIFT) != 0:
             raise ValueError(f"bad IOVA limit {limit:#x}")
         self._next_top = limit
+        self._free_cache = free_cache
         self._free: dict[int, list[int]] = defaultdict(list)  # pages -> bases
         self._live: dict[int, int] = {}  # base iova -> nr_pages
 
@@ -47,7 +54,8 @@ class IovaAllocator:
         nr_pages = self._live.pop(iova, None)
         if nr_pages is None:
             raise DmaApiError(f"free of unknown IOVA {iova:#x}")
-        self._free[nr_pages].append(iova)
+        if self._free_cache:
+            self._free[nr_pages].append(iova)
         return nr_pages
 
     def nr_live(self) -> int:

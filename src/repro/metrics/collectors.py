@@ -71,17 +71,27 @@ def _publish_dma(registry: MetricsRegistry, kernel) -> None:
 
 
 def _publish_iommu(registry: MetricsRegistry, kernel) -> None:
+    from repro.backends import backend_label
+
     iommu = kernel.iommu
-    registry.gauge("iommu", "info", mode=iommu.mode).set(1)
+    # default-backend runs get NO backend label anywhere: the
+    # pre-backend Prometheus export must stay byte-identical
+    label = backend_label(getattr(iommu, "backend", None))
+    extra = {} if label is None else {"backend": label}
+    registry.gauge("iommu", "info", mode=iommu.mode, **extra).set(1)
     iotlb = iommu.iotlb.stats
-    lookups = registry.counter
+
+    def lookups(subsystem, name, **labels):
+        return registry.counter(subsystem, name, **labels, **extra)
+
     lookups("iommu", "iotlb_lookups", result="hit").set(iotlb.hits)
     lookups("iommu", "iotlb_lookups", result="miss").set(iotlb.misses)
     lookups("iommu", "iotlb_stale_hits").set(iotlb.stale_hits)
     lookups("iommu", "iotlb_invalidations").set(iotlb.invalidations)
     lookups("iommu", "iotlb_global_flushes").set(iotlb.global_flushes)
     lookups("iommu", "iotlb_evictions").set(iotlb.evictions)
-    registry.gauge("iommu", "iotlb_entries").set(iommu.iotlb.nr_entries)
+    registry.gauge("iommu", "iotlb_entries",
+                   **extra).set(iommu.iotlb.nr_entries)
     stats = iommu.stats
     lookups("iommu", "device_accesses", dir="read").set(stats.device_reads)
     lookups("iommu", "device_accesses", dir="write").set(
@@ -99,7 +109,7 @@ def _publish_iommu(registry: MetricsRegistry, kernel) -> None:
         inv.deferred_invalidations)
     lookups("iommu", "flush_queue_drains").set(inv.flushes)
     lookups("iommu", "invalidation_cycles").set(inv.cycles_spent)
-    registry.gauge("iommu", "flush_queue_depth").set(
+    registry.gauge("iommu", "flush_queue_depth", **extra).set(
         getattr(policy, "nr_pending", 0))
 
 

@@ -108,7 +108,8 @@ def bench_spade(*, scale: float = 1.0, corpus_seed: int = 2021,
 # -- campaign throughput -----------------------------------------------------
 
 def bench_campaign(*, nr_seeds: int = 4, scale: float = 0.1,
-                   jobs: tuple[int, ...] = (1, 4)) -> dict:
+                   jobs: tuple[int, ...] = (1, 4),
+                   backend: str | None = None) -> dict:
     """Seeds-per-second of the differential campaign at each ``jobs``."""
     from repro.campaign.runner import CampaignConfig, run_campaign
 
@@ -118,7 +119,8 @@ def bench_campaign(*, nr_seeds: int = 4, scale: float = 0.1,
                 prefix="repro-bench-campaign-") as cache_dir:
             config = CampaignConfig(
                 nr_seeds=nr_seeds, jobs=nr_jobs, scale=scale,
-                output=None, trace_events=0, cache_dir=cache_dir)
+                output=None, trace_events=0, cache_dir=cache_dir,
+                backend=backend)
             start = time.perf_counter()
             summary = run_campaign(config)
             elapsed = time.perf_counter() - start
@@ -136,9 +138,10 @@ def bench_campaign(*, nr_seeds: int = 4, scale: float = 0.1,
 
 # -- kernel-simulation event rates -------------------------------------------
 
-def bench_kernel_events(*, rounds: int = 3,
-                        nr_events: int = 50_000) -> dict:
+def bench_kernel_events(*, rounds: int = 3, nr_events: int = 50_000,
+                        backend: str | None = None) -> dict:
     """Best-round events/second for the IOTLB and page_frag hot paths."""
+    from repro.backends import resolve_backend
     from repro.iommu.domain import IovaEntry
     from repro.iommu.iotlb import Iotlb
     from repro.iommu.perms import DmaPerm
@@ -149,9 +152,15 @@ def bench_kernel_events(*, rounds: int = 3,
 
     entries = [IovaEntry(pfn, pfn + 1, DmaPerm.BIDIRECTIONAL)
                for pfn in range(512)]
+    spec = resolve_backend(backend)
 
     def iotlb_round() -> None:
-        iotlb = Iotlb(capacity=256)
+        # capacity pinned at 256 across backends so iotlb_events_per_s
+        # measures the backend's set geometry / replacement policy,
+        # not its cache size
+        iotlb = Iotlb(capacity=256,
+                      associativity=spec.iotlb_associativity,
+                      replacement=spec.iotlb_replacement)
         for i in range(nr_events):
             entry = entries[i % 512]
             if iotlb.lookup(7, entry.iova_pfn) is None:
@@ -184,20 +193,32 @@ def bench_kernel_events(*, rounds: int = 3,
 def run_benchmarks(*, scale: float = 1.0, corpus_seed: int = 2021,
                    campaign_seeds: int = 4, campaign_scale: float = 0.1,
                    jobs: tuple[int, ...] = (1, 4), rounds: int = 3,
-                   kernel_events: int = 50_000) -> dict:
-    """Run every family; returns the ``BENCH_perf.json`` payload."""
-    from repro import __version__
+                   kernel_events: int = 50_000,
+                   backend: str | None = None) -> dict:
+    """Run every family; returns the ``BENCH_perf.json`` payload.
 
+    *backend* selects the IOMMU model for the campaign and
+    kernel-event families (SPADE is static and unaffected). The
+    report carries a ``backend`` key only for non-default models, so
+    per-backend runs sign into their own history lane and never gate
+    against default runs.
+    """
+    from repro import __version__
+    from repro.backends import backend_label
+
+    label = backend_label(backend)
     spade = bench_spade(scale=scale, corpus_seed=corpus_seed)
     campaign = bench_campaign(nr_seeds=campaign_seeds,
-                              scale=campaign_scale, jobs=jobs)
-    kernel = bench_kernel_events(rounds=rounds, nr_events=kernel_events)
+                              scale=campaign_scale, jobs=jobs,
+                              backend=label)
+    kernel = bench_kernel_events(rounds=rounds, nr_events=kernel_events,
+                                 backend=label)
     checks = {
         "warm_faster_than_cold":
             spade["warm_disk_s"] < spade["cold_s"],
         "cached_findings_identical": spade["identical"],
     }
-    return {
+    report = {
         "schema": BENCH_SCHEMA,
         "version": __version__,
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
@@ -207,6 +228,9 @@ def run_benchmarks(*, scale: float = 1.0, corpus_seed: int = 2021,
         "checks": checks,
         "ok": all(checks.values()),
     }
+    if label is not None:
+        report["backend"] = label
+    return report
 
 
 def write_report(report: dict, path: str = DEFAULT_OUTPUT) -> None:

@@ -39,17 +39,28 @@ HIGHER_IS_BETTER = ("iotlb_events_per_s", "page_frag_events_per_s")
 
 
 def config_signature(report: dict) -> str:
-    """Fingerprint of the knobs a bench run's numbers depend on."""
+    """Fingerprint of the knobs a bench run's numbers depend on.
+
+    Non-default-backend runs append a ``backend=`` component, so
+    ``bench --check`` only ever gates a run against prior runs of the
+    *same* IOMMU model (per-backend timing profiles differ by design).
+    Default runs keep the pre-backend signature byte-identical, so
+    existing BENCH_history.jsonl trajectories keep matching.
+    """
     spade = report.get("spade", {})
     campaign = report.get("campaign", {})
     kernel = report.get("kernel", {})
     jobs = "x".join(str(run.get("jobs")) for run in
                     campaign.get("runs", ()))
-    return (f"scale={spade.get('scale')}"
-            f",corpus_seed={spade.get('corpus_seed')}"
-            f",campaign_scale={campaign.get('scale')}"
-            f",campaign_jobs={jobs}"
-            f",kernel_events={kernel.get('nr_events')}")
+    signature = (f"scale={spade.get('scale')}"
+                 f",corpus_seed={spade.get('corpus_seed')}"
+                 f",campaign_scale={campaign.get('scale')}"
+                 f",campaign_jobs={jobs}"
+                 f",kernel_events={kernel.get('nr_events')}")
+    backend = report.get("backend")
+    if backend:
+        signature += f",backend={backend}"
+    return signature
 
 
 def tracked_metrics(report: dict) -> dict[str, float]:
@@ -105,7 +116,7 @@ def parallel_scaling_warning(record: dict) -> str | None:
 
 def history_record(report: dict) -> dict:
     """One appendable JSONL record derived from a bench report."""
-    return {
+    record = {
         "schema": HISTORY_SCHEMA,
         "timestamp": report.get("timestamp"),
         "version": report.get("version"),
@@ -113,6 +124,9 @@ def history_record(report: dict) -> dict:
         "ok": report.get("ok"),
         "metrics": tracked_metrics(report),
     }
+    if report.get("backend"):
+        record["backend"] = report["backend"]
+    return record
 
 
 def append_history(path: str, record: dict) -> None:

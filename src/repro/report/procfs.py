@@ -58,12 +58,19 @@ def render_meminfo(kernel) -> str:
 
 def render_iommu_stats(kernel) -> str:
     """IOMMU / IOTLB / invalidation-policy counters as a stat block."""
+    from repro.backends import backend_label
+
     iommu = kernel.iommu
     iotlb = iommu.iotlb.stats
     stats = iommu.stats
     inv = iommu.policy.stats
+    # the header grows a backend tag only off the default model, so
+    # the pre-backend snapshot text stays byte-identical
+    label = backend_label(getattr(iommu, "backend", None))
+    header = f"iommu_stats: (mode={iommu.mode})" if label is None \
+        else f"iommu_stats: (mode={iommu.mode} backend={label})"
     lines = [
-        f"iommu_stats: (mode={iommu.mode})",
+        header,
         _row("IotlbHits", iotlb.hits),
         _row("IotlbMisses", iotlb.misses),
         _row("IotlbStaleHits", iotlb.stale_hits),

@@ -72,7 +72,8 @@ def handle_replay(request: dict) -> dict:
     record = run_seed(request["seed"], base_seed=request["base_seed"],
                       mutations_per_seed=request["mutations"],
                       scale=request["scale"],
-                      phys_mb=request["phys_mb"], trace_events=0)
+                      phys_mb=request["phys_mb"], trace_events=0,
+                      backend=request.get("backend"))
     digest = findings_digest({request["seed"]: record})
     return {
         "seed": request["seed"],

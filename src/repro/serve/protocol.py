@@ -19,7 +19,18 @@ Request documents::
     {"type": "ping", "id": 1}
     {"type": "analyze", "corpus_seed": 2021, "scale": 0.25}
     {"type": "replay", "seed": 3, "scale": 0.1, "mutations": 3}
+    {"type": "replay", "seed": 3, "backend": "arm-smmuv3"}
     {"type": "chaos", "workload": "storage", "plan_seed": 7}
+
+``analyze`` and ``replay`` accept an optional ``backend`` field naming
+an IOMMU backend model (see :mod:`repro.backends`).  An unknown name
+is a protocol error -- the same registry error the CLI's ``--backend``
+exit-2 path raises.  Replay threads it into the dynamic replay; for
+analyze it is validated then dropped (SPADE is static -- findings
+cannot depend on the IOMMU model), so backend-annotated analyze
+requests still coalesce with plain ones.  The default backend
+(``intel-vtd``, or the daemon's ``--backend``) normalizes to *no*
+field at all, keeping pre-backend requests byte-identical.
 
 Every request is validated and *normalized* (defaults filled in) before
 it reaches a worker, so two logically identical requests coalesce to
@@ -88,12 +99,15 @@ def _require(doc: dict, field: str, kinds, default=None, *,
     return value
 
 
-def parse_request(line: bytes) -> dict:
+def parse_request(line: bytes, *,
+                  default_backend: str | None = None) -> dict:
     """Decode and validate one request line into a normalized dict.
 
     Raises :class:`~repro.errors.ServeError` on anything malformed;
     the server turns that into a ``status: error`` response without
-    admitting the request.
+    admitting the request.  *default_backend* is the daemon-wide
+    IOMMU model replay requests fall back to when they carry no
+    ``backend`` field of their own.
     """
     if len(line) > MAX_LINE_BYTES:
         raise ServeError(f"request line exceeds {MAX_LINE_BYTES} bytes")
@@ -103,10 +117,32 @@ def parse_request(line: bytes) -> dict:
         raise ServeError(f"request is not valid JSON: {exc}") from None
     if not isinstance(doc, dict):
         raise ServeError("request must be a JSON object")
-    return normalize_request(doc)
+    return normalize_request(doc, default_backend=default_backend)
 
 
-def normalize_request(doc: dict) -> dict:
+def _normalize_backend(doc: dict,
+                       default_backend: str | None) -> str | None:
+    """Validate the optional ``backend`` field; returns the effective
+    *non-default* backend name, else None (so default-backend requests
+    normalize to no field at all and stay byte-identical to
+    pre-backend ones)."""
+    from repro import backends
+    from repro.errors import BackendError
+
+    value = doc.get("backend", default_backend)
+    if value is None:
+        return None
+    if not isinstance(value, str):
+        raise ServeError(f"request field 'backend': expected str, "
+                         f"got {value!r}")
+    try:
+        return backends.backend_label(value)
+    except BackendError as exc:
+        raise ServeError(str(exc)) from None
+
+
+def normalize_request(doc: dict, *,
+                      default_backend: str | None = None) -> dict:
     rtype = doc.get("type")
     if rtype not in REQUEST_TYPES:
         raise ServeError(f"unknown request type {rtype!r} "
@@ -130,6 +166,8 @@ def normalize_request(doc: dict) -> dict:
             raise ServeError("request field 'include_findings' "
                              "must be a bool")
         request["include_findings"] = include
+        # validated then dropped: SPADE findings are backend-independent
+        _normalize_backend(doc, default_backend)
     elif rtype == "replay":
         request["seed"] = _require(doc, "seed", int)
         request["base_seed"] = _require(doc, "base_seed", int, 2021)
@@ -139,6 +177,9 @@ def normalize_request(doc: dict) -> dict:
                                     positive=True)
         request["phys_mb"] = _require(doc, "phys_mb", int, 256,
                                       positive=True)
+        backend = _normalize_backend(doc, default_backend)
+        if backend is not None:
+            request["backend"] = backend
     else:  # chaos
         workload = doc.get("workload", "compile-ping")
         if workload not in CHAOS_WORKLOADS:

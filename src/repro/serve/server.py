@@ -85,6 +85,9 @@ class ServeConfig:
     #: pre-run one analyze at this scale before accepting connections
     warmup_scale: float | None = None
     warmup_corpus_seed: int = 2021
+    #: IOMMU backend model replay requests fall back to when they
+    #: carry no ``backend`` field; ``None`` means the registry default
+    default_backend: str | None = None
 
     @classmethod
     def from_env(cls, environ=None, **overrides) -> "ServeConfig":
@@ -98,10 +101,19 @@ class ServeConfig:
             memory_budget_bytes=_env_int(
                 environ, "REPRO_SERVE_MEM_BUDGET",
                 DEFAULT_MEMORY_BUDGET_MIB) << 20,
+            default_backend=environ.get("REPRO_SERVE_BACKEND"),
         )
         for name, value in overrides.items():
             if value is not None:
                 setattr(config, name, value)
+        if config.default_backend is not None:
+            from repro import backends
+            from repro.errors import BackendError
+            try:
+                config.default_backend = backends.get_backend(
+                    config.default_backend).name
+            except BackendError as exc:
+                raise ServeError(str(exc)) from None
         return config
 
 
@@ -571,7 +583,8 @@ class AnalysisServer:
     def _admit(self, connection: _Connection, line: bytes) -> None:
         """Validate, then apply admission control (bounded queue)."""
         try:
-            request = parse_request(line)
+            request = parse_request(
+                line, default_backend=self.config.default_backend)
         except ServeError as exc:
             self.stats.note_protocol_error()
             metrics.count("serve", "protocol_errors")

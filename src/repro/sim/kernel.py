@@ -48,6 +48,7 @@ class Kernel:
                  nr_cpus: int = 4, phys_mb: int = 1024,
                  iommu_mode: str = "deferred",
                  flush_period_us: float | None = None,
+                 iommu_backend=None,
                  kaslr: bool = True,
                  cet_ibt: bool = False, cet_shadow_stack: bool = False,
                  pointer_blinding: bool = False,
@@ -88,7 +89,8 @@ class Kernel:
                         if damn else self.slab)
 
         self.iommu = Iommu(self.phys, self.clock, mode=iommu_mode,
-                           flush_period_us=flush_period_us, sink=sink)
+                           flush_period_us=flush_period_us,
+                           backend=iommu_backend, sink=sink)
         self.dma = DmaApi(self.iommu, self.addr_space, self.clock, sink=sink)
         if bounce_buffers:
             from repro.core.defenses.bounce import BounceDmaApi
@@ -128,10 +130,13 @@ class Kernel:
         if recorder is not None:
             recorder.bind_clock(self.clock)
             if recorder.wants("sim"):
+                from repro.backends import backend_label
+                label = backend_label(self.iommu.backend)
+                extra = {} if label is None else {"backend": label}
                 recorder.emit("sim", "boot", seed=seed,
                               boot_index=boot_index,
                               iommu_mode=iommu_mode, nr_cpus=nr_cpus,
-                              phys_mb=phys_mb)
+                              phys_mb=phys_mb, **extra)
         # Same last-boot-wins rule for the metrics registry: this boot
         # now owns the ``kernel`` collector slot.
         metrics.observe_kernel(self)

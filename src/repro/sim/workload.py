@@ -161,11 +161,20 @@ class ReplayStats:
     sites_replayed: int = 0
     maps: int = 0
     sub_page_maps: int = 0
+    window_probes: int = 0
+    windows_open: int = 0
+    window_sites: dict = None  # "path:line" -> window observed open
+
+    def __post_init__(self) -> None:
+        if self.window_sites is None:
+            self.window_sites = {}
 
 
 def run_manifest_replay(kernel: "Kernel", manifest, *,
                         device_name: str = "camp0",
                         max_sites: int | None = None,
+                        probe_windows: bool = False,
+                        probe_delay_us: float = 250.0,
                         cpu: int = 0) -> ReplayStats:
     """Drive the kernel through every dma-map call site of a corpus
     manifest, so D-KASAN sees the same population SPADE analyzed.
@@ -188,7 +197,20 @@ def run_manifest_replay(kernel: "Kernel", manifest, *,
 
     Objects are unmapped and freed site-by-site, keeping replays
     independent of ordering and of physical page reuse.
+
+    With ``probe_windows`` the replay additionally measures each
+    site's post-unmap vulnerability window (Fig 6, per call site): the
+    device touches the mapping while live (filling the IOTLB), then --
+    ``probe_delay_us`` after the unmap -- probes whether the cached
+    translation still answers. Strict invalidation closes every
+    window; deferred invalidation leaves it open until the backend's
+    flush timer drains. The probe uses the non-faulting
+    :meth:`~repro.iommu.iommu.Iommu.device_can_access` path, so it
+    perturbs no D-KASAN verdicts; the clock advance is what lets
+    backend-specific flush cadences produce *different* per-site
+    window maps -- the cross-backend disagreement signal.
     """
+    from repro.errors import IommuFault
     from repro.mem.phys import PAGE_SIZE
 
     kernel.iommu.attach_device(device_name)
@@ -214,9 +236,24 @@ def run_manifest_replay(kernel: "Kernel", manifest, *,
                 device_name, map_kva, map_len, "DMA_FROM_DEVICE",
                 site=alloc_site), map_len))
             stats.maps += 1
+        if probe_windows:
+            # Warm the IOTLB: translations are cached on use, not at
+            # map time, and a stale window needs a cached entry.
+            try:
+                kernel.iommu.device_write(device_name, iovas[0][0],
+                                          b"\x00" * 8)
+            except IommuFault:
+                pass
         for iova, map_len in iovas:
             kernel.dma.dma_unmap_single(device_name, iova, map_len,
                                         "DMA_FROM_DEVICE")
+        if probe_windows:
+            kernel.advance_time_us(probe_delay_us)
+            open_ = kernel.iommu.device_can_access(
+                device_name, iovas[0][0], write=True)
+            stats.window_probes += 1
+            stats.windows_open += open_
+            stats.window_sites[f"{site.path}:{site.line}"] = open_
         kernel.slab.kfree(kva)
         stats.sites_replayed += 1
     return stats

@@ -1,0 +1,374 @@
+"""repro.backends: registry, IOTLB geometry, and the intel-vtd
+no-regression pin.
+
+The load-bearing invariant: the ``intel-vtd`` backend (and no backend
+at all) must reproduce the pre-backend simulator bit for bit --
+records, digests, windows, stats. Everything else (set-associative
+conflict misses, FIFO victims, per-page drain costs, IOVA quirks) is
+allowed to differ *only* when a non-default backend asks for it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import backends
+from repro.backends import (ALL_BACKENDS, AMD_VI, ARM_SMMUV3,
+                            DEFAULT_BACKEND, DEFAULT_BACKEND_NAME,
+                            INTEL_VTD, VIRTIO_IOMMU, IommuBackend)
+from repro.errors import BackendError, IommuFault
+from repro.iommu.domain import IovaEntry
+from repro.iommu.iotlb import (DEFAULT_CAPACITY,
+                               IOTLB_INVALIDATION_CYCLES, Iotlb)
+from repro.iommu.perms import DmaPerm
+from repro.sim.kernel import Kernel
+
+
+def entry(pfn: int) -> IovaEntry:
+    return IovaEntry(pfn, pfn + 1000, DmaPerm.BIDIRECTIONAL)
+
+
+# -- registry ---------------------------------------------------------------
+
+def test_registry_names_and_default():
+    assert backends.backend_names() == (
+        "amd-vi", "arm-smmuv3", "intel-vtd", "virtio-iommu")
+    assert DEFAULT_BACKEND_NAME == "intel-vtd"
+    assert backends.get_backend("intel-vtd") is DEFAULT_BACKEND
+    assert backends.resolve_backend(None) is DEFAULT_BACKEND
+    assert backends.resolve_backend(ARM_SMMUV3) is ARM_SMMUV3
+
+
+def test_unknown_backend_is_one_shared_error():
+    with pytest.raises(BackendError, match="unknown IOMMU backend"):
+        backends.get_backend("riscv-iopmp")
+    with pytest.raises(BackendError):
+        backends.resolve_backend("riscv-iopmp")
+    with pytest.raises(BackendError):
+        backends.backend_label("riscv-iopmp")
+
+
+def test_backend_label_is_none_only_for_default():
+    assert backends.backend_label(None) is None
+    assert backends.backend_label("intel-vtd") is None
+    assert backends.backend_label(INTEL_VTD) is None
+    assert backends.backend_label("arm-smmuv3") == "arm-smmuv3"
+    assert backends.backend_label(AMD_VI) == "amd-vi"
+
+
+def test_spec_is_frozen_and_json_deterministic():
+    with pytest.raises(AttributeError):
+        INTEL_VTD.iotlb_capacity = 1
+    doc = ARM_SMMUV3.to_json()
+    assert doc == ARM_SMMUV3.to_json()
+    assert doc["name"] == "arm-smmuv3"
+    assert doc["iotlb_associativity"] == 8
+    assert doc["invalidation_granularity"] == "range"
+
+
+def test_default_spec_matches_pre_backend_constants():
+    # the constants the simulator used before backends existed
+    assert INTEL_VTD.iotlb_capacity == DEFAULT_CAPACITY == 4096
+    assert INTEL_VTD.invalidation_cycles == \
+        IOTLB_INVALIDATION_CYCLES == 2000
+    assert INTEL_VTD.flush_period_us == 10_000.0
+    assert INTEL_VTD.invalidation_granularity == "domain"
+    assert INTEL_VTD.iotlb_associativity is None
+    assert INTEL_VTD.iotlb_replacement == "lru"
+    assert INTEL_VTD.iova_free_cache is True
+
+
+def test_spec_validation_rejects_bad_values():
+    good = INTEL_VTD.to_json()
+
+    def build(**overrides):
+        doc = dict(good)
+        doc.update(overrides)
+        return IommuBackend(**doc)
+
+    with pytest.raises(ValueError):
+        build(iotlb_capacity=0)
+    with pytest.raises(ValueError):
+        build(iotlb_associativity=3)  # does not divide 4096
+    with pytest.raises(ValueError):
+        build(iotlb_replacement="random")
+    with pytest.raises(ValueError):
+        build(invalidation_granularity="cacheline")
+    with pytest.raises(ValueError):
+        build(default_mode="lazy")
+    with pytest.raises(ValueError):
+        build(flush_period_us=0.0)
+    with pytest.raises(ValueError):
+        build(invalidation_cycles=-1)
+
+
+def test_parse_backends():
+    assert backends.parse_backends("intel-vtd,arm-smmuv3") == \
+        ["intel-vtd", "arm-smmuv3"]
+    assert backends.parse_backends(" amd-vi , virtio-iommu ") == \
+        ["amd-vi", "virtio-iommu"]
+    with pytest.raises(BackendError, match="unknown IOMMU backend"):
+        backends.parse_backends("intel-vtd,bogus")
+    with pytest.raises(BackendError, match="duplicate"):
+        backends.parse_backends("amd-vi,amd-vi")
+    with pytest.raises(BackendError, match="at least two"):
+        backends.parse_backends("intel-vtd")
+    with pytest.raises(BackendError, match="at least two"):
+        backends.parse_backends("")
+
+
+# -- IOTLB geometry and edge cases ------------------------------------------
+
+def test_iotlb_capacity_one():
+    iotlb = Iotlb(capacity=1)
+    iotlb.insert(1, entry(10))
+    assert iotlb.lookup(1, 10) is not None
+    iotlb.insert(1, entry(11))  # evicts the only entry
+    assert iotlb.nr_entries == 1
+    assert iotlb.stats.evictions == 1
+    assert iotlb.lookup(1, 10) is None
+    assert iotlb.lookup(1, 11) is not None
+
+
+def test_iotlb_flush_all_on_empty():
+    iotlb = Iotlb()
+    assert iotlb.flush_all() == 0
+    assert iotlb.stats.global_flushes == 1
+    assert iotlb.nr_entries == 0
+
+
+def test_iotlb_invalidate_non_resident():
+    iotlb = Iotlb()
+    assert iotlb.invalidate(3, 99) is False
+    assert iotlb.stats.invalidations == 1
+    iotlb.insert(3, entry(99))
+    assert iotlb.invalidate(3, 99) is True
+    assert iotlb.invalidate(3, 99) is False
+
+
+@pytest.mark.parametrize("fraction", (-0.1, -1.0, 1.0001, 2.0))
+def test_force_evict_rejects_out_of_range(fraction):
+    iotlb = Iotlb()
+    iotlb.insert(1, entry(1))
+    with pytest.raises(ValueError,
+                       match=r"force_evict fraction must be within"):
+        iotlb.force_evict(fraction)
+    # the bad call must not have evicted anything
+    assert iotlb.nr_entries == 1
+
+
+def test_force_evict_boundaries():
+    iotlb = Iotlb()
+    for pfn in range(8):
+        iotlb.insert(1, entry(pfn))
+    assert iotlb.force_evict(0.0) == 1   # floor: at least one victim
+    assert iotlb.nr_entries == 7
+    assert iotlb.force_evict(1.0) == 7   # full storm drains the cache
+    assert iotlb.nr_entries == 0
+    assert iotlb.force_evict(0.5) == 0   # nothing left to evict
+
+
+def test_set_associative_conflict_eviction():
+    # 4 sets x 2 ways: pfns congruent mod 4 collide in one set
+    iotlb = Iotlb(capacity=8, associativity=2)
+    assert iotlb.nr_sets == 4 and iotlb.ways == 2
+    iotlb.insert(0, entry(0))
+    iotlb.insert(0, entry(4))
+    iotlb.insert(0, entry(8))  # third resident of set 0: evicts pfn 0
+    assert iotlb.stats.evictions == 1
+    assert iotlb.lookup(0, 0) is None
+    assert iotlb.lookup(0, 4) is not None
+    assert iotlb.lookup(0, 8) is not None
+    # a fully-associative cache of the same capacity keeps all three
+    flat = Iotlb(capacity=8)
+    for pfn in (0, 4, 8):
+        flat.insert(0, entry(pfn))
+    assert flat.stats.evictions == 0
+
+
+def test_fifo_vs_lru_victim_choice():
+    def fill(replacement: str) -> Iotlb:
+        iotlb = Iotlb(capacity=2, replacement=replacement)
+        iotlb.insert(1, entry(10))
+        iotlb.insert(1, entry(11))
+        assert iotlb.lookup(1, 10) is not None  # touch the older entry
+        iotlb.insert(1, entry(12))              # forces one eviction
+        return iotlb
+
+    lru = fill("lru")
+    # the hit refreshed pfn 10, so LRU evicts pfn 11
+    assert lru.contains(1, 10) and not lru.contains(1, 11)
+    fifo = fill("fifo")
+    # FIFO ignores the hit and evicts the oldest insertion, pfn 10
+    assert not fifo.contains(1, 10) and fifo.contains(1, 11)
+
+
+def test_iotlb_backend_geometry():
+    arm = Iotlb(backend=ARM_SMMUV3)
+    assert (arm.capacity, arm.ways, arm.replacement) == (1024, 8, "lru")
+    amd = Iotlb(backend=AMD_VI)
+    assert (amd.capacity, amd.ways, amd.replacement) == (512, 512, "fifo")
+    virtio = Iotlb(backend=VIRTIO_IOMMU)
+    assert (virtio.capacity, virtio.ways) == (256, 4)
+
+
+def test_default_backend_iotlb_is_identical_to_plain():
+    plain, via_backend = Iotlb(), Iotlb(backend=INTEL_VTD)
+    for iotlb in (plain, via_backend):
+        assert iotlb.capacity == 4096
+        assert iotlb.nr_sets == 1
+        assert iotlb.replacement == "lru"
+    for pfn in range(64):
+        plain.insert(2, entry(pfn))
+        via_backend.insert(2, entry(pfn))
+    for pfn in range(0, 64, 7):
+        assert (plain.lookup(2, pfn) is None) == \
+            (via_backend.lookup(2, pfn) is None)
+    assert vars(plain.stats) == vars(via_backend.stats)
+
+
+def test_iotlb_property_default_equals_intel_vtd():
+    """Random op sequences behave identically with and without the
+    default backend spec -- the refactor added a parameter, not
+    behavior."""
+    hypothesis = pytest.importorskip("hypothesis")
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    ops = st.lists(
+        st.tuples(st.sampled_from(("insert", "lookup", "invalidate",
+                                   "flush", "evict")),
+                  st.integers(0, 2), st.integers(0, 40)),
+        max_size=80)
+
+    @settings(max_examples=60, deadline=None)
+    @given(ops)
+    def run(sequence):
+        plain, spec = Iotlb(), Iotlb(backend=INTEL_VTD)
+        for op, domain, pfn in sequence:
+            if op == "insert":
+                plain.insert(domain, entry(pfn))
+                spec.insert(domain, entry(pfn))
+            elif op == "lookup":
+                a, b = plain.lookup(domain, pfn), spec.lookup(domain, pfn)
+                assert (a is None) == (b is None)
+            elif op == "invalidate":
+                assert plain.invalidate(domain, pfn) == \
+                    spec.invalidate(domain, pfn)
+            elif op == "flush":
+                assert plain.flush_all() == spec.flush_all()
+            else:
+                assert plain.force_evict((pfn % 10) / 10.0) == \
+                    spec.force_evict((pfn % 10) / 10.0)
+        assert vars(plain.stats) == vars(spec.stats)
+        assert plain.nr_entries == spec.nr_entries
+
+    run()
+
+
+# -- kernel-level backend behavior ------------------------------------------
+
+def measure_window_ms(backend, mode=None, probe_step_ms=0.5) -> float:
+    """Fig 6 probe: how long after unmap the device can still write."""
+    spec = backends.resolve_backend(backend)
+    kernel = Kernel(seed=3, phys_mb=128,
+                    iommu_mode=mode or spec.default_mode,
+                    iommu_backend=backend,
+                    boot_jitter_pages=0, boot_jitter_blocks=0)
+    kernel.iommu.attach_device("dev0")
+    kva = kernel.slab.kmalloc(512)
+    iova = kernel.dma.dma_map_single("dev0", kva, 512,
+                                     "DMA_FROM_DEVICE")
+    kernel.iommu.device_write("dev0", iova, b"warm")
+    kernel.dma.dma_unmap_single("dev0", iova, 512, "DMA_FROM_DEVICE")
+    window_ms = 0.0
+    while window_ms < 50.0:
+        try:
+            kernel.iommu.device_write("dev0", iova, b"stale")
+        except IommuFault:
+            break
+        kernel.advance_time_ms(probe_step_ms)
+        window_ms += probe_step_ms
+    return window_ms
+
+
+def test_intel_vtd_window_identical_to_default():
+    for mode in ("deferred", "strict"):
+        assert measure_window_ms(None, mode) == \
+            measure_window_ms("intel-vtd", mode)
+
+
+def test_per_backend_windows_follow_the_spec():
+    # deferred backends: window bounded by their flush cadence
+    assert 5.0 <= measure_window_ms("intel-vtd") <= 10.5
+    assert 5.0 <= measure_window_ms("arm-smmuv3") <= 10.5
+    assert 10.0 <= measure_window_ms("amd-vi") <= 20.5
+    # virtio-iommu defaults to strict: the window never opens
+    assert measure_window_ms("virtio-iommu") == 0.0
+
+
+def test_amd_vi_does_not_reuse_iovas():
+    kernel = Kernel(seed=3, phys_mb=128, iommu_backend="amd-vi",
+                    boot_jitter_pages=0, boot_jitter_blocks=0)
+    kernel.iommu.attach_device("dev0")
+    kva = kernel.slab.kmalloc(256)
+    first = kernel.dma.dma_map_single("dev0", kva, 256, "DMA_TO_DEVICE")
+    kernel.dma.dma_unmap_single("dev0", first, 256, "DMA_TO_DEVICE")
+    kernel.advance_time_ms(25.0)  # let the flush queue release it
+    second = kernel.dma.dma_map_single("dev0", kva, 256, "DMA_TO_DEVICE")
+    assert second != first  # monotonic allocator: no free-list reuse
+
+    vtd = Kernel(seed=3, phys_mb=128,
+                 boot_jitter_pages=0, boot_jitter_blocks=0)
+    vtd.iommu.attach_device("dev0")
+    kva = vtd.slab.kmalloc(256)
+    first = vtd.dma.dma_map_single("dev0", kva, 256, "DMA_TO_DEVICE")
+    vtd.dma.dma_unmap_single("dev0", first, 256, "DMA_TO_DEVICE")
+    vtd.advance_time_ms(25.0)
+    second = vtd.dma.dma_map_single("dev0", kva, 256, "DMA_TO_DEVICE")
+    assert second == first  # the default free-cache hands it back
+
+
+def test_kernel_rejects_unknown_backend():
+    with pytest.raises(BackendError):
+        Kernel(seed=3, phys_mb=128, iommu_backend="bogus")
+
+
+# -- the intel-vtd no-regression pin ----------------------------------------
+
+def test_run_seed_intel_vtd_matches_default_byte_for_byte():
+    from repro.campaign.results import _VOLATILE_KEYS, findings_digest
+    from repro.campaign.runner import run_seed
+
+    kwargs = dict(base_seed=2021, mutations_per_seed=2, scale=0.06,
+                  trace_events=0)
+    default = run_seed(4, **kwargs)
+    vtd = run_seed(4, backend="intel-vtd", **kwargs)
+    strip = lambda record: {key: value
+                            for key, value in sorted(record.items())
+                            if key not in _VOLATILE_KEYS}
+    assert strip(default) == strip(vtd)
+    assert "backend" not in default and "backend" not in vtd
+    assert "window_sites" not in default
+    assert findings_digest({4: default}) == findings_digest({4: vtd})
+
+
+def test_run_seed_non_default_backend_annotates_and_probes():
+    from repro.campaign.runner import run_seed
+
+    record = run_seed(4, base_seed=2021, mutations_per_seed=2,
+                      scale=0.06, trace_events=0, backend="arm-smmuv3")
+    assert record["status"] == "ok"
+    assert record["backend"] == "arm-smmuv3"
+    assert record["window_sites"]  # every replayed site got probed
+    assert all(isinstance(open_, bool)
+               for open_ in record["window_sites"].values())
+    # deferred ARM model: most post-unmap windows are open
+    assert any(record["window_sites"].values())
+
+    strict = run_seed(4, base_seed=2021, mutations_per_seed=2,
+                      scale=0.06, trace_events=0,
+                      backend="virtio-iommu")
+    assert strict["backend"] == "virtio-iommu"
+    # synchronous unmaps: no window is ever observed open
+    assert not any(strict["window_sites"].values())
