@@ -7,9 +7,12 @@ corpora with per-call-site ground truth, at corpus scale:
   trees derived from :mod:`repro.corpus`, manifests kept exact;
 * :func:`~repro.campaign.oracle.run_differential` -- score both
   detectors against one tree's ground truth;
-* :func:`~repro.campaign.runner.run_campaign` -- fan seeds out over
-  worker processes with per-seed timeouts, crash capture, JSONL
-  streaming, and resume;
+* :func:`~repro.campaign.runner.run_campaign` -- fan seed batches out
+  over warm worker processes sharing one base-corpus snapshot, with
+  per-seed timeouts, crash capture, JSONL streaming, and resume;
+* :func:`~repro.campaign.shard.run_sharded_campaign` -- scale past one
+  process tree: independent runners claim seed ranges from a dir-based
+  work queue and a merge step folds the shards back together;
 * :func:`~repro.campaign.shrink.shrink_seed` -- ddmin a disagreeing
   seed's mutations down to a minimal reproducing tree.
 """
@@ -28,6 +31,9 @@ from repro.campaign.oracle import (Disagreement, DetectorScore,
 from repro.campaign.results import (CampaignSummary, format_summary,
                                     load_records, summarize)
 from repro.campaign.runner import CampaignConfig, run_campaign, run_seed
+from repro.campaign.shard import (Shard, merge_shards, plan_shards,
+                                  run_sharded_campaign,
+                                  shard_results_path)
 from repro.campaign.shrink import ShrinkResult, shrink_seed
 
 __all__ = [
@@ -39,5 +45,6 @@ __all__ = [
     "BACKEND_DISAGREEMENT_KINDS", "MultiBackendSummary",
     "backend_results_path", "cross_backend_disagreements",
     "cross_results_path", "format_multi_backend_summary",
-    "run_multi_backend_campaign",
+    "run_multi_backend_campaign", "Shard", "merge_shards",
+    "plan_shards", "run_sharded_campaign", "shard_results_path",
 ]

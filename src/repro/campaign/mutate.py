@@ -118,25 +118,53 @@ class CorpusMutator:
         self.scale = scale
         self.composition = composition if composition is not None \
             else scaled_composition(scale, composition=LINUX50_COMPOSITION)
+        #: the adopted canonical base pair (see :meth:`adopt_base`);
+        #: ``None`` until the first base_view()/adopt_base() call
+        self._base_pair: tuple[SourceTree, Manifest] | None = None
 
     # -- base corpus ---------------------------------------------------------
 
-    def base(self) -> tuple[SourceTree, Manifest]:
-        """The (regenerated) base corpus this mutator derives from.
+    def base_key(self) -> str:
+        """Content key identifying this mutator's base corpus."""
+        return perfcache.content_key("corpus", str(GENERATOR_VERSION),
+                                     str(self.base_seed),
+                                     repr(self.composition))
 
-        Generation is deterministic, so the result is cached by
-        (generator version, seed, composition) -- ``plan`` and
-        ``apply`` both need it, and a campaign calls each once per
-        seed. Callers mutate the returned tree in place, so every call
-        gets fresh copies of the cached canonical pair (the frozen
+    def base_view(self) -> tuple[SourceTree, Manifest]:
+        """The canonical base corpus, shared and **read-only**.
+
+        This is the zero-copy path the campaign hot loop uses: every
+        ``plan``/``apply`` call for every seed reads the very same
+        tree and manifest objects, so the base is never re-copied per
+        seed. Callers must not mutate the returned pair -- use
+        :meth:`base` for a private copy.
+        """
+        if self._base_pair is None:
+            self._base_pair = perfcache.default_cache().cached(
+                "corpus", self.base_key(), self._generate_base,
+                encode=_encode_base, decode=_decode_base)
+        return self._base_pair
+
+    def adopt_base(self, tree: SourceTree, manifest: Manifest) -> None:
+        """Install an externally materialized base corpus.
+
+        Warm campaign workers call this with the pair decoded from the
+        shared on-disk snapshot (see :mod:`repro.campaign.snapshot`),
+        skipping both regeneration and the per-entry disk-cache walk.
+        The pair becomes the read-only canonical base; the caller must
+        not mutate it afterwards.
+        """
+        self._base_pair = (tree, manifest)
+
+    def base(self) -> tuple[SourceTree, Manifest]:
+        """A private, mutable copy of the base corpus.
+
+        Generation is deterministic, so the canonical pair is cached
+        by (generator version, seed, composition); each call copies
+        the file dict and site list (the file texts and the frozen
         :class:`CallSiteTruth` records themselves are shared).
         """
-        key = perfcache.content_key("corpus", str(GENERATOR_VERSION),
-                                    str(self.base_seed),
-                                    repr(self.composition))
-        tree, manifest = perfcache.default_cache().cached(
-            "corpus", key, self._generate_base,
-            encode=_encode_base, decode=_decode_base)
+        tree, manifest = self.base_view()
         return (SourceTree(dict(tree.files)),
                 Manifest(list(manifest.sites)))
 
@@ -171,7 +199,7 @@ class CorpusMutator:
         """A deterministic mutation list for one campaign seed."""
         if nr_mutations < 0:
             raise CampaignError(f"bad mutation count {nr_mutations}")
-        _tree, manifest = self.base()
+        _tree, manifest = self.base_view()
         eligible = self._eligible_paths(manifest)
         rng = DeterministicRng(seed, domain="campaign/plan")
         weighted = [kind for kind, weight in _KIND_WEIGHTS
@@ -199,9 +227,15 @@ class CorpusMutator:
     # -- application ---------------------------------------------------------
 
     def apply(self, mutations: list[Mutation]) -> MutatedCorpus:
-        """Regenerate the base corpus and apply *mutations* (any
-        subset, any order) with the manifest kept exactly in sync."""
-        tree, manifest = self.base()
+        """Apply *mutations* (any subset, any order) to the base
+        corpus with the manifest kept exactly in sync.
+
+        Copy-on-write over :meth:`base_view`: only mutated files get
+        new text; every untouched file's string is shared with the
+        canonical base, so a seed's derivation never copies the
+        corpus.
+        """
+        base_tree, manifest = self.base_view()
         by_path: dict[str, list[Mutation]] = {}
         for mutation in mutations:
             if mutation.kind not in MUTATION_KINDS:
@@ -216,7 +250,7 @@ class CorpusMutator:
         new_manifest = Manifest()
         mutated_files: dict[str, str] = {}
         for path, file_mutations in by_path.items():
-            text = tree.read(path)
+            text = base_tree.read(path)
             appended = 0
             for mutation in file_mutations:
                 text, grew = self._apply_one(text, mutation)
@@ -228,9 +262,10 @@ class CorpusMutator:
         for site in manifest.sites:
             if site.path not in by_path:
                 new_manifest.add(site)
-        for path, text in mutated_files.items():
-            tree.files[path] = text
-        return MutatedCorpus(tree, new_manifest, list(mutations))
+        merged = dict(base_tree.files)
+        merged.update(mutated_files)
+        return MutatedCorpus(SourceTree(merged), new_manifest,
+                             list(mutations))
 
     def derive(self, seed: int, nr_mutations: int = 6) -> MutatedCorpus:
         return self.apply(self.plan(seed, nr_mutations))

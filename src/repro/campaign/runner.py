@@ -1,19 +1,31 @@
 """The parallel campaign runner.
 
-Seeds fan out over a :class:`concurrent.futures.ProcessPoolExecutor`
-(``jobs`` workers) in bounded chunks; each worker enforces its own
-per-seed wall-clock timeout via ``SIGALRM`` and converts every failure
--- timeout, exception, even a worker-pool collapse -- into a result
-record, so one pathological seed never kills the campaign. Results
-stream to JSONL the moment they arrive (see
-:mod:`repro.campaign.results`), which is what makes ``--resume``
-lossless.
+Built for raw throughput: seeds fan out over long-lived **warm
+workers** (a ``ProcessPoolExecutor`` whose initializer runs once per
+process: configure the shared cache, adopt the parent's base-corpus
+snapshot, compile nothing per task) and travel in **batches** -- the
+parent sizes each task to carry at least
+:attr:`CampaignConfig.batch_target_s` of work (adaptive, from an EWMA
+of observed per-seed duration), so submit/pickle/result IPC is paid
+per batch instead of per seed. The base corpus itself is materialized
+exactly once into a content-addressed mmap-friendly snapshot (see
+:mod:`repro.campaign.snapshot`) that every worker opens read-only;
+:meth:`~repro.campaign.mutate.CorpusMutator.base_view` then serves
+every seed from the same in-memory tree with zero corpus copies.
+
+Each worker enforces its own per-seed wall-clock timeout via
+``SIGALRM`` and converts every failure -- timeout, exception, even a
+worker-pool collapse -- into a result record, so one pathological
+seed never kills the campaign. Results stream to JSONL the moment
+they arrive (see :mod:`repro.campaign.results`), which is what makes
+``--resume`` lossless.
 
 Health telemetry: when ``heartbeat_dir`` is set, every worker rewrites
-one ``worker-<pid>.json`` beat per seed (see
-:mod:`repro.metrics.heartbeat`) and the parent polls the pool with a
+one ``worker-<pid>.json`` beat per **seed** -- not per task -- so a
+long healthy batch never reads as silence (see
+:mod:`repro.metrics.heartbeat`); the parent polls the pool with a
 timeout instead of blocking on each future, scanning the heartbeat
-directory between polls -- so a wedged seed surfaces as a STALLED
+directory between polls, so a wedged seed surfaces as a STALLED
 worker on the progress line instead of a silent hang.
 
 Self-healing: ``retry`` grants every failing seed a bounded number of
@@ -21,19 +33,26 @@ re-runs (with deterministic jittered backoff when ``backoff_s`` is
 set), and ``retry_stalled`` upgrades the STALLED flag into recovery --
 the parent SIGKILLs the silent worker, lets the pool collapse and
 rebuild, records the victim seed as ``stalled``, and requeues it;
-innocent seeds that were in flight in the same pool are requeued
-without charging their retry budget. ``fault_spec`` arms a per-seed
+innocent seeds that were in flight in the same pool (including the
+victim batch's other seeds) are requeued without charging their retry
+budget. ``fault_spec`` arms a per-seed
 :class:`~repro.faults.FaultPlan` (stream = seed, attempt = retry
 number) inside :func:`_guarded_run_seed`, which is how the chaos
-harness injects worker crashes and cache I/O errors deterministically.
+harness injects worker crashes and cache I/O errors deterministically;
+the batch-lifecycle site ``campaign.batch.crash`` additionally fires
+once per batch (stream = the batch's first seed) and takes the whole
+batch down, exercising the parent's batch-failure requeue path.
 """
 
 from __future__ import annotations
 
+import math
 import os
 import random
+import shutil
 import signal
 import sys
+import tempfile
 import time
 import traceback
 from collections import Counter, deque
@@ -43,6 +62,7 @@ from dataclasses import dataclass
 from typing import Callable
 
 from repro import faults, metrics, perfcache
+from repro.campaign import snapshot as snapshot_store
 from repro.campaign.mutate import CorpusMutator
 from repro.campaign.oracle import run_differential
 from repro.campaign.results import (CampaignSummary, append_record,
@@ -52,15 +72,25 @@ from repro.campaign.results import (CampaignSummary, append_record,
 from repro.metrics.heartbeat import (DEFAULT_STALL_AFTER_S, Heartbeat,
                                      HeartbeatMonitor, WorkerHealth)
 
-#: per-chunk submission factor: bounds peak queued futures while
-#: keeping every worker busy between chunk boundaries
-CHUNK_FACTOR = 4
+#: in-flight task factor: the parent keeps at most ``jobs * 2`` batch
+#: futures queued, enough to hide result-processing latency without
+#: hoarding seeds in oversized batches
+INFLIGHT_FACTOR = 2
 
 #: how often the parent wakes to scan heartbeats while futures run
 HEARTBEAT_POLL_S = 2.0
 
 #: retry backoff sleeps are capped here no matter the configuration
 MAX_BACKOFF_S = 5.0
+
+#: default adaptive-batching target: at least this much work per task
+DEFAULT_BATCH_TARGET_S = 0.05
+
+#: adaptive batches never exceed this many seeds
+DEFAULT_MAX_BATCH = 64
+
+#: EWMA smoothing for the observed per-seed duration
+_EWMA_ALPHA = 0.3
 
 
 @dataclass
@@ -98,6 +128,13 @@ class CampaignConfig:
     #: IOMMU backend model for the dynamic replay; ``None`` (or
     #: ``"intel-vtd"``) is the pre-backend default path
     backend: str | None = None
+    #: root for the shared base-corpus snapshot workers map read-only;
+    #: ``None`` derives one from ``cache_dir`` (or a temp dir)
+    snapshot_dir: str | None = None
+    #: adaptive batching: target at least this much work per task
+    batch_target_s: float = DEFAULT_BATCH_TARGET_S
+    #: adaptive batching: hard per-batch seed cap
+    max_batch: int = DEFAULT_MAX_BATCH
 
     @property
     def seeds(self) -> list[int]:
@@ -115,10 +152,17 @@ def _alarm_handler(_signum, _frame):
 def run_seed(seed: int, *, base_seed: int = 2021,
              mutations_per_seed: int = 6, scale: float = 1.0,
              phys_mb: int = 256, trace_events: int = 64,
-             backend: str | None = None) -> dict:
-    """Derive, analyze, replay, and score one campaign seed."""
+             backend: str | None = None,
+             mutator: CorpusMutator | None = None) -> dict:
+    """Derive, analyze, replay, and score one campaign seed.
+
+    *mutator*, when given, is a warm :class:`CorpusMutator` whose base
+    corpus is already materialized (the worker-process fast path); it
+    must match *base_seed*/*scale*.
+    """
     start = time.monotonic()
-    mutator = CorpusMutator(base_seed, scale=scale)
+    if mutator is None:
+        mutator = CorpusMutator(base_seed, scale=scale)
     mutated = mutator.derive(seed, mutations_per_seed)
     result = run_differential(mutated.tree, mutated.manifest, seed=seed,
                               phys_mb=phys_mb,
@@ -129,7 +173,8 @@ def run_seed(seed: int, *, base_seed: int = 2021,
 
 
 def _guarded_run_seed(seed: int, config: "CampaignConfig", *,
-                      use_alarm: bool, attempt: int = 0) -> dict:
+                      use_alarm: bool, attempt: int = 0,
+                      mutator: CorpusMutator | None = None) -> dict:
     """run_seed with crash capture, optional fault plan, and (in
     workers) a hard timeout."""
     start = time.monotonic()
@@ -154,7 +199,8 @@ def _guarded_run_seed(seed: int, config: "CampaignConfig", *,
                               mutations_per_seed=config.mutations_per_seed,
                               scale=config.scale, phys_mb=config.phys_mb,
                               trace_events=config.trace_events,
-                              backend=config.backend)
+                              backend=config.backend,
+                              mutator=mutator)
     except _SeedTimeout:
         record = failure_record(seed, "timeout",
                                 f"exceeded {config.timeout_s}s",
@@ -177,48 +223,102 @@ def _guarded_run_seed(seed: int, config: "CampaignConfig", *,
 
 
 #: set once per worker process by :func:`_init_worker`; each submitted
-#: task then pickles only the seed integer instead of re-shipping the
-#: whole config with every future
+#: task then pickles only its seed batch instead of re-shipping the
+#: whole config (or the corpus) with every future
 _WORKER_CONFIG: CampaignConfig | None = None
 _WORKER_HEARTBEAT: Heartbeat | None = None
+_WORKER_MUTATOR: CorpusMutator | None = None
 _WORKER_SEEDS_DONE = 0
+_WORKER_BATCHES_DONE = 0
 
 
-def _init_worker(config: "CampaignConfig") -> None:
-    global _WORKER_CONFIG, _WORKER_HEARTBEAT, _WORKER_SEEDS_DONE
+def _init_worker(config: "CampaignConfig",
+                 snapshot_path: str | None = None) -> None:
+    """One-time per-process warm-up: this is what makes workers warm.
+
+    Configures the shared disk cache, builds the process's one
+    :class:`CorpusMutator`, and materializes its base corpus -- from
+    the parent's read-only snapshot when one exists, else from the
+    cache/regenerate path. Every batch the worker later pulls reuses
+    all of it; no per-task setup remains.
+    """
+    global _WORKER_CONFIG, _WORKER_HEARTBEAT, _WORKER_MUTATOR
+    global _WORKER_SEEDS_DONE, _WORKER_BATCHES_DONE
     _WORKER_CONFIG = config
     _WORKER_SEEDS_DONE = 0
+    _WORKER_BATCHES_DONE = 0
     if config.cache_dir:
         perfcache.configure(config.cache_dir)
     if config.heartbeat_dir:
         _WORKER_HEARTBEAT = Heartbeat(config.heartbeat_dir,
                                       str(os.getpid()))
-        _WORKER_HEARTBEAT.beat(stage="idle", seeds_done=0)
+        _WORKER_HEARTBEAT.beat(stage="warmup", seeds_done=0)
     else:
         _WORKER_HEARTBEAT = None
+    _WORKER_MUTATOR = CorpusMutator(config.base_seed,
+                                    scale=config.scale)
+    adopted = False
+    if snapshot_path:
+        adopted = snapshot_store.adopt(_WORKER_MUTATOR, snapshot_path)
+    if not adopted:
+        # no (or torn) snapshot: warm from the cache/regenerate path
+        # once, here, instead of lazily inside the first seed
+        _WORKER_MUTATOR.base_view()
+    if _WORKER_HEARTBEAT is not None:
+        _WORKER_HEARTBEAT.beat(stage="idle", seeds_done=0)
 
 
-def _worker(seed: int, attempt: int = 0) -> dict:
-    global _WORKER_SEEDS_DONE
-    assert _WORKER_CONFIG is not None, "worker initializer did not run"
+def _worker_batch(seeds: list[int], attempts: list[int]) -> list[dict]:
+    """Run one seed batch in a warm worker; returns one record per
+    seed. Heartbeats update per seed *within* the batch, so stall
+    detection keeps seed granularity no matter the batch size."""
+    global _WORKER_SEEDS_DONE, _WORKER_BATCHES_DONE
+    config = _WORKER_CONFIG
+    assert config is not None, "worker initializer did not run"
     beat = _WORKER_HEARTBEAT
+    if config.fault_spec:
+        # batch-lifecycle fault site: one poke per batch, stream keyed
+        # by the batch's first seed. A firing takes the whole batch
+        # down (the parent requeues every seed in it).
+        batch_plan = faults.FaultSpec.from_json(
+            config.fault_spec).compile(stream=seeds[0],
+                                       attempt=attempts[0])
+        with faults.session(batch_plan):
+            if "campaign.batch.crash" in faults.active_sites \
+                    and faults.fires("campaign.batch.crash"):
+                raise faults.InjectedWorkerCrash("campaign.batch.crash")
+    records = []
+    for position, (seed, attempt) in enumerate(zip(seeds, attempts)):
+        if beat is not None:
+            beat.beat(stage="running", seed=seed,
+                      seeds_done=_WORKER_SEEDS_DONE,
+                      batch_index=_WORKER_BATCHES_DONE,
+                      batch_position=position, batch_size=len(seeds))
+        records.append(_guarded_run_seed(seed, config, use_alarm=True,
+                                         attempt=attempt,
+                                         mutator=_WORKER_MUTATOR))
+        _WORKER_SEEDS_DONE += 1
+    _WORKER_BATCHES_DONE += 1
     if beat is not None:
-        beat.beat(stage="running", seed=seed,
+        beat.beat(stage="idle", seed=seeds[-1],
                   seeds_done=_WORKER_SEEDS_DONE)
-    record = _guarded_run_seed(seed, _WORKER_CONFIG, use_alarm=True,
-                               attempt=attempt)
-    _WORKER_SEEDS_DONE += 1
-    if beat is not None:
-        beat.beat(stage="idle", seed=seed,
-                  seeds_done=_WORKER_SEEDS_DONE)
-    if _WORKER_CONFIG.cache_dir:
-        # lock-free: each process only ever overwrites its own file
+    if config.cache_dir:
+        # lock-free (each process only ever overwrites its own file),
+        # and amortized: once per batch, not per seed
         perfcache.default_cache().persist_stats()
-    return record
+    return records
 
 
-def _chunks(items: list[int], size: int) -> list[list[int]]:
-    return [items[i:i + size] for i in range(0, len(items), size)]
+def _batch_size(avg_seed_s: float | None, nr_pending: int, jobs: int, *,
+                target_s: float, max_batch: int) -> int:
+    """Adaptive batch sizing: ≥ *target_s* of work per task, but never
+    so large that workers idle while one hoards the tail of the queue."""
+    if avg_seed_s and avg_seed_s > 0:
+        by_time = math.ceil(target_s / avg_seed_s)
+    else:
+        by_time = 1   # no measurement yet: smallest batch, fastest probe
+    fair_share = math.ceil(nr_pending / max(1, jobs * INFLIGHT_FACTOR))
+    return max(1, min(by_time, fair_share, max_batch))
 
 
 def run_campaign(config: CampaignConfig, *,
@@ -306,6 +406,9 @@ def run_campaign(config: CampaignConfig, *,
     if config.jobs <= 1:
         beat = Heartbeat(config.heartbeat_dir, "main") \
             if config.heartbeat_dir else None
+        # one warm mutator for the whole inline run: the base corpus
+        # is materialized once, every seed derives from the same view
+        mutator = CorpusMutator(config.base_seed, scale=config.scale)
         queue = deque(pending)
         nr_done = 0
         while queue:
@@ -315,7 +418,8 @@ def run_campaign(config: CampaignConfig, *,
                           seeds_done=nr_done)
             record_result(_guarded_run_seed(seed, config,
                                             use_alarm=False,
-                                            attempt=tries[seed]))
+                                            attempt=tries[seed],
+                                            mutator=mutator))
             if requeued:
                 queue.extend(requeued)
                 requeued.clear()
@@ -327,6 +431,27 @@ def run_campaign(config: CampaignConfig, *,
         if config.cache_dir:
             perfcache.default_cache().persist_stats()
         return summarize(records)
+
+    # -- parallel mode: snapshot once, then warm batched workers -------------
+
+    snapshot_path = None
+    scratch_snapshot_root = None
+    if pending:
+        snapshot_root = config.snapshot_dir
+        if not snapshot_root and config.cache_dir:
+            snapshot_root = os.path.join(config.cache_dir, "snapshots")
+        if not snapshot_root:
+            scratch_snapshot_root = tempfile.mkdtemp(
+                prefix="repro-campaign-snap-")
+            snapshot_root = scratch_snapshot_root
+        try:
+            snapshot_path = snapshot_store.materialize(
+                CorpusMutator(config.base_seed, scale=config.scale),
+                snapshot_root)
+        except OSError:
+            # a snapshot is an optimization, never a requirement:
+            # workers fall back to the cache/regenerate path
+            snapshot_path = None
 
     killed_pids: set[int] = set()
 
@@ -361,58 +486,101 @@ def run_campaign(config: CampaignConfig, *,
             except OSError:
                 pass
 
-    work = list(pending)
-    while work:
-        executor = ProcessPoolExecutor(max_workers=config.jobs,
-                                       initializer=_init_worker,
-                                       initargs=(config,))
-        broken = False
-        stall_victims: dict[int, int] = {}   # killed pid -> its seed
-        stalled_seeds: set[int] = set()
-        try:
-            for chunk in _chunks(list(work),
-                                 config.jobs * CHUNK_FACTOR):
-                seed_of = {executor.submit(_worker, seed, tries[seed]):
-                           seed for seed in chunk}
-                not_done = set(seed_of)
-                while not_done:
-                    finished, not_done = wait(
-                        not_done, timeout=HEARTBEAT_POLL_S,
+    avg_seed_s: float | None = None
+    work = deque(pending)
+    try:
+        while work:
+            executor = ProcessPoolExecutor(
+                max_workers=config.jobs, initializer=_init_worker,
+                initargs=(config, snapshot_path))
+            broken = False
+            stall_victims: dict[int, int] = {}   # killed pid -> seed
+            inflight: dict = {}                  # future -> [seeds]
+            try:
+                while work or inflight:
+                    while work and not broken \
+                            and len(inflight) < config.jobs \
+                            * INFLIGHT_FACTOR:
+                        size = _batch_size(
+                            avg_seed_s, len(work), config.jobs,
+                            target_s=config.batch_target_s,
+                            max_batch=config.max_batch)
+                        batch = [work.popleft()
+                                 for _ in range(min(size, len(work)))]
+                        future = executor.submit(
+                            _worker_batch, batch,
+                            [tries[seed] for seed in batch])
+                        inflight[future] = batch
+                        metrics.count("campaign", "batches")
+                    if not inflight:
+                        break
+                    finished, _pending = wait(
+                        inflight, timeout=HEARTBEAT_POLL_S,
                         return_when=FIRST_COMPLETED)
+                    stalled_seeds = set(stall_victims.values())
                     for future in finished:
-                        seed = seed_of[future]
-                        work.remove(seed)
+                        batch = inflight.pop(future)
                         try:
-                            record = future.result()
+                            batch_records = future.result()
                         except BrokenProcessPool:
                             # the pool died: either we shot a stalled
                             # worker, or a worker was e.g. OOM-killed
                             broken = True
-                            if seed in stalled_seeds:
-                                record = failure_record(
-                                    seed, "stalled",
-                                    f"worker killed after exceeding "
-                                    f"the {config.stall_after_s:.0f}s "
-                                    f"heartbeat stall threshold")
-                            elif stall_victims:
-                                # innocent bystander of the stall
-                                # kill: requeue without charging its
-                                # retry budget
-                                requeued.append(seed)
-                                continue
-                            else:
-                                record = failure_record(
-                                    seed, "crash",
-                                    "worker process pool collapsed")
-                        record_result(record)
-                    poll_and_recover({seed_of[f] for f in not_done},
-                                     stall_victims)
-                    stalled_seeds = set(stall_victims.values())
-                if broken:
-                    break
-        finally:
-            executor.shutdown(wait=False, cancel_futures=True)
-        if requeued:
-            work.extend(requeued)
-            requeued.clear()
+                            for seed in batch:
+                                if seed in stalled_seeds:
+                                    record_result(failure_record(
+                                        seed, "stalled",
+                                        f"worker killed after "
+                                        f"exceeding the "
+                                        f"{config.stall_after_s:.0f}s "
+                                        f"heartbeat stall threshold"))
+                                elif stall_victims:
+                                    # innocent bystander of the stall
+                                    # kill: requeue without charging
+                                    # its retry budget
+                                    requeued.append(seed)
+                                else:
+                                    record_result(failure_record(
+                                        seed, "crash",
+                                        "worker process pool "
+                                        "collapsed"))
+                            continue
+                        except faults.InjectedFault as exc:
+                            # batch-lifecycle fault: every seed in the
+                            # batch failed together; retry re-runs them
+                            for seed in batch:
+                                record_result(failure_record(
+                                    seed, "fault",
+                                    f"injected fault at {exc.site}"))
+                            continue
+                        except Exception:
+                            for seed in batch:
+                                record_result(failure_record(
+                                    seed, "error",
+                                    traceback.format_exc()))
+                            continue
+                        for record in batch_records:
+                            duration = record.get("duration_s") or 0.0
+                            if duration > 0:
+                                avg_seed_s = duration \
+                                    if avg_seed_s is None else \
+                                    (1 - _EWMA_ALPHA) * avg_seed_s \
+                                    + _EWMA_ALPHA * duration
+                            record_result(record)
+                    if requeued:
+                        work.extend(requeued)
+                        requeued.clear()
+                    inflight_seeds = {seed for batch in inflight.values()
+                                      for seed in batch}
+                    poll_and_recover(inflight_seeds, stall_victims)
+                    if broken and not inflight:
+                        break
+            finally:
+                executor.shutdown(wait=False, cancel_futures=True)
+            if requeued:
+                work.extend(requeued)
+                requeued.clear()
+    finally:
+        if scratch_snapshot_root:
+            shutil.rmtree(scratch_snapshot_root, ignore_errors=True)
     return summarize(records)

@@ -1,0 +1,255 @@
+"""Sharded work-queue mode: scale a campaign past one process tree.
+
+``repro-dma campaign --shard-dir DIR`` turns the seed range into a
+directory-based work queue that any number of **independent runner
+processes** (or machines sharing a filesystem) can drain
+cooperatively. The queue needs no daemon and no locks beyond POSIX
+atomic file creation:
+
+* the seed range is cut into fixed-size shards (``--shard-size``);
+  shard *K* covers a deterministic seed interval, so every runner
+  computes the same queue from the same config;
+* a runner claims shard *K* by creating ``claim-K.json`` with
+  ``O_CREAT | O_EXCL`` -- exactly one creator wins; the claim file
+  records owner (host/pid), interval, and a monotonic generation;
+* the owner refreshes its claim's timestamp as it progresses
+  (atomic replace) and drops a ``done-K.json`` marker on completion;
+* a claim that has gone silent for ``--stale-claim`` seconds without
+  a done marker is presumed dead (killed runner) and may be **stolen**:
+  the thief atomically replaces the claim with generation+1 and re-runs
+  the shard. Stolen work may duplicate records, never corrupt them --
+  per-seed results are deterministic and the merge step dedupes.
+
+Each shard writes its own ``<stem>.shard-K.jsonl`` via the normal
+runner (so ``--resume``, ``--retry``, heartbeats, fault plans, and
+backends all compose per shard), and :func:`merge_shards` combines
+them into the campaign's single results file with dedupe and the
+torn-tail healing :func:`~repro.campaign.results.load_records` already
+provides. The merged findings digest is byte-identical to a single
+jobs=1 run of the same campaign.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import sys
+import time
+from dataclasses import dataclass, replace
+from typing import Callable
+
+from repro.campaign.results import (CampaignSummary, load_records,
+                                    summarize)
+from repro.campaign.runner import CampaignConfig, run_campaign
+from repro.errors import CampaignError
+
+#: default seeds per shard -- small enough that a late-joining runner
+#: still finds work, large enough that claim traffic is negligible
+DEFAULT_SHARD_SIZE = 25
+
+#: a claim untouched for this long (and not done) is presumed dead
+DEFAULT_STALE_CLAIM_S = 300.0
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One claimable slice of the campaign's seed range."""
+
+    index: int
+    seed_base: int
+    nr_seeds: int
+
+    @property
+    def seeds(self) -> list[int]:
+        return list(range(self.seed_base, self.seed_base + self.nr_seeds))
+
+
+def plan_shards(config: CampaignConfig,
+                shard_size: int = DEFAULT_SHARD_SIZE) -> list[Shard]:
+    """Cut the campaign's seed range into the deterministic shard queue."""
+    if shard_size <= 0:
+        raise CampaignError(f"shard size must be positive, "
+                            f"got {shard_size}")
+    shards = []
+    for index, start in enumerate(range(0, config.nr_seeds, shard_size)):
+        shards.append(Shard(index, config.seed_base + start,
+                            min(shard_size, config.nr_seeds - start)))
+    return shards
+
+
+def shard_results_path(output: str, index: int) -> str:
+    stem, ext = os.path.splitext(output)
+    return f"{stem}.shard-{index}{ext or '.jsonl'}"
+
+
+def _claim_path(shard_dir: str, index: int) -> str:
+    return os.path.join(shard_dir, f"claim-{index}.json")
+
+
+def _done_path(shard_dir: str, index: int) -> str:
+    return os.path.join(shard_dir, f"done-{index}.json")
+
+
+def _owner() -> str:
+    return f"{socket.gethostname()}:{os.getpid()}"
+
+
+def _claim_body(shard: Shard, generation: int) -> dict:
+    return {"shard": shard.index, "seed_base": shard.seed_base,
+            "nr_seeds": shard.nr_seeds, "owner": _owner(),
+            "generation": generation, "claimed_at": time.time()}
+
+
+def _write_atomic(path: str, body: dict) -> None:
+    tmp = f"{path}.{os.getpid()}.tmp"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(body, handle, sort_keys=True)
+    os.replace(tmp, path)
+
+
+def try_claim(shard_dir: str, shard: Shard, *,
+              stale_after_s: float = DEFAULT_STALE_CLAIM_S) -> dict | None:
+    """Claim *shard*; returns the claim body on success, None if it is
+    owned (and fresh) or already done.
+
+    The fresh-claim path is ``O_CREAT | O_EXCL`` -- one winner, always.
+    The steal path (stale claim, no done marker) is an atomic replace
+    carrying generation+1; two simultaneous thieves still end with one
+    file and deterministic records, so the worst case is duplicated
+    work, which the merge step dedupes.
+    """
+    if os.path.exists(_done_path(shard_dir, shard.index)):
+        return None
+    path = _claim_path(shard_dir, shard.index)
+    body = _claim_body(shard, generation=0)
+    try:
+        fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+    except FileExistsError:
+        try:
+            with open(path, encoding="utf-8") as handle:
+                current = json.load(handle)
+            age = time.time() - float(current.get("claimed_at", 0.0))
+            generation = int(current.get("generation", 0))
+        except (OSError, ValueError):
+            # torn claim (writer died mid-replace churn): treat as stale
+            age, generation = float("inf"), 0
+        if age <= stale_after_s:
+            return None
+        body = _claim_body(shard, generation=generation + 1)
+        _write_atomic(path, body)
+        return body
+    with os.fdopen(fd, "w", encoding="utf-8") as handle:
+        json.dump(body, handle, sort_keys=True)
+    return body
+
+
+def refresh_claim(shard_dir: str, shard: Shard, claim: dict) -> None:
+    """Touch the claim so other runners keep treating it as live."""
+    claim = dict(claim)
+    claim["claimed_at"] = time.time()
+    _write_atomic(_claim_path(shard_dir, shard.index), claim)
+
+
+def mark_done(shard_dir: str, shard: Shard, claim: dict,
+              results_path: str) -> None:
+    body = dict(claim)
+    body["done_at"] = time.time()
+    body["results"] = results_path
+    _write_atomic(_done_path(shard_dir, shard.index), body)
+
+
+def shard_config(config: CampaignConfig, shard: Shard) -> CampaignConfig:
+    """The runner config for one shard: its seed interval, its own
+    results file, and resume always on (a stolen shard continues from
+    whatever the dead owner already landed)."""
+    if not config.output:
+        raise CampaignError("sharded mode needs --output")
+    return replace(config, seed_base=shard.seed_base,
+                   nr_seeds=shard.nr_seeds,
+                   output=shard_results_path(config.output, shard.index),
+                   resume=True)
+
+
+def run_sharded_campaign(config: CampaignConfig, shard_dir: str, *,
+                         shard_size: int = DEFAULT_SHARD_SIZE,
+                         stale_after_s: float = DEFAULT_STALE_CLAIM_S,
+                         progress: Callable[[dict], None] | None = None,
+                         heartbeat=None,
+                         log=lambda _msg: None) -> int:
+    """Drain the shard queue: claim, run, mark done, repeat.
+
+    Returns the number of shards this runner completed. Other runners
+    pointed at the same *shard_dir* drain the rest; when every shard
+    has a done marker, :func:`merge_shards` builds the merged results.
+    """
+    os.makedirs(shard_dir, exist_ok=True)
+    nr_run = 0
+    for shard in plan_shards(config, shard_size):
+        claim = try_claim(shard_dir, shard, stale_after_s=stale_after_s)
+        if claim is None:
+            continue
+        log(f"shard {shard.index}: claimed seeds "
+            f"[{shard.seed_base}, {shard.seed_base + shard.nr_seeds - 1}]"
+            f" (generation {claim['generation']})")
+        sub = shard_config(config, shard)
+
+        def _progress(record: dict, _shard=shard, _claim=claim) -> None:
+            refresh_claim(shard_dir, _shard, _claim)
+            if progress is not None:
+                progress(record)
+
+        run_campaign(sub, progress=_progress, heartbeat=heartbeat)
+        mark_done(shard_dir, shard, claim, sub.output)
+        nr_run += 1
+    return nr_run
+
+
+def pending_shards(config: CampaignConfig, shard_dir: str, *,
+                   shard_size: int = DEFAULT_SHARD_SIZE) -> list[Shard]:
+    """Shards with no done marker yet (claimed-but-unfinished counts)."""
+    return [shard for shard in plan_shards(config, shard_size)
+            if not os.path.exists(_done_path(shard_dir, shard.index))]
+
+
+def merge_shards(config: CampaignConfig, *,
+                 shard_size: int = DEFAULT_SHARD_SIZE,
+                 on_bad_line=None) -> CampaignSummary:
+    """Combine every shard's JSONL into the campaign's results file.
+
+    Dedupe prefers completed records over failures (a stolen shard can
+    leave both a dead owner's failure and the thief's success), torn
+    tails are healed by :func:`load_records`, and the merged file is
+    written sorted by seed -- byte-identical ordering to a jobs=1 run,
+    so the findings digests match.
+    """
+    if not config.output:
+        raise CampaignError("merge needs --output")
+    merged: dict[int, dict] = {}
+    for shard in plan_shards(config, shard_size):
+        path = shard_results_path(config.output, shard.index)
+        for seed, record in load_records(
+                path, on_bad_line=on_bad_line).items():
+            if seed not in shard.seeds:
+                continue   # foreign/corrupt row: never cross shards
+            current = merged.get(seed)
+            if current is None or (current.get("status") != "ok"
+                                   and record.get("status") == "ok"):
+                merged[seed] = record
+    missing = [seed for seed in config.seeds if seed not in merged]
+    if missing:
+        shown = ", ".join(map(str, missing[:8]))
+        print(f"campaign: warning: merge is missing "
+              f"{len(missing)} seed(s) ({shown}); "
+              f"run more shard workers or re-run --merge later",
+              file=sys.stderr)
+    tmp = f"{config.output}.merge.{os.getpid()}.tmp"
+    parent = os.path.dirname(config.output)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(tmp, "w", encoding="utf-8") as handle:
+        for seed in sorted(merged):
+            handle.write(json.dumps(merged[seed], sort_keys=True) + "\n")
+    os.replace(tmp, config.output)
+    return summarize({seed: record for seed, record in merged.items()
+                      if seed in config.seeds})

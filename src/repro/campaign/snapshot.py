@@ -1,0 +1,190 @@
+"""Shared on-disk base-corpus snapshots for warm campaign workers.
+
+The parallel-campaign regression had three ingredients; this module
+removes the biggest one. Before, every worker process materialized its
+own copy of the generated base corpus -- either by regenerating ~450
+files or by walking ~450 individual JSON cache entries -- once per
+process (and before PR 3, once per *seed*). A snapshot materializes
+the corpus exactly once, in the parent, as two files:
+
+``corpus.bin``
+    every file's UTF-8 text concatenated into one blob. Workers map
+    it with :mod:`mmap`, so N workers on one host share the same page
+    cache pages instead of N private heaps of JSON decoding.
+``index.json``
+    the snapshot's self-description: schema, content key, per-file
+    ``[path, offset, length]`` table into the blob, and the manifest's
+    ground-truth sites.
+
+Snapshots are **content-addressed**: the directory name is derived
+from the same (generator version, seed, composition) key the
+perfcache corpus namespace uses, so concurrent runners -- including
+independent sharded-queue processes pointed at one ``--shard-dir`` --
+cooperate instead of clobbering each other: whoever materializes
+first wins, everyone else opens the result read-only. Writes go
+through ``tempfile`` + ``os.replace`` with ``index.json`` last, so a
+snapshot directory with an index is complete by construction; a
+killed writer leaves no torn snapshot, only an ignorable partial.
+"""
+
+from __future__ import annotations
+
+import json
+import mmap
+import os
+import tempfile
+
+from repro.campaign.mutate import CorpusMutator
+from repro.corpus.generate import SourceTree
+from repro.corpus.manifest import CallSiteTruth, Manifest
+from repro.errors import CampaignError
+
+#: bump when the on-disk snapshot layout changes
+SNAPSHOT_SCHEMA = 1
+
+INDEX_NAME = "index.json"
+BLOB_NAME = "corpus.bin"
+
+
+def snapshot_dir(root: str, mutator: CorpusMutator) -> str:
+    """The content-addressed directory one mutator's snapshot lives in."""
+    return os.path.join(root, f"snap-{mutator.base_key()[:24]}")
+
+
+def is_complete(directory: str) -> bool:
+    """True when *directory* holds a finished snapshot (index present)."""
+    return os.path.exists(os.path.join(directory, INDEX_NAME))
+
+
+def materialize(mutator: CorpusMutator, root: str) -> str:
+    """Write (or reuse) the snapshot for *mutator* under *root*.
+
+    Returns the snapshot directory. Idempotent and race-free across
+    processes: a complete snapshot is returned as-is, and two racing
+    writers both produce valid files with the last ``os.replace``
+    winning byte-identically (the content is deterministic).
+    """
+    directory = snapshot_dir(root, mutator)
+    if is_complete(directory):
+        return directory
+    tree, manifest = mutator.base_view()
+    os.makedirs(directory, exist_ok=True)
+
+    offsets: list[list] = []
+    fd, tmp_blob = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            position = 0
+            for path in sorted(tree.files):
+                data = tree.files[path].encode("utf-8")
+                handle.write(data)
+                offsets.append([path, position, len(data)])
+                position += len(data)
+        os.replace(tmp_blob, os.path.join(directory, BLOB_NAME))
+    except BaseException:
+        try:
+            os.unlink(tmp_blob)
+        except OSError:
+            pass
+        raise
+
+    index = {
+        "schema": SNAPSHOT_SCHEMA,
+        "key": mutator.base_key(),
+        "files": offsets,
+        "sites": [[s.path, s.line, s.category, sorted(s.exposures)]
+                  for s in manifest.sites],
+    }
+    fd, tmp_index = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            json.dump(index, handle, separators=(",", ":"))
+        os.replace(tmp_index, os.path.join(directory, INDEX_NAME))
+    except BaseException:
+        try:
+            os.unlink(tmp_index)
+        except OSError:
+            pass
+        raise
+    return directory
+
+
+def load(directory: str) -> tuple[SourceTree, Manifest]:
+    """Open a snapshot read-only and decode it into a base pair.
+
+    The blob is mapped, not read: the single sequential decode pass
+    touches each page once and every concurrent worker on the host
+    shares those pages. Raises :class:`CampaignError` on a missing or
+    torn snapshot -- callers fall back to the perfcache/regenerate
+    path.
+    """
+    index_path = os.path.join(directory, INDEX_NAME)
+    blob_path = os.path.join(directory, BLOB_NAME)
+    try:
+        with open(index_path, encoding="utf-8") as handle:
+            index = json.load(handle)
+    except (OSError, ValueError) as exc:
+        raise CampaignError(f"snapshot {directory}: bad index: {exc}")
+    if index.get("schema") != SNAPSHOT_SCHEMA:
+        raise CampaignError(
+            f"snapshot {directory}: schema "
+            f"{index.get('schema')!r} != {SNAPSHOT_SCHEMA}")
+    files: dict[str, str] = {}
+    needed = max((offset + length for _path, offset, length
+                  in index.get("files", [])), default=0)
+    try:
+        with open(blob_path, "rb") as handle:
+            size = os.fstat(handle.fileno()).st_size
+            if size < needed:
+                # truncated blob (writer died or disk filled): a slice
+                # past EOF would silently yield short text
+                raise CampaignError(
+                    f"snapshot {directory}: blob holds {size} bytes, "
+                    f"index expects {needed}")
+            if size == 0:
+                view = b""
+                for path, offset, length in index["files"]:
+                    files[path] = ""
+            else:
+                view = mmap.mmap(handle.fileno(), 0,
+                                 access=mmap.ACCESS_READ)
+                try:
+                    for path, offset, length in index["files"]:
+                        files[path] = view[offset:offset + length] \
+                            .decode("utf-8")
+                finally:
+                    view.close()
+    except (OSError, ValueError, KeyError, IndexError,
+            UnicodeDecodeError) as exc:
+        raise CampaignError(f"snapshot {directory}: bad blob: {exc}")
+    try:
+        manifest = Manifest([
+            CallSiteTruth(path, line, category, frozenset(exposures))
+            for path, line, category, exposures in index["sites"]])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise CampaignError(f"snapshot {directory}: bad sites: {exc}")
+    return SourceTree(files), manifest
+
+
+def adopt(mutator: CorpusMutator, directory: str) -> bool:
+    """Load *directory* into *mutator* as its canonical base.
+
+    Returns False (leaving the mutator on its regenerate/cache path)
+    when the snapshot is missing or torn, or when its content key does
+    not match the mutator -- a snapshot must never silently swap the
+    corpus under a differently-configured campaign.
+    """
+    try:
+        with open(os.path.join(directory, INDEX_NAME),
+                  encoding="utf-8") as handle:
+            key = json.load(handle).get("key")
+    except (OSError, ValueError):
+        return False
+    if key != mutator.base_key():
+        return False
+    try:
+        tree, manifest = load(directory)
+    except CampaignError:
+        return False
+    mutator.adopt_base(tree, manifest)
+    return True

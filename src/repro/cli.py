@@ -561,6 +561,51 @@ def cmd_campaign(args) -> int:
             print(line)
             last_health_line = line
 
+    if args.shard_dir or args.merge:
+        from repro.campaign.shard import (merge_shards, pending_shards,
+                                          run_sharded_campaign)
+        from repro.errors import CampaignError
+        if backend_list:
+            return _fail("campaign: sharded mode composes with a "
+                         "single --backend, not --backends")
+        if args.shrink:
+            return _fail("campaign: --shrink is not supported in "
+                         "sharded mode (shrink from the merged "
+                         "results instead)")
+        if not config.output:
+            return _fail("campaign: sharded mode needs --output")
+        try:
+            if args.shard_dir:
+                nr_run = run_sharded_campaign(
+                    config, args.shard_dir,
+                    shard_size=args.shard_size,
+                    stale_after_s=args.stale_claim,
+                    progress=progress,
+                    heartbeat=heartbeat if config.heartbeat_dir
+                    else None,
+                    log=print)
+                pending = pending_shards(config, args.shard_dir,
+                                         shard_size=args.shard_size)
+                print(f"sharded campaign: this runner completed "
+                      f"{nr_run} shard(s); {len(pending)} still "
+                      f"pending queue-wide")
+                if pending and not args.merge:
+                    return 0
+                if pending and args.merge:
+                    print("campaign: waiting shards remain; merging "
+                          "what is done (re-run --merge later for "
+                          "the rest)")
+            summary = merge_shards(config, shard_size=args.shard_size)
+        except CampaignError as exc:
+            return _fail(f"campaign: {exc}")
+        finally:
+            if config.cache_dir:
+                from repro import perfcache
+                perfcache.reset_default()
+        print()
+        print(format_summary(summary))
+        return 0 if summary.all_ok else 1
+
     if backend_list:
         from repro.campaign import (format_multi_backend_summary,
                                     run_multi_backend_campaign)
@@ -784,18 +829,60 @@ def cmd_chaos(args) -> int:
     return 0 if report.ok else 1
 
 
+def _bench_serve_section() -> tuple[dict | None, str | None]:
+    """Boot a throwaway analysis daemon and loadgen it, so one bench
+    run produces a BENCH_perf.json with the serve section in the same
+    coherent artifact (no separate serve+loadgen choreography)."""
+    import tempfile
+
+    from repro.errors import ServeError
+    from repro.serve import (AnalysisServer, LoadgenConfig, ServeConfig,
+                             run_loadgen)
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-serve-") as run:
+        socket_path = os.path.join(run, "serve.sock")
+        try:
+            config = ServeConfig.from_env(socket_path=socket_path,
+                                          workers=2, warmup_scale=0.0)
+        except ServeError as exc:
+            return None, str(exc)
+        server = AnalysisServer(config)
+        try:
+            server.start()
+        except OSError as exc:
+            return None, f"cannot bind: {exc}"
+        try:
+            load = LoadgenConfig(nr_requests=24, connections=2,
+                                 rps=0.0, scale=0.25,
+                                 replay_scale=0.1)
+            report = run_loadgen(load, socket_path=socket_path)
+        except ServeError as exc:
+            return None, str(exc)
+        finally:
+            server.request_shutdown()
+            server.stop()
+    return report, None
+
+
 def cmd_bench(args) -> int:
     from repro.perfcache import bench, history
 
     backend, error = _resolve_backend(args.backend)
     if error:
         return _fail(error)
-    jobs = tuple(sorted({1, args.jobs})) if args.jobs else (1,)
+    # scaling lanes: always 1 (the baseline), 2 (the smallest parallel
+    # point), and the requested top width
+    jobs = tuple(sorted({1, 2, args.jobs})) if args.jobs else (1,)
     report = bench.run_benchmarks(
         scale=args.scale, campaign_seeds=args.campaign_seeds,
         campaign_scale=args.campaign_scale, jobs=jobs,
         rounds=args.rounds, kernel_events=args.kernel_events,
         backend=backend)
+    if args.serve:
+        serve_report, error = _bench_serve_section()
+        if error:
+            return _fail(f"bench --serve: {error}")
+        report["serve"] = serve_report
     bench.write_report(report, args.output)
     print(bench.format_report(report))
     print(f"wrote {args.output}")
@@ -812,12 +899,17 @@ def cmd_bench(args) -> int:
             window=args.window)
         print(history.format_regressions(
             regressions, threshold=args.regression_threshold))
-        warning = history.parallel_scaling_warning(record)
-        if warning:
-            # advisory, not gating: the jobs=N-vs-jobs=1 ratio is too
-            # jittery at bench sizes to fail CI on, but it must be
-            # visible every run until the regression is fixed
-            print(warning)
+        gate = history.parallel_ratio_gate(
+            record, min_ratio=args.min_parallel_ratio)
+        if gate:
+            print(gate)
+            ok = False
+        else:
+            warning = history.parallel_scaling_warning(record)
+            if warning:
+                # gate disabled (or no parallel lane): still surface
+                # a slower-than-serial campaign every run
+                print(warning)
         if regressions:
             ok = False
     if args.record:
@@ -1125,6 +1217,27 @@ def build_parser() -> argparse.ArgumentParser:
                                "backend and record backend-dependent "
                                "disagreements in "
                                "<output-stem>.cross.jsonl")
+    campaign.add_argument("--shard-dir", metavar="DIR",
+                          help="sharded work-queue mode: claim seed "
+                               "ranges from DIR's atomic claim files "
+                               "(run N independent processes with the "
+                               "same command line to scale out); each "
+                               "shard writes <stem>.shard-K.jsonl")
+    campaign.add_argument("--shard-size", type=_positive_int,
+                          default=25, metavar="N",
+                          help="seeds per claimable shard "
+                               "(default: %(default)s)")
+    campaign.add_argument("--stale-claim", type=_positive_float,
+                          default=300.0, metavar="SECONDS",
+                          help="steal a claim untouched for this long "
+                               "with no done marker (a killed "
+                               "runner's range becomes re-claimable; "
+                               "default: %(default)s)")
+    campaign.add_argument("--merge", action="store_true",
+                          help="combine the shard files into --output "
+                               "with dedupe + torn-tail healing "
+                               "(alone: merge only; with --shard-dir: "
+                               "drain the queue, then merge)")
     campaign.set_defaults(func=cmd_campaign)
 
     trace = sub.add_parser(
@@ -1188,12 +1301,13 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--scale", type=_positive_float, default=1.0,
                        help="SPADE corpus scale")
     bench.add_argument("--campaign-seeds", type=_positive_int,
-                       default=4, help="seeds per campaign run")
+                       default=16, help="seeds per campaign lane "
+                       "(default: %(default)s)")
     bench.add_argument("--campaign-scale", type=_positive_float,
                        default=0.1, help="campaign corpus scale")
     bench.add_argument("--jobs", type=_positive_int, default=4,
-                       help="parallel campaign jobs to compare "
-                            "against jobs=1")
+                       help="widest campaign scaling lane; the bench "
+                            "always also runs jobs=1 and jobs=2")
     bench.add_argument("--rounds", type=_positive_int, default=3,
                        help="kernel-bench repetitions (best round "
                             "wins)")
@@ -1223,6 +1337,15 @@ def build_parser() -> argparse.ArgumentParser:
                             "kernel-event benches; per-backend runs "
                             "get their own history signature and "
                             "never cross-gate")
+    bench.add_argument("--min-parallel-ratio", type=float, default=1.5,
+                       metavar="RATIO",
+                       help="--check fails when the jobs=N/jobs=1 "
+                            "campaign throughput ratio drops below "
+                            "this (0 disables; default: %(default)s)")
+    bench.add_argument("--serve", action="store_true",
+                       help="also boot a throwaway analysis daemon "
+                            "and loadgen it, folding the serve "
+                            "section into the same report")
     bench.set_defaults(func=cmd_bench)
 
     chaos = sub.add_parser(

@@ -46,6 +46,7 @@ TOOLING_SITES = (
     "perfcache.corrupt",       # bit-flipped entry (fails validation)
     "campaign.worker.crash",   # injected exception inside run_seed
     "campaign.worker.hang",    # injected sleep (arg = seconds)
+    "campaign.batch.crash",    # kills a whole warm-worker seed batch
     "serve.accept_drop",       # daemon drops a connection at accept
     "serve.request_abort",     # daemon aborts an accepted request
 )

@@ -9,11 +9,15 @@ Three benchmark families, one machine-readable report
   in-process tier; plus the uncached baseline. The report carries a
   ``identical`` bit: the cached findings must encode to byte-identical
   JSON as the uncached ones, or the cache is wrong, not fast.
-* **campaign** -- differential-campaign throughput at ``jobs=1`` and
-  ``jobs=4`` over a small mutated-seed batch sharing one on-disk
-  cache.
+* **campaign** -- differential-campaign throughput scaling: one lane
+  per ``jobs`` value (``{1, 2, N}`` from the CLI) over a shared
+  on-disk cache, each parallel lane recording its ``parallel_ratio``
+  (seeds/s over the jobs=1 lane). The top lane's ratio is the
+  ``campaign_parallel_ratio`` that ``bench --check`` hard-gates.
 * **kernel** -- event rates of the two hottest simulator paths the
   perf work touched: IOTLB lookup/insert and page_frag alloc/free.
+* **backends** -- the IOTLB rate per registered IOMMU backend model,
+  so one artifact shows every backend's hot-path cost side by side.
 
 Timing uses ``time.perf_counter``; every family repeats ``rounds``
 times and reports the best round (standard for wall-clock benches:
@@ -107,10 +111,11 @@ def bench_spade(*, scale: float = 1.0, corpus_seed: int = 2021,
 
 # -- campaign throughput -----------------------------------------------------
 
-def bench_campaign(*, nr_seeds: int = 4, scale: float = 0.1,
-                   jobs: tuple[int, ...] = (1, 4),
+def bench_campaign(*, nr_seeds: int = 16, scale: float = 0.1,
+                   jobs: tuple[int, ...] = (1, 2, 4),
                    backend: str | None = None) -> dict:
-    """Seeds-per-second of the differential campaign at each ``jobs``."""
+    """Seeds-per-second of the differential campaign, one lane per
+    ``jobs`` value; every parallel lane records its ratio over jobs=1."""
     from repro.campaign.runner import CampaignConfig, run_campaign
 
     runs = []
@@ -133,7 +138,52 @@ def bench_campaign(*, nr_seeds: int = 4, scale: float = 0.1,
             "nr_ok": summary.nr_ok,
         })
     perfcache.reset_default()
+    serial = next((run["seeds_per_s"] for run in runs
+                   if run["jobs"] == 1), None)
+    if serial:
+        for run in runs:
+            if run["jobs"] != 1:
+                run["parallel_ratio"] = round(
+                    run["seeds_per_s"] / serial, 4)
     return {"scale": scale, "runs": runs}
+
+
+# -- per-backend hot-path rates ----------------------------------------------
+
+def bench_backends(*, rounds: int = 3, nr_events: int = 10_000) -> dict:
+    """IOTLB events/second for every registered backend model.
+
+    A deliberately small event budget: this section exists so one
+    BENCH_perf.json shows the per-backend hot-path cost side by side,
+    not to gate (the default backend's full-size rate in ``kernel``
+    does the gating).
+    """
+    from repro.backends import backend_names, resolve_backend
+    from repro.iommu.domain import IovaEntry
+    from repro.iommu.iotlb import Iotlb
+    from repro.iommu.perms import DmaPerm
+
+    entries = [IovaEntry(pfn, pfn + 1, DmaPerm.BIDIRECTIONAL)
+               for pfn in range(512)]
+    models = {}
+    for name in backend_names():
+        spec = resolve_backend(name)
+
+        def iotlb_round() -> None:
+            iotlb = Iotlb(capacity=256,
+                          associativity=spec.iotlb_associativity,
+                          replacement=spec.iotlb_replacement)
+            for i in range(nr_events):
+                entry = entries[i % 512]
+                if iotlb.lookup(7, entry.iova_pfn) is None:
+                    iotlb.insert(7, entry)
+
+        best = _best(iotlb_round, rounds)
+        models[name] = {
+            "iotlb_best_s": round(best, 6),
+            "iotlb_events_per_s": round(nr_events / best),
+        }
+    return {"nr_events": nr_events, "models": models}
 
 
 # -- kernel-simulation event rates -------------------------------------------
@@ -191,10 +241,12 @@ def bench_kernel_events(*, rounds: int = 3, nr_events: int = 50_000,
 # -- the report --------------------------------------------------------------
 
 def run_benchmarks(*, scale: float = 1.0, corpus_seed: int = 2021,
-                   campaign_seeds: int = 4, campaign_scale: float = 0.1,
-                   jobs: tuple[int, ...] = (1, 4), rounds: int = 3,
+                   campaign_seeds: int = 16,
+                   campaign_scale: float = 0.1,
+                   jobs: tuple[int, ...] = (1, 2, 4), rounds: int = 3,
                    kernel_events: int = 50_000,
-                   backend: str | None = None) -> dict:
+                   backend: str | None = None,
+                   with_backends: bool = True) -> dict:
     """Run every family; returns the ``BENCH_perf.json`` payload.
 
     *backend* selects the IOMMU model for the campaign and
@@ -228,6 +280,8 @@ def run_benchmarks(*, scale: float = 1.0, corpus_seed: int = 2021,
         "checks": checks,
         "ok": all(checks.values()),
     }
+    if with_backends:
+        report["backends"] = bench_backends(rounds=rounds)
     if label is not None:
         report["backend"] = label
     return report
@@ -260,13 +314,23 @@ def format_report(report: dict) -> str:
         f"(scale={report['campaign']['scale']})",
     ]
     for run in report["campaign"]["runs"]:
+        ratio = ""
+        if "parallel_ratio" in run:
+            ratio = f", {run['parallel_ratio']:.2f}x vs jobs=1"
         lines.append(f"  jobs={run['jobs']}  {run['elapsed_s']:8.2f} s"
                      f"  ({run['seeds_per_s']} seeds/s,"
-                     f" {run['nr_ok']} ok)")
+                     f" {run['nr_ok']} ok{ratio})")
     lines += [
         "kernel event rates",
         f"  iotlb      {kernel['iotlb_events_per_s']:>12,} events/s",
         f"  page_frag  {kernel['page_frag_events_per_s']:>12,} events/s",
-        f"checks: {report['checks']}",
     ]
+    if report.get("backends"):
+        lines.append("per-backend iotlb rates "
+                     f"({report['backends']['nr_events']} events)")
+        for name, model in sorted(
+                report["backends"]["models"].items()):
+            lines.append(f"  {name:12s} "
+                         f"{model['iotlb_events_per_s']:>12,} events/s")
+    lines.append(f"checks: {report['checks']}")
     return "\n".join(lines)

@@ -37,6 +37,10 @@ LOWER_IS_BETTER = ("spade_uncached_s", "spade_cold_s",
 #: tracked rates (per second; higher is better)
 HIGHER_IS_BETTER = ("iotlb_events_per_s", "page_frag_events_per_s")
 
+#: ``bench --check`` fails when the jobs=N/jobs=1 campaign throughput
+#: ratio drops below this (0 disables the gate)
+DEFAULT_MIN_PARALLEL_RATIO = 1.5
+
 
 def config_signature(report: dict) -> str:
     """Fingerprint of the knobs a bench run's numbers depend on.
@@ -87,11 +91,16 @@ def tracked_metrics(report: dict) -> dict[str, float]:
         if isinstance(run.get("jobs"), int) \
                 and isinstance(run.get("seeds_per_s"), (int, float)):
             rate_by_jobs[run["jobs"]] = float(run["seeds_per_s"])
-    # the parallel-scaling signal: jobs=N throughput over jobs=1.
-    # < 1.0 means adding workers made the campaign *slower* (the
-    # known per-task-overhead regression); tracked so the trajectory
-    # shows it, warned on by ``bench --check``, but not hard-gated.
+    # the parallel-scaling signal, one ratio per parallel lane plus
+    # the headline ``campaign_parallel_ratio`` (top lane over jobs=1).
+    # < 1.0 means adding workers made the campaign *slower*; the
+    # headline ratio is hard-gated by ``bench --check`` (see
+    # :func:`parallel_ratio_gate`).
     if len(rate_by_jobs) >= 2 and rate_by_jobs.get(1):
+        for nr_jobs, rate in rate_by_jobs.items():
+            if nr_jobs != 1:
+                metrics[f"campaign_parallel_ratio_jobs{nr_jobs}"] = \
+                    round(rate / rate_by_jobs[1], 4)
         top_jobs = max(rate_by_jobs)
         if top_jobs != 1:
             metrics["campaign_parallel_ratio"] = round(
@@ -110,8 +119,30 @@ def parallel_scaling_warning(record: dict) -> str | None:
             and not name.endswith("jobs1")]
     label = f"jobs={jobs[0]}" if len(jobs) == 1 else "parallel"
     return (f"bench check: warning: {label} campaign is slower than "
-            f"jobs=1 (ratio {ratio:.2f}); parallel scaling regression "
-            f"-- see ROADMAP 'Make parallel campaigns actually scale'")
+            f"jobs=1 (ratio {ratio:.2f}); parallel scaling regression")
+
+
+def parallel_ratio_gate(record: dict, *,
+                        min_ratio: float = DEFAULT_MIN_PARALLEL_RATIO
+                        ) -> str | None:
+    """The hard parallel-scaling gate behind ``bench --check``.
+
+    Returns the failure line when the record's headline
+    ``campaign_parallel_ratio`` is below *min_ratio*, else None.
+    ``min_ratio <= 0`` disables the gate; a record with no ratio
+    (single-lane bench, e.g. ``--jobs 1``) passes -- there is nothing
+    to gate. This is how the jobs=N-slower-than-jobs=1 regression the
+    warm-worker runner fixed can never silently return.
+    """
+    if min_ratio <= 0:
+        return None
+    ratio = record.get("metrics", {}).get("campaign_parallel_ratio")
+    if not isinstance(ratio, (int, float)) or ratio >= min_ratio:
+        return None
+    return (f"bench check: FAIL: campaign parallel ratio {ratio:.2f} "
+            f"below the required {min_ratio:.2f} (jobs=N seeds/s over "
+            f"jobs=1); pass --min-parallel-ratio 0 only on known "
+            f"single-core machines")
 
 
 def history_record(report: dict) -> dict:

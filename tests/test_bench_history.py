@@ -119,6 +119,51 @@ def test_campaign_rates_recorded_but_never_gated():
     assert _gate(slow, [fast] * 5) == []
 
 
+def _scaling_report(jobs1=4.0, jobs2=6.0, jobs4=8.0) -> dict:
+    report = _report()
+    report["campaign"]["runs"] = [
+        {"jobs": 1, "nr_seeds": 16, "elapsed_s": 4.0,
+         "seeds_per_s": jobs1, "nr_ok": 16},
+        {"jobs": 2, "nr_seeds": 16, "elapsed_s": 2.7,
+         "seeds_per_s": jobs2, "nr_ok": 16,
+         "parallel_ratio": round(jobs2 / jobs1, 4)},
+        {"jobs": 4, "nr_seeds": 16, "elapsed_s": 2.0,
+         "seeds_per_s": jobs4, "nr_ok": 16,
+         "parallel_ratio": round(jobs4 / jobs1, 4)},
+    ]
+    return report
+
+
+def test_parallel_ratio_recorded_per_lane():
+    tracked = history.tracked_metrics(_scaling_report())
+    assert tracked["campaign_parallel_ratio_jobs2"] == \
+        pytest.approx(1.5)
+    assert tracked["campaign_parallel_ratio_jobs4"] == \
+        pytest.approx(2.0)
+    # the headline ratio is the widest lane over jobs=1
+    assert tracked["campaign_parallel_ratio"] == pytest.approx(2.0)
+
+
+def test_parallel_ratio_gate_fails_below_minimum():
+    record = history.history_record(_scaling_report(jobs4=5.0))
+    message = history.parallel_ratio_gate(record, min_ratio=1.5)
+    assert message is not None and "FAIL" in message
+    assert "1.25" in message and "1.50" in message
+
+
+def test_parallel_ratio_gate_passes_at_or_above_minimum():
+    record = history.history_record(_scaling_report(jobs4=6.0))
+    assert history.parallel_ratio_gate(record, min_ratio=1.5) is None
+
+
+def test_parallel_ratio_gate_disabled_and_missing():
+    slow = history.history_record(_scaling_report(jobs4=1.0))
+    assert history.parallel_ratio_gate(slow, min_ratio=0) is None
+    # a single-lane bench has no ratio: nothing to gate
+    single = history.history_record(_report())
+    assert history.parallel_ratio_gate(single, min_ratio=1.5) is None
+
+
 def test_format_regressions_mentions_threshold():
     regressions = _gate(_report(cold_s=2.0), [_report(cold_s=1.0)] * 3)
     text = history.format_regressions(regressions, threshold=0.25)
@@ -187,3 +232,22 @@ def test_cli_bench_check_ignores_other_signatures(tmp_path, fake_bench):
     # same slowdown, but at a different scale: not comparable, no gate
     fake_bench["report"] = _report(cold_s=2.0, scale=1.0)
     assert _bench(tmp_path, "--check") == 0
+
+
+def test_cli_bench_check_hard_gates_parallel_ratio(tmp_path, fake_bench,
+                                                   capsys):
+    fake_bench["report"] = _scaling_report(jobs2=3.0, jobs4=3.6)
+    assert _bench(tmp_path, "--check") == 1   # 0.9x < default 1.5
+    out = capsys.readouterr().out
+    assert "campaign parallel ratio 0.90" in out
+    # the failing run still lands in the trajectory
+    assert len(history.load_history(str(tmp_path / "hist.jsonl"))) == 1
+
+
+def test_cli_bench_min_parallel_ratio_zero_disables_gate(
+        tmp_path, fake_bench, capsys):
+    fake_bench["report"] = _scaling_report(jobs2=3.0, jobs4=3.6)
+    assert _bench(tmp_path, "--check",
+                  "--min-parallel-ratio", "0") == 0
+    out = capsys.readouterr().out
+    assert "slower than" in out   # advisory warning still printed

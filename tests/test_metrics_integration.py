@@ -131,6 +131,45 @@ def test_campaign_reports_heartbeat_progress(tmp_path):
     assert not any(h.stalled for h in snapshots[-1])
 
 
+def test_long_batch_heartbeats_per_seed_in_one_worker(tmp_path):
+    """A 1-worker run whose whole seed range lands in one batch still
+    beats per seed, so a long healthy batch never reads as a stall."""
+    from repro.campaign.runner import _init_worker, _worker_batch
+    from repro.metrics.heartbeat import HeartbeatMonitor
+
+    from repro.campaign import CampaignConfig
+
+    hb_dir = str(tmp_path / "hb")
+    config = CampaignConfig(nr_seeds=4, jobs=1, scale=0.05,
+                            mutations_per_seed=2, trace_events=0,
+                            output=None, heartbeat_dir=hb_dir)
+    seen = []
+
+    class SpyHeartbeat:
+        worker_id = "spy"
+
+        def beat(self, **fields):
+            seen.append(fields)
+
+    import repro.campaign.runner as runner_module
+    _init_worker(config)
+    runner_module._WORKER_HEARTBEAT = SpyHeartbeat()
+    records = _worker_batch([1, 2, 3, 4], [0, 0, 0, 0])
+    assert [r["seed"] for r in records] == [1, 2, 3, 4]
+    running = [f for f in seen if f.get("stage") == "running"]
+    # one fresh beat per seed *within* the batch, carrying its
+    # position so --retry-stalled sees steady progress
+    assert [f["seed"] for f in running] == [1, 2, 3, 4]
+    assert [f["batch_position"] for f in running] == [0, 1, 2, 3]
+    assert all(f["batch_size"] == 4 for f in running)
+    assert seen[-1]["stage"] == "idle"
+    assert seen[-1]["seeds_done"] == 4
+    # and the real heartbeat file from _init_worker is fresh, so the
+    # monitor reports a healthy worker
+    monitor = HeartbeatMonitor(hb_dir, stall_after_s=60.0)
+    assert not any(h.stalled for h in monitor.scan())
+
+
 def test_campaign_flags_stalled_worker(tmp_path):
     """A worker mid-seed that goes silent past the threshold is
     flagged on the progress line."""
