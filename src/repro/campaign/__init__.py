@@ -31,8 +31,9 @@ from repro.campaign.oracle import (Disagreement, DetectorScore,
 from repro.campaign.results import (CampaignSummary, format_summary,
                                     load_records, summarize)
 from repro.campaign.runner import CampaignConfig, run_campaign, run_seed
-from repro.campaign.shard import (Shard, merge_shards, plan_shards,
-                                  run_sharded_campaign,
+from repro.campaign.shard import (Shard, format_seed_ranges,
+                                  merge_shards, missing_seeds_message,
+                                  plan_shards, run_sharded_campaign,
                                   shard_results_path)
 from repro.campaign.shrink import ShrinkResult, shrink_seed
 
@@ -45,6 +46,7 @@ __all__ = [
     "BACKEND_DISAGREEMENT_KINDS", "MultiBackendSummary",
     "backend_results_path", "cross_backend_disagreements",
     "cross_results_path", "format_multi_backend_summary",
-    "run_multi_backend_campaign", "Shard", "merge_shards",
+    "run_multi_backend_campaign", "Shard", "format_seed_ranges",
+    "merge_shards", "missing_seeds_message",
     "plan_shards", "run_sharded_campaign", "shard_results_path",
 ]

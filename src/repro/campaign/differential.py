@@ -30,6 +30,7 @@ from repro import metrics
 from repro.campaign.results import (CampaignSummary, findings_digest,
                                     load_records)
 from repro.campaign.runner import CampaignConfig, run_campaign
+from repro.coverage import CoverageMap, coverage_map_path
 from repro.errors import CampaignError
 from repro.report.tables import render_table
 
@@ -170,6 +171,16 @@ def run_multi_backend_campaign(
         records_by_backend[spec.name] = records
         digests[spec.name] = findings_digest(records)
         outputs[spec.name] = sub.output
+
+    if config.coverage:
+        # one combined CoverageMap across every backend lane (each
+        # lane's own map already rides beside its results file): the
+        # cross-backend feature-set diff `coverage diff` consumes
+        combined = CoverageMap()
+        for name in sorted(records_by_backend):
+            combined.merge(
+                CoverageMap.from_records(records_by_backend[name]))
+        combined.save(coverage_map_path(config.output))
 
     cross = cross_backend_disagreements(records_by_backend)
     cross_output = cross_results_path(config.output)

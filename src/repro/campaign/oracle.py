@@ -112,6 +112,9 @@ class DifferentialResult:
     #: per-site post-unmap window observations ("path:line" -> open),
     #: measured only on non-default-backend runs
     window_sites: dict[str, bool] = field(default_factory=dict)
+    #: deterministic coverage signature of the dynamic replay (see
+    #: :mod:`repro.coverage`); None when coverage was disabled
+    coverage: dict | None = None
 
     @property
     def agreement_rate(self) -> float:
@@ -124,7 +127,8 @@ def run_differential(tree: SourceTree, manifest: Manifest, *,
                      seed: int = 0, max_exemplars: int = 5,
                      phys_mb: int = 256,
                      trace_events: int = 0,
-                     backend: str | None = None) -> DifferentialResult:
+                     backend: str | None = None,
+                     coverage: bool = True) -> DifferentialResult:
     """Run both detectors over one (tree, manifest) pair and score.
 
     ``trace_events > 0`` runs the dynamic replay under a bounded
@@ -133,6 +137,14 @@ def run_differential(tree: SourceTree, manifest: Manifest, *,
     the context a triager needs to see *why* D-KASAN fired (or stayed
     silent) at the disputed call site. An already-installed recorder
     (e.g. a surrounding ``repro-dma trace`` session) is reused as-is.
+
+    ``coverage`` (the default) additionally derives the replay's
+    deterministic coverage signature (:mod:`repro.coverage`). The
+    collector *streams* from the recorder via an observer hook, so the
+    signature is independent of ``trace_events``: with tracing off a
+    minimal capacity-1 recorder is installed purely to drive the
+    stream, and the retained ring (hence ``trace_tail`` and the
+    findings bytes) is untouched.
 
     ``backend`` selects the IOMMU model for the dynamic replay. The
     default (``None`` or ``"intel-vtd"``) is the exact pre-backend
@@ -146,6 +158,7 @@ def run_differential(tree: SourceTree, manifest: Manifest, *,
     from repro import trace
     from repro.core.dkasan import DKasan
     from repro.core.spade import Spade, exposures_by_site
+    from repro.coverage import COVERAGE_CATEGORIES, CoverageCollector
     from repro.sim.kernel import Kernel
     from repro.sim.workload import run_manifest_replay
 
@@ -155,17 +168,22 @@ def run_differential(tree: SourceTree, manifest: Manifest, *,
 
     spade_labels = exposures_by_site(Spade(tree).analyze())
 
+    collector = CoverageCollector() if coverage else None
     recorder = None
     owns_recorder = False
-    if trace_events > 0:
+    if trace_events > 0 or collector is not None:
         recorder = trace.active()
         if recorder is None:
             # capacity == N: the drop-oldest ring natively keeps the
             # last N events, bounding per-seed memory in big campaigns
+            # (capacity 1 when the recorder exists only to stream
+            # coverage -- observers see every event pre-drop)
             recorder = trace.install(trace.TraceRecorder(
-                capacity=trace_events,
-                categories=("dma", "iommu", "dkasan")))
+                capacity=max(trace_events, 1),
+                categories=COVERAGE_CATEGORIES))
             owns_recorder = True
+    if collector is not None and recorder is not None:
+        recorder.add_observer(collector.feed)
     try:
         dkasan = DKasan(phys_mb << 20)
         if spec is None:
@@ -183,6 +201,8 @@ def run_differential(tree: SourceTree, manifest: Manifest, *,
             replay = run_manifest_replay(kernel, manifest,
                                          probe_windows=True)
     finally:
+        if collector is not None and recorder is not None:
+            recorder.remove_observer(collector.feed)
         if owns_recorder:
             trace.uninstall()
     dynamic_hits = dkasan.detected_site_functions()
@@ -244,4 +264,6 @@ def run_differential(tree: SourceTree, manifest: Manifest, *,
     if spec is not None:
         result.backend = spec.name
         result.window_sites = dict(replay.window_sites)
+    if collector is not None:
+        result.coverage = collector.record(backend=backend_name)
     return result

@@ -50,6 +50,10 @@ def result_record(result: DifferentialResult,
         record["window_sites"] = {
             site: bool(open_) for site, open_
             in sorted(result.window_sites.items())}
+    if result.coverage is not None:
+        # deterministic (same seed + backend => same bytes across
+        # jobs/shards/fault plans), so it is safely digest-relevant
+        record["coverage"] = result.coverage
     return record
 
 
@@ -153,6 +157,10 @@ class CampaignSummary:
     spade_fn_exemplars: list[str] = field(default_factory=list)
     dkasan_fn_exemplars: list[str] = field(default_factory=list)
     mutation_kinds: Counter = field(default_factory=Counter)
+    #: coverage aggregation over the completed seeds' signatures
+    coverage_features: int = 0
+    coverage_seeds: int = 0
+    coverage_features_per_seed: float = 0.0
 
     @property
     def all_ok(self) -> bool:
@@ -173,6 +181,8 @@ def _merge_score(into: DetectorScore, record: dict) -> None:
 def summarize(records: dict[int, dict], *,
               max_exemplars: int = 8) -> CampaignSummary:
     summary = CampaignSummary()
+    seen_features: set[str] = set()
+    nr_seed_features = 0
     for seed in sorted(records):
         record = records[seed]
         summary.nr_seeds += 1
@@ -194,6 +204,11 @@ def summarize(records: dict[int, dict], *,
             summary.disagreeing_seeds.append(seed)
         for disagreement in record["disagreements"]:
             summary.disagreements[disagreement["verdict"]] += 1
+        coverage = record.get("coverage")
+        if coverage:
+            summary.coverage_seeds += 1
+            seen_features.update(coverage.get("features", ()))
+            nr_seed_features += coverage.get("nr_features", 0)
         for exemplar in record.get("spade_fn_exemplars", ()):
             if len(summary.spade_fn_exemplars) < max_exemplars:
                 summary.spade_fn_exemplars.append(
@@ -202,6 +217,10 @@ def summarize(records: dict[int, dict], *,
             if len(summary.dkasan_fn_exemplars) < max_exemplars:
                 summary.dkasan_fn_exemplars.append(
                     f"seed {seed}: {exemplar}")
+    summary.coverage_features = len(seen_features)
+    if summary.coverage_seeds:
+        summary.coverage_features_per_seed = round(
+            nr_seed_features / summary.coverage_seeds, 3)
     return summary
 
 
@@ -230,6 +249,11 @@ def format_summary(summary: CampaignSummary) -> str:
         score_rows(summary.dkasan)))
     lines.append("")
 
+    if summary.coverage_seeds:
+        lines.append(f"coverage: {summary.coverage_features} unique "
+                     f"features across {summary.coverage_seeds} "
+                     f"seed(s) ({summary.coverage_features_per_seed:.1f}"
+                     f" per seed)")
     total = sum(summary.disagreements.values())
     lines.append(f"static-vs-dynamic disagreements: {total} across "
                  f"{len(summary.disagreeing_seeds)} seed(s)")

@@ -63,6 +63,7 @@ from typing import Callable
 
 from repro import faults, metrics, perfcache
 from repro.campaign import snapshot as snapshot_store
+from repro.coverage import CoverageMap, coverage_map_path
 from repro.campaign.mutate import CorpusMutator
 from repro.campaign.oracle import run_differential
 from repro.campaign.results import (CampaignSummary, append_record,
@@ -135,6 +136,10 @@ class CampaignConfig:
     batch_target_s: float = DEFAULT_BATCH_TARGET_S
     #: adaptive batching: hard per-batch seed cap
     max_batch: int = DEFAULT_MAX_BATCH
+    #: attach a deterministic per-seed coverage signature to every
+    #: result and accumulate the campaign CoverageMap (see
+    #: :mod:`repro.coverage`)
+    coverage: bool = True
 
     @property
     def seeds(self) -> list[int]:
@@ -153,7 +158,8 @@ def run_seed(seed: int, *, base_seed: int = 2021,
              mutations_per_seed: int = 6, scale: float = 1.0,
              phys_mb: int = 256, trace_events: int = 64,
              backend: str | None = None,
-             mutator: CorpusMutator | None = None) -> dict:
+             mutator: CorpusMutator | None = None,
+             coverage: bool = True) -> dict:
     """Derive, analyze, replay, and score one campaign seed.
 
     *mutator*, when given, is a warm :class:`CorpusMutator` whose base
@@ -167,7 +173,7 @@ def run_seed(seed: int, *, base_seed: int = 2021,
     result = run_differential(mutated.tree, mutated.manifest, seed=seed,
                               phys_mb=phys_mb,
                               trace_events=trace_events,
-                              backend=backend)
+                              backend=backend, coverage=coverage)
     return result_record(result, mutated.mutations,
                          duration_s=time.monotonic() - start)
 
@@ -200,7 +206,8 @@ def _guarded_run_seed(seed: int, config: "CampaignConfig", *,
                               scale=config.scale, phys_mb=config.phys_mb,
                               trace_events=config.trace_events,
                               backend=config.backend,
-                              mutator=mutator)
+                              mutator=mutator,
+                              coverage=config.coverage)
     except _SeedTimeout:
         record = failure_record(seed, "timeout",
                                 f"exceeded {config.timeout_s}s",
@@ -348,6 +355,20 @@ def run_campaign(config: CampaignConfig, *,
     records = {seed: record for seed, record in existing.items()
                if seed in config.seeds}
 
+    #: the campaign-wide CoverageMap, accumulated as results land and
+    #: persisted beside the results file; resumed records are folded
+    #: in up front so the map always covers every completed seed
+    cover = CoverageMap() if config.coverage else None
+    nr_novelty_free = 0   # consecutive completed seeds with 0 novelty
+    if cover is not None:
+        for seed in sorted(records):
+            cover.observe_record(records[seed])
+
+    def finish() -> CampaignSummary:
+        if cover is not None and config.output:
+            cover.save(coverage_map_path(config.output))
+        return summarize(records)
+
     #: retry bookkeeping: budget spent per seed, and the attempt
     #: number the seed's next run carries (drives fault-plan derivation)
     error_retries: Counter = Counter()
@@ -391,6 +412,15 @@ def run_campaign(config: CampaignConfig, *,
         if record.get("disagreements"):
             metrics.count("campaign", "disagreements",
                           len(record["disagreements"]))
+        if cover is not None and record.get("coverage"):
+            nonlocal nr_novelty_free
+            novel = cover.observe_record(record)
+            nr_novelty_free = 0 if novel else nr_novelty_free + 1
+            metrics.set_gauge("coverage", "features_total",
+                              cover.nr_features)
+            metrics.observe("coverage", "novel_features", novel)
+            metrics.set_gauge("coverage", "saturation_seeds",
+                              nr_novelty_free)
         if progress is not None:
             progress(record)
 
@@ -430,7 +460,7 @@ def run_campaign(config: CampaignConfig, *,
                 heartbeat(monitor.scan())
         if config.cache_dir:
             perfcache.default_cache().persist_stats()
-        return summarize(records)
+        return finish()
 
     # -- parallel mode: snapshot once, then warm batched workers -------------
 
@@ -583,4 +613,4 @@ def run_campaign(config: CampaignConfig, *,
     finally:
         if scratch_snapshot_root:
             shutil.rmtree(scratch_snapshot_root, ignore_errors=True)
-    return summarize(records)
+    return finish()

@@ -42,6 +42,7 @@ from typing import Callable
 from repro.campaign.results import (CampaignSummary, load_records,
                                     summarize)
 from repro.campaign.runner import CampaignConfig, run_campaign
+from repro.coverage import CoverageMap, coverage_map_path
 from repro.errors import CampaignError
 
 #: default seeds per shard -- small enough that a late-joining runner
@@ -212,16 +213,52 @@ def pending_shards(config: CampaignConfig, shard_dir: str, *,
             if not os.path.exists(_done_path(shard_dir, shard.index))]
 
 
+def format_seed_ranges(seeds: list[int]) -> str:
+    """Compress a sorted seed list into ``"3-7, 12, 40-41"`` form, so
+    a missing-seed warning can *name* every gap without printing a
+    thousand-element list."""
+    ranges: list[str] = []
+    run_start = run_end = None
+    for seed in sorted(seeds):
+        if run_start is None:
+            run_start = run_end = seed
+        elif seed == run_end + 1:
+            run_end = seed
+        else:
+            ranges.append(str(run_start) if run_start == run_end
+                          else f"{run_start}-{run_end}")
+            run_start = run_end = seed
+    if run_start is not None:
+        ranges.append(str(run_start) if run_start == run_end
+                      else f"{run_start}-{run_end}")
+    return ", ".join(ranges)
+
+
+def missing_seeds_message(missing: list[int]) -> str:
+    """The enriched merge warning: names every missing seed id."""
+    return (f"campaign: warning: merge is missing {len(missing)} "
+            f"seed(s): {format_seed_ranges(missing)}; "
+            f"run more shard workers or re-run --merge later")
+
+
 def merge_shards(config: CampaignConfig, *,
                  shard_size: int = DEFAULT_SHARD_SIZE,
-                 on_bad_line=None) -> CampaignSummary:
+                 on_bad_line=None,
+                 on_missing: Callable[[list[int]], None] | None = None
+                 ) -> CampaignSummary:
     """Combine every shard's JSONL into the campaign's results file.
 
     Dedupe prefers completed records over failures (a stolen shard can
     leave both a dead owner's failure and the thief's success), torn
     tails are healed by :func:`load_records`, and the merged file is
     written sorted by seed -- byte-identical ordering to a jobs=1 run,
-    so the findings digests match.
+    so the findings digests match. The campaign's CoverageMap is
+    rebuilt from the merged records and saved beside the output,
+    byte-identical to the map an unsharded run writes.
+
+    *on_missing(missing_seed_ids)* is called when seeds are absent
+    from every shard (the sorted full id list); the default prints
+    :func:`missing_seeds_message` to stderr.
     """
     if not config.output:
         raise CampaignError("merge needs --output")
@@ -238,11 +275,10 @@ def merge_shards(config: CampaignConfig, *,
                 merged[seed] = record
     missing = [seed for seed in config.seeds if seed not in merged]
     if missing:
-        shown = ", ".join(map(str, missing[:8]))
-        print(f"campaign: warning: merge is missing "
-              f"{len(missing)} seed(s) ({shown}); "
-              f"run more shard workers or re-run --merge later",
-              file=sys.stderr)
+        if on_missing is not None:
+            on_missing(missing)
+        else:
+            print(missing_seeds_message(missing), file=sys.stderr)
     tmp = f"{config.output}.merge.{os.getpid()}.tmp"
     parent = os.path.dirname(config.output)
     if parent:
@@ -251,5 +287,9 @@ def merge_shards(config: CampaignConfig, *,
         for seed in sorted(merged):
             handle.write(json.dumps(merged[seed], sort_keys=True) + "\n")
     os.replace(tmp, config.output)
-    return summarize({seed: record for seed, record in merged.items()
-                      if seed in config.seeds})
+    in_range = {seed: record for seed, record in merged.items()
+                if seed in config.seeds}
+    if config.coverage:
+        CoverageMap.from_records(in_range).save(
+            coverage_map_path(config.output))
+    return summarize(in_range)

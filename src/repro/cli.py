@@ -11,6 +11,8 @@ Subcommands mirror the paper's workflow:
   over many mutated corpora, scored against ground truth
 * ``trace``     -- run a workload or attack under the flight recorder
   and export the trace (JSONL, chrome://tracing, text timeline)
+* ``coverage``  -- report, diff, merge, or rank the persistent
+  campaign coverage maps (deterministic trace-derived signatures)
 * ``metrics``   -- run a workload under the metrics registry and
   export the aggregate counters (Prometheus text, JSON, /proc-style)
 * ``bench``     -- tracked perf benchmarks with a JSONL history and a
@@ -542,6 +544,26 @@ def cmd_campaign(args) -> int:
             return _fail(f"--output {config.output}: "
                          f"{exc.strerror or exc}")
 
+    from repro.coverage import SaturationTracker, format_saturation
+    seen_features: set = set()
+    saturation = SaturationTracker()
+
+    def note_coverage(record: dict) -> None:
+        # the live saturation line: printed when a seed contributes a
+        # new feature map-wide or when the plateau flag flips on, so a
+        # long saturated campaign stays quiet instead of repeating
+        # itself after every seed
+        coverage = record.get("coverage")
+        if record.get("status") != "ok" or not coverage:
+            return
+        novel = sum(1 for name in coverage.get("features", {})
+                    if name not in seen_features)
+        seen_features.update(coverage.get("features", {}))
+        was_plateaued = saturation.plateaued
+        saturation.feed(novel)
+        if novel or (saturation.plateaued and not was_plateaued):
+            print(format_saturation(saturation))
+
     def progress(record: dict) -> None:
         status = record["status"]
         extra = ""
@@ -549,6 +571,7 @@ def cmd_campaign(args) -> int:
             extra = f" ({len(record['disagreements'])} disagreements)"
         print(f"seed {record['seed']}: {status} "
               f"in {record['duration_s']:.2f}s{extra}")
+        note_coverage(record)
 
     last_health_line = None
 
@@ -562,7 +585,9 @@ def cmd_campaign(args) -> int:
             last_health_line = line
 
     if args.shard_dir or args.merge:
-        from repro.campaign.shard import (merge_shards, pending_shards,
+        from repro.campaign.shard import (merge_shards,
+                                          missing_seeds_message,
+                                          pending_shards,
                                           run_sharded_campaign)
         from repro.errors import CampaignError
         if backend_list:
@@ -595,7 +620,10 @@ def cmd_campaign(args) -> int:
                     print("campaign: waiting shards remain; merging "
                           "what is done (re-run --merge later for "
                           "the rest)")
-            summary = merge_shards(config, shard_size=args.shard_size)
+            summary = merge_shards(
+                config, shard_size=args.shard_size,
+                on_missing=lambda missing: print(
+                    missing_seeds_message(missing), file=sys.stderr))
         except CampaignError as exc:
             return _fail(f"campaign: {exc}")
         finally:
@@ -621,6 +649,7 @@ def cmd_campaign(args) -> int:
                          f"disagreements)")
             print(f"[{backend_name}] seed {record['seed']}: {status} "
                   f"in {record['duration_s']:.2f}s{extra}")
+            note_coverage(record)
 
         try:
             multi = run_multi_backend_campaign(
@@ -762,6 +791,71 @@ def cmd_cache(args) -> int:
             return 1
     print(f"cache verify: OK -- cached == uncached "
           f"({len(baseline)} findings, Table 2 identical)")
+    return 0
+
+
+def cmd_coverage(args) -> int:
+    from repro.coverage import CoverageMap
+    from repro.errors import CampaignError
+
+    def load_map(path: str) -> "CoverageMap":
+        # both artifact kinds are accepted everywhere a map is read:
+        # a saved .coverage.json, or a campaign results .jsonl folded
+        # through the same per-record observation the runner uses
+        if path.endswith(".jsonl"):
+            return CoverageMap.from_results(path)
+        return CoverageMap.load(path)
+
+    try:
+        if args.coverage_cmd == "merge":
+            merged = CoverageMap()
+            for path in args.inputs:
+                merged.merge(load_map(path))
+            merged.save(args.output)
+            print(f"merged {len(args.inputs)} map(s) -> {args.output}: "
+                  f"{merged.nr_features} features across "
+                  f"{merged.nr_seeds} seed(s)")
+            print(f"digest: {merged.digest}")
+            return 0
+
+        if args.coverage_cmd == "diff":
+            left, right = load_map(args.left), load_map(args.right)
+            left_set, right_set = left.feature_set(), right.feature_set()
+            print(f"common features: {len(left_set & right_set)}")
+            print(f"only in {args.left}: {len(left_set - right_set)}")
+            for name in sorted(left_set - right_set):
+                print(f"  + {name}")
+            print(f"only in {args.right}: {len(right_set - left_set)}")
+            for name in sorted(right_set - left_set):
+                print(f"  + {name}")
+            return 0
+
+        cover = load_map(args.path)
+    except CampaignError as exc:
+        return _fail(f"coverage {args.coverage_cmd}: {exc}")
+    except (OSError, ValueError) as exc:
+        return _fail(f"coverage {args.coverage_cmd}: {exc}")
+
+    if args.coverage_cmd == "top":
+        rows = cover.seed_ranking()[:args.limit]
+        print(f"top {len(rows)} seed(s) by unique feature "
+              f"contribution:")
+        for row in rows:
+            print(f"  seed {row['seed']:>6} [{row['lane']}]  "
+                  f"unique={row['unique_features']:>3}  "
+                  f"features={row['nr_features']}")
+        return 0
+
+    # report
+    from repro.report import render_coverage_stats
+    print(f"coverage report: {args.path}")
+    print(f"digest: {cover.digest}")
+    print()
+    print(render_coverage_stats(cover))
+    groups = sorted(cover.group_stats())
+    print(f"subsystems represented: {len(groups)} "
+          f"({', '.join(groups)})" if groups else
+          "subsystems represented: 0")
     return 0
 
 
@@ -1278,6 +1372,43 @@ def build_parser() -> argparse.ArgumentParser:
                             "non-default backends tag their trace "
                             "events with a 'backend' field")
     trace.set_defaults(func=cmd_trace)
+
+    coverage = sub.add_parser(
+        "coverage",
+        help="inspect, diff, merge, or rank campaign coverage maps")
+    coverage_sub = coverage.add_subparsers(dest="coverage_cmd",
+                                           required=True)
+    cov_report = coverage_sub.add_parser(
+        "report",
+        help="summarize one coverage map (features, lanes, per-"
+             "subsystem density)")
+    cov_report.add_argument("path",
+                            help="a .coverage.json map or a campaign "
+                                 "results .jsonl")
+    cov_report.set_defaults(func=cmd_coverage)
+    cov_diff = coverage_sub.add_parser(
+        "diff",
+        help="feature-set diff between two maps (e.g. intel-vtd vs "
+             "arm-smmuv3 lanes)")
+    cov_diff.add_argument("left")
+    cov_diff.add_argument("right")
+    cov_diff.set_defaults(func=cmd_coverage)
+    cov_merge = coverage_sub.add_parser(
+        "merge",
+        help="union maps into --output; merging shard maps is byte-"
+             "identical to the unsharded map")
+    cov_merge.add_argument("inputs", nargs="+",
+                           help="maps or results files to union")
+    cov_merge.add_argument("--output", required=True, metavar="PATH",
+                           help="merged map destination")
+    cov_merge.set_defaults(func=cmd_coverage)
+    cov_top = coverage_sub.add_parser(
+        "top",
+        help="seeds ranked by features unique to them map-wide")
+    cov_top.add_argument("path")
+    cov_top.add_argument("--limit", type=_positive_int, default=10,
+                         help="rows to print (default: %(default)s)")
+    cov_top.set_defaults(func=cmd_coverage)
 
     cache = sub.add_parser(
         "cache",

@@ -1,0 +1,39 @@
+"""repro.coverage -- campaign-wide coverage observability.
+
+What a fuzzing campaign *exercised*, measured deterministically:
+
+* :class:`~repro.coverage.signature.CoverageCollector` streams a
+  replay's trace events into a sparse feature vector (event kinds x
+  sites, IOTLB state transitions, invalidation-window buckets, D-KASAN
+  classes) hashed into a stable backend-aware digest -- the per-seed
+  ``coverage`` record every campaign JSONL result carries;
+* :class:`~repro.coverage.store.CoverageMap` is the persistent,
+  content-addressed, merge-able accumulation of those records across
+  seeds, shards, and backend lanes (atomic JSON beside the results
+  file);
+* :class:`~repro.coverage.saturation.SaturationTracker` turns per-seed
+  novelty into the live new-features/s + plateau progress line.
+
+Everything here is a pure function of (seed, backend, corpus): the
+byte-identity invariants the campaign already pins for findings hold
+for coverage too, which is what makes the map mergeable at all.
+"""
+
+from repro.coverage.saturation import (DEFAULT_PLATEAU_AFTER,
+                                       SaturationTracker,
+                                       format_saturation)
+from repro.coverage.signature import (COVERAGE_CATEGORIES,
+                                      SIGNATURE_VERSION,
+                                      CoverageCollector, coverage_digest,
+                                      coverage_lane, coverage_record,
+                                      feature_group)
+from repro.coverage.store import (DEFAULT_LANE, CoverageMap,
+                                  coverage_map_path)
+
+__all__ = [
+    "COVERAGE_CATEGORIES", "CoverageCollector", "CoverageMap",
+    "DEFAULT_LANE", "DEFAULT_PLATEAU_AFTER", "SIGNATURE_VERSION",
+    "SaturationTracker", "coverage_digest", "coverage_lane",
+    "coverage_map_path", "coverage_record", "feature_group",
+    "format_saturation",
+]

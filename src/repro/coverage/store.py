@@ -1,0 +1,221 @@
+"""The persistent CoverageMap: campaign-wide coverage accumulation.
+
+One atomic JSON document (written tempfile + ``os.replace``, the same
+torn-write discipline as the perfcache store and the shard claims)
+holding every observed seed's coverage record, grouped into **lanes**
+-- one lane per IOMMU backend, so ``--backends`` campaigns and
+cross-backend diffs never alias. The canonical serialization sorts
+every key, which gives the merge its headline property: a map merged
+from shard maps is **byte-identical** to the map an unsharded run of
+the same campaign writes, because the content is a pure set union of
+deterministic per-seed records.
+
+The map is content-addressed via :attr:`CoverageMap.digest` (SHA-256
+over the canonical body), so "are these two campaigns' coverage equal"
+is one hash comparison.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+
+from repro.coverage.signature import feature_group
+
+SCHEMA_VERSION = 1
+
+#: lane label used when a record carries no backend annotation (the
+#: default intel-vtd replay path drops the field for byte-identity)
+DEFAULT_LANE = "intel-vtd"
+
+
+def coverage_map_path(output: str) -> str:
+    """The map that rides beside a campaign's results file:
+    ``campaign/results.jsonl`` -> ``campaign/results.coverage.json``."""
+    stem, _ext = os.path.splitext(output)
+    return f"{stem}.coverage.json"
+
+
+class CoverageMap:
+    """Per-seed coverage records plus global-first-seen accounting."""
+
+    def __init__(self) -> None:
+        #: lane -> seed -> coverage record ({"digest", "features", ...})
+        self._lanes: dict[str, dict[int, dict]] = {}
+        self._seen: set[str] | None = set()
+
+    # -- accumulation --------------------------------------------------------
+
+    def observe(self, seed: int, coverage: dict, *,
+                lane: str = DEFAULT_LANE) -> int:
+        """Record one seed's coverage; returns how many of its features
+        were novel map-wide (0 on re-observation of a known seed)."""
+        features = coverage.get("features", {})
+        seen = self.feature_set()
+        novel = sum(1 for name in features if name not in seen)
+        seen.update(features)
+        self._lanes.setdefault(lane, {})[int(seed)] = {
+            "digest": coverage.get("digest", ""),
+            "features": {name: int(count)
+                         for name, count in features.items()},
+        }
+        return novel
+
+    def observe_record(self, record: dict) -> int:
+        """Observe one campaign JSONL result record (no-op unless it is
+        a completed record carrying a ``coverage`` block)."""
+        coverage = record.get("coverage")
+        if record.get("status") != "ok" or not coverage:
+            return 0
+        return self.observe(record["seed"], coverage,
+                            lane=record.get("backend", DEFAULT_LANE))
+
+    def merge(self, other: "CoverageMap") -> int:
+        """Union *other* into this map; returns seeds newly added.
+        Determinism makes conflicts vacuous: an already-present
+        (lane, seed) keeps the existing record."""
+        added = 0
+        for lane, seeds in other._lanes.items():
+            mine = self._lanes.setdefault(lane, {})
+            for seed, record in seeds.items():
+                if seed not in mine:
+                    mine[seed] = {"digest": record.get("digest", ""),
+                                  "features": dict(
+                                      record.get("features", {}))}
+                    added += 1
+        self._seen = None
+        return added
+
+    # -- aggregate views -----------------------------------------------------
+
+    @property
+    def lanes(self) -> list[str]:
+        return sorted(self._lanes)
+
+    @property
+    def nr_seeds(self) -> int:
+        return sum(len(seeds) for seeds in self._lanes.values())
+
+    def seeds(self, lane: str) -> dict[int, dict]:
+        return dict(self._lanes.get(lane, {}))
+
+    def feature_set(self) -> set[str]:
+        if self._seen is None:
+            self._seen = {name
+                          for seeds in self._lanes.values()
+                          for record in seeds.values()
+                          for name in record.get("features", {})}
+        return self._seen
+
+    @property
+    def nr_features(self) -> int:
+        return len(self.feature_set())
+
+    def feature_stats(self) -> dict[str, dict]:
+        """feature -> {count, nr_seeds, first_seen}. ``first_seen`` is
+        the *minimum* (lane, seed) exhibiting the feature -- an
+        order-free definition, so sharded and unsharded accumulations
+        agree."""
+        stats: dict[str, dict] = {}
+        for lane in sorted(self._lanes):
+            for seed in sorted(self._lanes[lane]):
+                record = self._lanes[lane][seed]
+                for name, count in record.get("features", {}).items():
+                    slot = stats.setdefault(
+                        name, {"count": 0, "nr_seeds": 0,
+                               "first_seen": [lane, seed]})
+                    slot["count"] += count
+                    slot["nr_seeds"] += 1
+        return stats
+
+    def group_stats(self) -> dict[str, dict]:
+        """subsystem -> {nr_features, count} for the density heatmap."""
+        groups: dict[str, dict] = {}
+        for name, stat in self.feature_stats().items():
+            slot = groups.setdefault(feature_group(name),
+                                     {"nr_features": 0, "count": 0})
+            slot["nr_features"] += 1
+            slot["count"] += stat["count"]
+        return groups
+
+    def seed_ranking(self) -> list[dict]:
+        """Seeds ranked by features unique to them map-wide (then by
+        total features carried), the ``coverage top`` view."""
+        stats = self.feature_stats()
+        rows = []
+        for lane in sorted(self._lanes):
+            for seed, record in sorted(self._lanes[lane].items()):
+                features = record.get("features", {})
+                unique = sum(1 for name in features
+                             if stats[name]["nr_seeds"] == 1)
+                rows.append({"lane": lane, "seed": seed,
+                             "unique_features": unique,
+                             "nr_features": len(features)})
+        rows.sort(key=lambda row: (-row["unique_features"],
+                                   -row["nr_features"],
+                                   row["lane"], row["seed"]))
+        return rows
+
+    # -- persistence ---------------------------------------------------------
+
+    def to_json(self) -> dict:
+        return {"schema": SCHEMA_VERSION,
+                "lanes": {lane: {str(seed): self._lanes[lane][seed]
+                                 for seed in sorted(self._lanes[lane])}
+                          for lane in sorted(self._lanes)}}
+
+    def canonical(self) -> str:
+        """The exact bytes :meth:`save` writes (minus no trailing
+        newline difference): sorted keys, compact separators."""
+        return json.dumps(self.to_json(), sort_keys=True,
+                          separators=(",", ":"))
+
+    @property
+    def digest(self) -> str:
+        return hashlib.sha256(
+            self.canonical().encode("utf-8")).hexdigest()
+
+    def save(self, path: str) -> str:
+        parent = os.path.dirname(path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        tmp = f"{path}.{os.getpid()}.tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(self.canonical() + "\n")
+        os.replace(tmp, path)
+        return path
+
+    @classmethod
+    def from_json(cls, body: dict) -> "CoverageMap":
+        if body.get("schema") != SCHEMA_VERSION:
+            from repro.errors import CampaignError
+            raise CampaignError(
+                f"unsupported coverage map schema "
+                f"{body.get('schema')!r} (expected {SCHEMA_VERSION})")
+        cover = cls()
+        for lane, seeds in body.get("lanes", {}).items():
+            cover._lanes[lane] = {
+                int(seed): {"digest": record.get("digest", ""),
+                            "features": dict(record.get("features", {}))}
+                for seed, record in seeds.items()}
+        cover._seen = None
+        return cover
+
+    @classmethod
+    def load(cls, path: str) -> "CoverageMap":
+        with open(path, encoding="utf-8") as handle:
+            return cls.from_json(json.load(handle))
+
+    @classmethod
+    def from_records(cls, records: dict[int, dict]) -> "CoverageMap":
+        cover = cls()
+        for seed in sorted(records):
+            cover.observe_record(records[seed])
+        return cover
+
+    @classmethod
+    def from_results(cls, path: str) -> "CoverageMap":
+        """Build a map straight from a campaign results JSONL file."""
+        from repro.campaign.results import load_records
+        return cls.from_records(load_records(path))

@@ -136,6 +136,11 @@ def bench_campaign(*, nr_seeds: int = 16, scale: float = 0.1,
             "seeds_per_s": round(nr_seeds / elapsed, 3) if elapsed
             else float("inf"),
             "nr_ok": summary.nr_ok,
+            # coverage lane: recorded in history (so ``bench --check``
+            # output shows drift) but never cross-gated
+            "coverage_features": summary.coverage_features,
+            "coverage_features_per_seed":
+                summary.coverage_features_per_seed,
         })
     perfcache.reset_default()
     serial = next((run["seeds_per_s"] for run in runs

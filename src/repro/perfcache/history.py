@@ -88,6 +88,16 @@ def tracked_metrics(report: dict) -> dict[str, float]:
     for run in report.get("campaign", {}).get("runs", ()):
         metrics[f"campaign_seeds_per_s_jobs{run.get('jobs')}"] = \
             run.get("seeds_per_s")
+        if run.get("jobs") == 1:
+            # coverage observability lane: recorded for trend plots
+            # and regression triage, deliberately absent from the
+            # LOWER/HIGHER_IS_BETTER gate lists (coverage depends on
+            # the corpus, not on code speed -- cross-gating would
+            # make unrelated corpus changes fail perf CI)
+            metrics["campaign_coverage_features"] = \
+                run.get("coverage_features")
+            metrics["campaign_coverage_features_per_seed"] = \
+                run.get("coverage_features_per_seed")
         if isinstance(run.get("jobs"), int) \
                 and isinstance(run.get("seeds_per_s"), (int, float)):
             rate_by_jobs[run["jobs"]] = float(run["seeds_per_s"])

@@ -1,6 +1,8 @@
 """Rendering helpers for experiment output."""
 
-from repro.report.procfs import (render_cache_stats, render_dkasan_stats,
+from repro.report.procfs import (render_cache_stats,
+                                 render_coverage_stats,
+                                 render_dkasan_stats,
                                  render_iommu_stats, render_meminfo,
                                  render_netdev, render_serve_stats)
 from repro.report.tables import PaperComparison, render_table
@@ -11,4 +13,4 @@ __all__ = ["PaperComparison", "render_table", "render_timeline",
            "render_trace_summary", "render_invalidation_report",
            "render_meminfo", "render_iommu_stats", "render_netdev",
            "render_dkasan_stats", "render_cache_stats",
-           "render_serve_stats"]
+           "render_coverage_stats", "render_serve_stats"]

@@ -204,3 +204,28 @@ def render_serve_stats(snapshot: dict) -> str:
                           f"{mean:.1f}/{histogram.get('max', 0):.1f}",
                           "ms avg/max"))
     return "\n".join(lines)
+
+
+def render_coverage_stats(cover) -> str:
+    """Campaign coverage map as a ``/proc``-style stat block.
+
+    *cover* is a :class:`repro.coverage.CoverageMap`: global feature
+    totals, per-lane seed counts, and per-subsystem feature density.
+    """
+    lines = ["coverage_stats:"]
+    nr_seeds = cover.nr_seeds
+    lines.append(_row("Features", cover.nr_features))
+    lines.append(_row("Seeds", nr_seeds))
+    per_seed = cover.nr_features / nr_seeds if nr_seeds else 0.0
+    lines.append(_row("FeaturesPerSeed", f"{per_seed:.2f}"))
+    lines.append(_row("Lanes", len(cover.lanes)))
+    for lane in cover.lanes:
+        lines.append(_row(f"  lane {lane}", len(cover.seeds(lane)),
+                          "seeds"))
+    groups = cover.group_stats()
+    for group in sorted(groups):
+        stat = groups[group]
+        lines.append(_row(f"Group_{group}",
+                          f"{stat['nr_features']}/{stat['count']}",
+                          "features/hits"))
+    return "\n".join(lines)

@@ -75,12 +75,19 @@ def handle_replay(request: dict) -> dict:
                       phys_mb=request["phys_mb"], trace_events=0,
                       backend=request.get("backend"))
     digest = findings_digest({request["seed"]: record})
-    return {
+    response = {
         "seed": request["seed"],
         "findings_digest": digest,
         "record": {key: value for key, value in sorted(record.items())
                    if key not in _VOLATILE_KEYS},
     }
+    coverage = record.get("coverage")
+    if coverage:
+        # the deterministic per-seed coverage digest, surfaced at the
+        # top level so replay clients can track novelty without
+        # digging into the record body
+        response["coverage_digest"] = coverage["digest"]
+    return response
 
 
 def handle_chaos(request: dict) -> dict:

@@ -15,6 +15,7 @@ metadata rows naming one virtual thread per category.
 from __future__ import annotations
 
 import json
+import warnings
 from typing import IO, Iterable
 
 from repro.trace.recorder import CATEGORIES, TraceEvent, TraceRecorder
@@ -54,19 +55,41 @@ def dump_jsonl(recorder: TraceRecorder, path: str) -> int:
 
 
 def load_jsonl(path: str) -> tuple[list[TraceEvent], dict | None]:
-    """Read a JSONL trace back into (events, summary-or-None)."""
+    """Read a JSONL trace back into (events, summary-or-None).
+
+    A **torn trailing line** -- the writer crashed mid-append, so the
+    last line is not complete JSON -- is healed instead of raised: the
+    partial record is dropped with one :class:`UserWarning` naming its
+    byte offset, the same tolerance the campaign's JSONL resume
+    applies to its results file. Corruption anywhere *before* the
+    final line still raises, because that means lost interior events,
+    not an interrupted append.
+    """
     events: list[TraceEvent] = []
     summary = None
     with open(path, encoding="utf-8") as handle:
-        for line in handle:
-            line = line.strip()
-            if not line:
-                continue
-            record = json.loads(line)
+        lines = handle.readlines()
+    offset = 0
+    for index, raw in enumerate(lines):
+        line = raw.strip()
+        if line:
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                trailing = all(not rest.strip()
+                               for rest in lines[index + 1:])
+                if not trailing:
+                    raise
+                warnings.warn(
+                    f"{path}: dropped torn trailing line at byte "
+                    f"{offset} ({len(raw.encode('utf-8'))} bytes); "
+                    f"the trace was interrupted mid-append")
+                break
             if record.get("type") == "summary":
                 summary = record
             else:
                 events.append(TraceEvent.from_json(record))
+        offset += len(raw.encode("utf-8"))
     return events, summary
 
 

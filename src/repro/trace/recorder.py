@@ -163,6 +163,7 @@ class TraceRecorder:
         self._span_stack: list[Span] = []
         self.counters: dict[tuple[str, str], int] = {}
         self.histograms: dict[tuple[str, str], Histogram] = {}
+        self._observers: list = []
 
     # -- configuration ------------------------------------------------------
 
@@ -181,6 +182,23 @@ class TraceRecorder:
     def now_us(self) -> float:
         return self._clock.now_us if self._clock is not None else 0.0
 
+    # -- observers ----------------------------------------------------------
+
+    def add_observer(self, fn) -> None:
+        """Stream every subsequently emitted event into *fn(event)*.
+
+        Observers see events **before** the drop-oldest ring can evict
+        them, so a streaming consumer (the coverage collector) is
+        independent of the ring capacity. Observers must not emit.
+        """
+        self._observers.append(fn)
+
+    def remove_observer(self, fn) -> None:
+        try:
+            self._observers.remove(fn)
+        except ValueError:
+            pass
+
     # -- events -------------------------------------------------------------
 
     def emit(self, category: str, name: str, *, phase: str = "i",
@@ -197,6 +215,9 @@ class TraceRecorder:
             self._events.popleft()
             self.dropped += 1
         self._events.append(event)
+        if self._observers:
+            for observer in self._observers:
+                observer(event)
         return event
 
     @property
