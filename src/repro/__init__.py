@@ -22,7 +22,7 @@ from repro.sim.kernel import Kernel
 from repro.core.vulns import SubPageVulnerability, VulnType
 from repro.core.attributes import VulnerabilityAttributes
 
-__version__ = "1.9.0"
+__version__ = "1.10.0"
 
 __all__ = [
     "Kernel",

@@ -15,6 +15,7 @@ import os
 from collections import Counter
 from dataclasses import dataclass, field
 
+from repro import durability
 from repro.campaign.mutate import Mutation
 from repro.campaign.oracle import DetectorScore, DifferentialResult
 from repro.report.tables import format_precision_recall, render_table
@@ -64,50 +65,26 @@ def failure_record(seed: int, status: str, error: str, *,
 
 
 def append_record(path: str, record: dict) -> None:
-    parent = os.path.dirname(path)
-    if parent:
-        os.makedirs(parent, exist_ok=True)
-    # a crash mid-append leaves a torn line with no trailing newline;
-    # gluing the next record onto it would destroy that record too
-    needs_newline = False
-    try:
-        if os.path.getsize(path):
-            with open(path, "rb") as handle:
-                handle.seek(-1, os.SEEK_END)
-                needs_newline = handle.read(1) != b"\n"
-    except OSError:
-        pass
-    with open(path, "a", encoding="utf-8") as handle:
-        if needs_newline:
-            handle.write("\n")
-        handle.write(json.dumps(record, sort_keys=True) + "\n")
+    """Append one result line through the journaled durability layer:
+    newline-guarded (a torn tail never swallows the next record),
+    checksummed, and fsynced under ``REPRO_DURABILITY=fsync``."""
+    durability.append_jsonl(path, record)
 
 
 def load_records(path: str, *,
                  on_bad_line=None) -> dict[int, dict]:
     """seed -> latest record. Tolerates torn or corrupt lines (the
-    crash case resume exists for): a line that does not parse as a
-    complete record is skipped -- its seed simply is not "completed",
-    so ``--resume`` re-runs it. *on_bad_line(lineno, line)* is called
-    for each skipped line so the runner can warn."""
+    crash case resume exists for): a line that does not parse -- or
+    whose embedded checksum fails -- is skipped; its seed simply is
+    not "completed", so ``--resume`` re-runs it. *on_bad_line(lineno,
+    line)* is called for each skipped line so the runner can warn."""
     records: dict[int, dict] = {}
-    if not os.path.exists(path):
-        return records
-    with open(path, encoding="utf-8") as handle:
-        for lineno, line in enumerate(handle, 1):
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                record = json.loads(line)
-            except json.JSONDecodeError:
-                if on_bad_line is not None:
-                    on_bad_line(lineno, line)
-                continue
-            if isinstance(record, dict) and "seed" in record:
-                records[record["seed"]] = record
-            elif on_bad_line is not None:
-                on_bad_line(lineno, line)
+    for lineno, record in durability.replay_jsonl(
+            path, on_bad_line=on_bad_line):
+        if "seed" in record:
+            records[record["seed"]] = record
+        elif on_bad_line is not None:
+            on_bad_line(lineno, json.dumps(record, sort_keys=True))
     return records
 
 

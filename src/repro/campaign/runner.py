@@ -61,7 +61,7 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Callable
 
-from repro import faults, metrics, perfcache
+from repro import durability, faults, metrics, perfcache
 from repro.campaign import snapshot as snapshot_store
 from repro.coverage import CoverageMap, coverage_map_path
 from repro.campaign.mutate import CorpusMutator
@@ -251,6 +251,9 @@ def _init_worker(config: "CampaignConfig",
     """
     global _WORKER_CONFIG, _WORKER_HEARTBEAT, _WORKER_MUTATOR
     global _WORKER_SEEDS_DONE, _WORKER_BATCHES_DONE
+    # a crashtest kill must land in the *coordinating* process, never
+    # nondeterministically in whichever worker wrote first
+    durability.disarm_crash_points()
     _WORKER_CONFIG = config
     _WORKER_SEEDS_DONE = 0
     _WORKER_BATCHES_DONE = 0
@@ -338,6 +341,14 @@ def run_campaign(config: CampaignConfig, *,
     :class:`~repro.metrics.heartbeat.WorkerHealth` list every poll
     interval (requires ``config.heartbeat_dir``).
     """
+    if config.output:
+        # a previous run killed mid-write leaves .durability-*.tmp
+        # residue beside the artifacts; collect anything stale enough
+        # that no live writer can own it
+        durability.collect_stale_tmp(os.path.dirname(config.output)
+                                     or ".")
+    if config.heartbeat_dir and os.path.isdir(config.heartbeat_dir):
+        durability.collect_stale_tmp(config.heartbeat_dir)
     existing: dict[int, dict] = {}
     if config.resume and config.output:
         bad_lines: list[int] = []

@@ -39,6 +39,7 @@ import time
 from dataclasses import dataclass, replace
 from typing import Callable
 
+from repro import durability
 from repro.campaign.results import (CampaignSummary, load_records,
                                     summarize)
 from repro.campaign.runner import CampaignConfig, run_campaign
@@ -103,10 +104,7 @@ def _claim_body(shard: Shard, generation: int) -> dict:
 
 
 def _write_atomic(path: str, body: dict) -> None:
-    tmp = f"{path}.{os.getpid()}.tmp"
-    with open(tmp, "w", encoding="utf-8") as handle:
-        json.dump(body, handle, sort_keys=True)
-    os.replace(tmp, path)
+    durability.atomic_write_json(path, body, sort_keys=True)
 
 
 def try_claim(shard_dir: str, shard: Shard, *,
@@ -241,10 +239,71 @@ def missing_seeds_message(missing: list[int]) -> str:
             f"run more shard workers or re-run --merge later")
 
 
+def stale_claim_message(index: int, owner: str, age_s: float) -> str:
+    return (f"campaign: warning: collected stale claim-{index}.json "
+            f"(owner {owner}, silent {age_s:.0f}s, no done marker); "
+            f"a SIGKILLed runner left it behind -- the shard is "
+            f"claimable again")
+
+
+def collect_stale_claims(shard_dir: str, config: CampaignConfig, *,
+                         shard_size: int = DEFAULT_SHARD_SIZE,
+                         stale_after_s: float = DEFAULT_STALE_CLAIM_S,
+                         on_collect: Callable[[str], None] | None = None
+                         ) -> list[int]:
+    """GC ``claim-K.json`` files whose owner died without a done marker.
+
+    The steal path (:func:`try_claim`) already tolerates these, but a
+    ``--merge`` run used to leave them behind forever -- confusing any
+    later runner pointed at the queue into skipping finished-looking
+    work. Each collected claim is reported through *on_collect(msg)*
+    (default: stderr) with a warning naming the dead owner. Returns
+    the collected shard indices.
+    """
+    collected: list[int] = []
+    now = time.time()
+    for shard in plan_shards(config, shard_size):
+        path = _claim_path(shard_dir, shard.index)
+        if os.path.exists(_done_path(shard_dir, shard.index)) \
+                or not os.path.exists(path):
+            continue
+        try:
+            with open(path, encoding="utf-8") as handle:
+                claim = json.load(handle)
+            age = now - float(claim.get("claimed_at", 0.0))
+            owner = str(claim.get("owner", "unknown"))
+        except (OSError, ValueError):
+            # torn claim: its writer died mid-replace; always stale
+            age, owner = float("inf"), "unknown"
+        if age <= stale_after_s:
+            continue
+        try:
+            os.unlink(path)
+        except OSError:
+            continue
+        collected.append(shard.index)
+        message = stale_claim_message(shard.index, owner,
+                                      min(age, now))
+        if on_collect is not None:
+            on_collect(message)
+        else:
+            print(message, file=sys.stderr)
+        # recovery observability: same counters/trace the rest of the
+        # durability layer uses
+        from repro import metrics, trace
+        metrics.count("durability", "recoveries", kind="stale_claim")
+        if "durability" in trace.active_categories:
+            trace.emit("durability", "stale_claim_collected",
+                       shard=shard.index, owner=owner)
+    return collected
+
+
 def merge_shards(config: CampaignConfig, *,
                  shard_size: int = DEFAULT_SHARD_SIZE,
                  on_bad_line=None,
-                 on_missing: Callable[[list[int]], None] | None = None
+                 on_missing: Callable[[list[int]], None] | None = None,
+                 shard_dir: str | None = None,
+                 stale_after_s: float = DEFAULT_STALE_CLAIM_S
                  ) -> CampaignSummary:
     """Combine every shard's JSONL into the campaign's results file.
 
@@ -259,9 +318,17 @@ def merge_shards(config: CampaignConfig, *,
     *on_missing(missing_seed_ids)* is called when seeds are absent
     from every shard (the sorted full id list); the default prints
     :func:`missing_seeds_message` to stderr.
+
+    With *shard_dir*, stale claims a SIGKILLed runner abandoned are
+    garbage-collected first (see :func:`collect_stale_claims`), along
+    with any ``.durability-*.tmp`` residue in the queue directory.
     """
     if not config.output:
         raise CampaignError("merge needs --output")
+    if shard_dir:
+        collect_stale_claims(shard_dir, config, shard_size=shard_size,
+                             stale_after_s=stale_after_s)
+        durability.collect_stale_tmp(shard_dir)
     merged: dict[int, dict] = {}
     for shard in plan_shards(config, shard_size):
         path = shard_results_path(config.output, shard.index)
@@ -279,14 +346,11 @@ def merge_shards(config: CampaignConfig, *,
             on_missing(missing)
         else:
             print(missing_seeds_message(missing), file=sys.stderr)
-    tmp = f"{config.output}.merge.{os.getpid()}.tmp"
-    parent = os.path.dirname(config.output)
-    if parent:
-        os.makedirs(parent, exist_ok=True)
-    with open(tmp, "w", encoding="utf-8") as handle:
-        for seed in sorted(merged):
-            handle.write(json.dumps(merged[seed], sort_keys=True) + "\n")
-    os.replace(tmp, config.output)
+    durability.atomic_write_text(
+        config.output,
+        "".join(json.dumps(durability.seal_record(merged[seed]),
+                           sort_keys=True) + "\n"
+                for seed in sorted(merged)))
     in_range = {seed: record for seed, record in merged.items()
                 if seed in config.seeds}
     if config.coverage:

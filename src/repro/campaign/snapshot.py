@@ -32,8 +32,8 @@ from __future__ import annotations
 import json
 import mmap
 import os
-import tempfile
 
+from repro import durability
 from repro.campaign.mutate import CorpusMutator
 from repro.corpus.generate import SourceTree
 from repro.corpus.manifest import CallSiteTruth, Manifest
@@ -71,22 +71,15 @@ def materialize(mutator: CorpusMutator, root: str) -> str:
     os.makedirs(directory, exist_ok=True)
 
     offsets: list[list] = []
-    fd, tmp_blob = tempfile.mkstemp(dir=directory, suffix=".tmp")
-    try:
-        with os.fdopen(fd, "wb") as handle:
-            position = 0
-            for path in sorted(tree.files):
-                data = tree.files[path].encode("utf-8")
-                handle.write(data)
-                offsets.append([path, position, len(data)])
-                position += len(data)
-        os.replace(tmp_blob, os.path.join(directory, BLOB_NAME))
-    except BaseException:
-        try:
-            os.unlink(tmp_blob)
-        except OSError:
-            pass
-        raise
+    chunks: list[bytes] = []
+    position = 0
+    for path in sorted(tree.files):
+        data = tree.files[path].encode("utf-8")
+        chunks.append(data)
+        offsets.append([path, position, len(data)])
+        position += len(data)
+    durability.atomic_write_bytes(os.path.join(directory, BLOB_NAME),
+                                  b"".join(chunks))
 
     index = {
         "schema": SNAPSHOT_SCHEMA,
@@ -95,17 +88,9 @@ def materialize(mutator: CorpusMutator, root: str) -> str:
         "sites": [[s.path, s.line, s.category, sorted(s.exposures)]
                   for s in manifest.sites],
     }
-    fd, tmp_index = tempfile.mkstemp(dir=directory, suffix=".tmp")
-    try:
-        with os.fdopen(fd, "w", encoding="utf-8") as handle:
-            json.dump(index, handle, separators=(",", ":"))
-        os.replace(tmp_index, os.path.join(directory, INDEX_NAME))
-    except BaseException:
-        try:
-            os.unlink(tmp_index)
-        except OSError:
-            pass
-        raise
+    # index last: a directory with an index is complete by construction
+    durability.atomic_write_json(os.path.join(directory, INDEX_NAME),
+                                 index, separators=(",", ":"))
     return directory
 
 

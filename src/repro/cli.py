@@ -161,11 +161,12 @@ def cmd_audit(args) -> int:
     findings = spade.analyze()
     print(format_table2(Table2Stats.from_findings(findings)))
     if args.findings_json:
+        from repro import durability
         from repro.perfcache.codec import encode_findings
         from repro.serve.protocol import canonical_json
-        with open(args.findings_json, "w", encoding="utf-8") as handle:
-            handle.write(canonical_json(encode_findings(findings)))
-            handle.write("\n")
+        durability.atomic_write_text(
+            args.findings_json,
+            canonical_json(encode_findings(findings)) + "\n")
         print(f"wrote findings to {args.findings_json}")
     if args.trace:
         matched = [f for f in findings if args.trace in f.file]
@@ -438,8 +439,8 @@ def cmd_metrics(args) -> int:
             rendered = metrics.prometheus_text(registry, collect=False)
 
         if args.output:
-            with open(args.output, "w", encoding="utf-8") as handle:
-                handle.write(rendered)
+            from repro import durability
+            durability.atomic_write_text(args.output, rendered)
             print(f"wrote {args.format} metrics to {args.output}")
         else:
             print()
@@ -623,7 +624,9 @@ def cmd_campaign(args) -> int:
             summary = merge_shards(
                 config, shard_size=args.shard_size,
                 on_missing=lambda missing: print(
-                    missing_seeds_message(missing), file=sys.stderr))
+                    missing_seeds_message(missing), file=sys.stderr),
+                shard_dir=args.shard_dir or None,
+                stale_after_s=args.stale_claim)
         except CampaignError as exc:
             return _fail(f"campaign: {exc}")
         finally:
@@ -899,7 +902,9 @@ def cmd_chaos(args) -> int:
                          campaign_seeds=args.campaign_seeds,
                          campaign_scale=args.campaign_scale,
                          jobs=args.jobs, retry=args.retry,
-                         backend=backend)
+                         backend=backend,
+                         crash_points=max(0, args.crash_points),
+                         log=print)
 
     rendered = None
     use_metrics = metrics.enabled_in_env() and metrics.active() is None
@@ -917,9 +922,39 @@ def cmd_chaos(args) -> int:
         if rendered is None:
             return _fail("chaos: --metrics-output needs the metrics "
                          "layer (REPRO_METRICS=off disables it)")
-        with open(args.metrics_output, "w", encoding="utf-8") as handle:
-            handle.write(rendered)
+        from repro import durability
+        durability.atomic_write_text(args.metrics_output, rendered)
         print(f"wrote prometheus metrics to {args.metrics_output}")
+    return 0 if report.ok else 1
+
+
+def cmd_crashtest(args) -> int:
+    from repro.durability.crashtest import (CRASH_SITES,
+                                            CrashtestConfig,
+                                            format_crashtest_report,
+                                            run_crashtest)
+
+    backend, error = _resolve_backend(args.backend)
+    if error:
+        return _fail(error)
+    sites = None
+    if args.sites:
+        sites = tuple(site.strip() for site in args.sites.split(",")
+                      if site.strip())
+        unknown = [site for site in sites if site not in CRASH_SITES]
+        if unknown:
+            return _fail(f"crashtest: unknown crash site(s) "
+                         f"{', '.join(unknown)} (valid: "
+                         f"{', '.join(CRASH_SITES)})")
+    config = CrashtestConfig(
+        seeds=args.seeds, scale=args.scale, jobs=args.jobs,
+        mutations=args.mutations, backend=backend,
+        max_per_site=args.max_per_site, sites=sites,
+        max_points=args.max_points,
+        torn_offsets=max(0, args.torn_offsets),
+        timeout_s=args.timeout)
+    report = run_crashtest(config, log=print)
+    print(format_crashtest_report(report))
     return 0 if report.ok else 1
 
 
@@ -1074,18 +1109,16 @@ def cmd_serve(args) -> int:
     from repro.report.procfs import render_serve_stats
     print(render_serve_stats(server.stats.snapshot()))
     if args.stats_output:
-        import json as json_
-        with open(args.stats_output, "w", encoding="utf-8") as handle:
-            json_.dump(server.stats.snapshot(), handle, indent=2,
-                       sort_keys=True)
-            handle.write("\n")
+        from repro import durability
+        durability.atomic_write_json(args.stats_output,
+                                     server.stats.snapshot(), indent=2,
+                                     sort_keys=True,
+                                     trailing_newline=True)
         print(f"wrote serve stats to {args.stats_output}")
     return 0
 
 
 def cmd_loadgen(args) -> int:
-    import json as json_
-
     from repro.errors import ServeError
     from repro.perfcache.history import append_history
     from repro.serve import (LoadgenConfig, format_loadgen_report,
@@ -1132,9 +1165,10 @@ def cmd_loadgen(args) -> int:
         if args.output.endswith(".json") and "BENCH" in args.output:
             merge_into_bench(report, args.output)
         else:
-            with open(args.output, "w", encoding="utf-8") as handle:
-                json_.dump(report, handle, indent=2, sort_keys=True)
-                handle.write("\n")
+            from repro import durability
+            durability.atomic_write_json(args.output, report, indent=2,
+                                         sort_keys=True,
+                                         trailing_newline=True)
         print(f"wrote {args.output}")
     if args.record:
         append_history(args.history, serve_history_record(report))
@@ -1514,7 +1548,61 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--backend", metavar="NAME",
                        help="IOMMU backend model for the phase-A "
                             "workloads and phase-B campaign replay")
+    chaos.add_argument("--crash-points", type=int, default=0,
+                       metavar="N",
+                       help="also run a phase C: kill a campaign "
+                            "subprocess at up to N durability crash "
+                            "points and assert --resume recovers "
+                            "byte-identically (0 disables; see "
+                            "'crashtest' for the full matrix)")
     chaos.set_defaults(func=cmd_chaos)
+
+    crashtest = sub.add_parser(
+        "crashtest",
+        help="kill a campaign at every reachable write, resume it, "
+             "and prove findings + coverage recover byte-identically")
+    crashtest.add_argument("--seeds", type=_positive_int, default=2,
+                           help="campaign seeds per run "
+                                "(default: %(default)s)")
+    crashtest.add_argument("--scale", type=_positive_float,
+                           default=0.08,
+                           help="corpus scale per run "
+                                "(default: %(default)s)")
+    crashtest.add_argument("--jobs", type=_positive_int, default=1,
+                           help="campaign worker processes (jobs=1 is "
+                                "the deterministic enumeration lane; "
+                                "jobs>1 exercises the coordinator "
+                                "under parallel load)")
+    crashtest.add_argument("--mutations", type=_positive_int,
+                           default=3,
+                           help="mutations per seed "
+                                "(default: %(default)s)")
+    crashtest.add_argument("--max-per-site", type=_positive_int,
+                           default=2, metavar="N",
+                           help="kill points exercised per crash site "
+                                "(first/last/spread; default: "
+                                "%(default)s)")
+    crashtest.add_argument("--max-points", type=_positive_int,
+                           default=None, metavar="N",
+                           help="hard cap on kill points across all "
+                                "sites (default: no cap)")
+    crashtest.add_argument("--sites", metavar="SITE[,SITE...]",
+                           help="restrict to these durability.* crash "
+                                "sites (default: every site the "
+                                "census reports reachable)")
+    crashtest.add_argument("--torn-offsets", type=int, default=4,
+                           metavar="N",
+                           help="byte offsets truncated per artifact "
+                                "in the torn-write matrix (0 "
+                                "disables; default: %(default)s)")
+    crashtest.add_argument("--timeout", type=_positive_float,
+                           default=600.0, metavar="SECONDS",
+                           help="per-subprocess timeout "
+                                "(default: %(default)s)")
+    crashtest.add_argument("--backend", metavar="NAME",
+                           help="IOMMU backend model for the "
+                                "campaigns")
+    crashtest.set_defaults(func=cmd_crashtest)
 
     metrics = sub.add_parser(
         "metrics",

@@ -177,14 +177,9 @@ class CoverageMap:
             self.canonical().encode("utf-8")).hexdigest()
 
     def save(self, path: str) -> str:
-        parent = os.path.dirname(path)
-        if parent:
-            os.makedirs(parent, exist_ok=True)
-        tmp = f"{path}.{os.getpid()}.tmp"
-        with open(tmp, "w", encoding="utf-8") as handle:
-            handle.write(self.canonical() + "\n")
-        os.replace(tmp, path)
-        return path
+        from repro import durability
+        return durability.atomic_write_text(path, self.canonical()
+                                            + "\n")
 
     @classmethod
     def from_json(cls, body: dict) -> "CoverageMap":
@@ -204,8 +199,21 @@ class CoverageMap:
 
     @classmethod
     def load(cls, path: str) -> "CoverageMap":
-        with open(path, encoding="utf-8") as handle:
-            return cls.from_json(json.load(handle))
+        """Load a saved map; a torn/corrupt file raises
+        :class:`~repro.errors.CampaignError` (never a half-parsed
+        map), so callers can fall back to rebuilding from records."""
+        try:
+            with open(path, encoding="utf-8") as handle:
+                body = json.load(handle)
+        except ValueError as exc:
+            from repro.errors import CampaignError
+            raise CampaignError(f"coverage map {path}: torn or "
+                                f"corrupt JSON: {exc}")
+        if not isinstance(body, dict):
+            from repro.errors import CampaignError
+            raise CampaignError(f"coverage map {path}: not a JSON "
+                                f"object")
+        return cls.from_json(body)
 
     @classmethod
     def from_records(cls, records: dict[int, dict]) -> "CoverageMap":

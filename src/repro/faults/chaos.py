@@ -59,6 +59,8 @@ class ChaosReport:
     fired: dict = field(default_factory=dict)
     #: fault-category trace events captured during phase A
     nr_fault_events: int = 0
+    #: optional phase C: the crash-and-resume matrix (``--crash-points``)
+    crashtest: object | None = None
 
     @property
     def nr_sites_fired(self) -> int:
@@ -73,6 +75,8 @@ class ChaosReport:
         if not all(outcome.ok for outcome in self.outcomes):
             return False
         if self.campaign is not None and not self.campaign.ok:
+            return False
+        if self.crashtest is not None and not self.crashtest.ok:
             return False
         return True
 
@@ -215,9 +219,17 @@ def run_chaos(spec: FaultSpec, scratch: str, *, seed: int = 5,
               profile_boots: int = 8, campaign_seeds: int = 2,
               campaign_scale: float = 0.08, jobs: int = 1,
               retry: int = 2, trace_capacity: int = 65536,
-              backend: str | None = None) -> ChaosReport:
+              backend: str | None = None,
+              crash_points: int = 0,
+              log=lambda _msg: None) -> ChaosReport:
     """Run both chaos phases under *spec*; never raises for injected
-    faults (they become report entries), only for genuine bugs."""
+    faults (they become report entries), only for genuine bugs.
+
+    With ``crash_points > 0``, a phase C runs a bounded slice of the
+    ``repro-dma crashtest`` matrix (that many kill points, one torn
+    offset per artifact) so one ``chaos`` invocation also certifies
+    crash-and-resume recovery.
+    """
     kernel_spec, tooling_spec = spec.split()
     report = ChaosReport(plan_seed=spec.seed,
                          armed_sites=tuple(sorted(spec.sites)))
@@ -252,6 +264,16 @@ def run_chaos(spec: FaultSpec, scratch: str, *, seed: int = 5,
                         campaign_scale=campaign_scale, jobs=jobs,
                         retry=retry, backend=backend)
     report.fired = faults.fired_counts()
+
+    if crash_points > 0:
+        from repro.durability.crashtest import (CrashtestConfig,
+                                                run_crashtest)
+        report.crashtest = run_crashtest(
+            CrashtestConfig(seeds=campaign_seeds, scale=campaign_scale,
+                            jobs=jobs, max_per_site=1,
+                            max_points=crash_points, torn_offsets=1,
+                            backend=backend),
+            os.path.join(scratch, "crashtest"), log=log)
     return report
 
 
@@ -269,6 +291,17 @@ def format_chaos_report(report: ChaosReport) -> str:
                      f"({report.campaign.recovered} seed retr"
                      f"{'y' if report.campaign.recovered == 1 else 'ies'}"
                      f" healed; {report.campaign.detail})")
+    if report.crashtest is not None:
+        status = "ok" if report.crashtest.ok else "FAIL"
+        lines.append(
+            f"crash-and-resume: {status} "
+            f"({report.crashtest.nr_points_ok}"
+            f"/{len(report.crashtest.points)} kill point(s) and "
+            f"{report.crashtest.nr_torn_ok}"
+            f"/{len(report.crashtest.torn)} torn write(s) recovered "
+            f"byte-identically)")
+        if report.crashtest.error:
+            lines.append(f"  crashtest error: {report.crashtest.error}")
     lines.append(f"fault trace events captured: "
                  f"{report.nr_fault_events}")
     if report.fired:

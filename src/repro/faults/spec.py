@@ -49,12 +49,17 @@ TOOLING_SITES = (
     "campaign.batch.crash",    # kills a whole warm-worker seed batch
     "serve.accept_drop",       # daemon drops a connection at accept
     "serve.request_abort",     # daemon aborts an accepted request
+    "durability.post_write",   # tmp file fully written, not yet durable
+    "durability.pre_replace",  # right before the atomic os.replace
+    "durability.post_replace",  # replaced, parent dir not yet synced
+    "durability.mid_append",   # half an appended JSONL line on disk
+    "durability.post_append",  # appended line complete, not yet synced
 )
 
 SITES = KERNEL_SITES + TOOLING_SITES
 
 #: site prefixes that identify tooling-layer rules (see split())
-_TOOLING_PREFIXES = ("perfcache.", "campaign.", "serve.")
+_TOOLING_PREFIXES = ("perfcache.", "campaign.", "serve.", "durability.")
 
 
 @dataclass(frozen=True)
@@ -71,6 +76,10 @@ class SiteRule:
     on_attempt: int | None = None
     #: site-specific knob (eviction fraction, keep fraction, sleep s)
     arg: float | None = None
+    #: how a durability crash point fires: ``"raise"`` (default) throws
+    #: an :class:`~repro.faults.InjectedDurabilityCrash`; ``"kill"``
+    #: hard-exits the process (``os._exit``), the power-loss simulation
+    action: str | None = None
 
     def __post_init__(self) -> None:
         if self.site not in SITES:
@@ -97,11 +106,15 @@ class SiteRule:
         if self.max_fires is not None and self.max_fires <= 0:
             raise FaultError(f"bad max_fires {self.max_fires} "
                              f"for {self.site}")
+        if self.action is not None and self.action not in ("raise",
+                                                           "kill"):
+            raise FaultError(f"bad action {self.action!r} for "
+                             f"{self.site} (expected raise or kill)")
 
     def to_json(self) -> dict:
         doc: dict = {"site": self.site}
         for key in ("probability", "every_nth", "max_fires",
-                    "on_attempt", "arg"):
+                    "on_attempt", "arg", "action"):
             value = getattr(self, key)
             if value is not None:
                 doc[key] = value
@@ -114,7 +127,7 @@ class SiteRule:
         if not isinstance(doc, dict) or "site" not in doc:
             raise FaultError(f"bad fault rule {doc!r}")
         known = {"site", "probability", "every_nth", "at_steps",
-                 "max_fires", "on_attempt", "arg"}
+                 "max_fires", "on_attempt", "arg", "action"}
         unknown = set(doc) - known
         if unknown:
             raise FaultError(f"unknown rule field(s) "
@@ -134,6 +147,7 @@ class Firing:
     step: int      # 0-based call index at the site when it fired
     nth: int       # 1-based count of fires at this site so far
     arg: float | None = None
+    action: str | None = None   # "kill" hard-exits instead of raising
 
 
 class FaultSpec:
@@ -236,7 +250,8 @@ class FaultPlan:
         if not fire:
             return None
         self._fired[site] += 1
-        firing = Firing(site, step, self._fired[site], rule.arg)
+        firing = Firing(site, step, self._fired[site], rule.arg,
+                        rule.action)
         self.firings.append(firing)
         return firing
 

@@ -18,9 +18,11 @@ from __future__ import annotations
 
 import json
 import os
-import tempfile
 import time
+import warnings
 from dataclasses import dataclass, field
+
+from repro import durability
 
 #: A worker with no beat for this many seconds is flagged as stalled.
 DEFAULT_STALL_AFTER_S = 60.0
@@ -66,19 +68,12 @@ class Heartbeat:
         }
         if extra:
             doc["extra"] = extra
-        fd, tmp = tempfile.mkstemp(dir=self.directory,
-                                   prefix=f".{self.worker_id}-",
-                                   suffix=".tmp")
         try:
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                json.dump(doc, handle)
-            os.replace(tmp, self._path)
+            durability.atomic_write_json(self._path, doc)
         except OSError:
-            # telemetry must never kill the campaign (disk full, ...)
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
+            # telemetry must never kill the campaign (disk full, ...);
+            # any tmp residue is the durability GC's problem
+            pass
 
 
 class HeartbeatMonitor:
@@ -88,6 +83,7 @@ class HeartbeatMonitor:
                  stall_after_s: float = DEFAULT_STALL_AFTER_S) -> None:
         self.directory = directory
         self.stall_after_s = stall_after_s
+        self._warned: set[str] = set()
 
     def scan(self, *, now: float | None = None) -> list[WorkerHealth]:
         if now is None:
@@ -104,8 +100,22 @@ class HeartbeatMonitor:
             try:
                 with open(path, encoding="utf-8") as handle:
                     doc = json.load(handle)
-            except (OSError, ValueError):
-                continue  # mid-replace or torn file: skip this round
+            except FileNotFoundError:
+                continue  # raced a replace: the next scan sees it
+            except (OSError, ValueError) as exc:
+                # torn/partial worker file (possible only outside the
+                # atomic write mode, or under fault injection): skip
+                # it with ONE warning instead of poisoning every poll
+                if name not in self._warned:
+                    self._warned.add(name)
+                    warnings.warn(
+                        f"heartbeat: skipping torn/partial {path} "
+                        f"({exc}); the worker's beats resume on its "
+                        f"next write", RuntimeWarning)
+                    from repro import metrics
+                    metrics.count("durability", "recoveries",
+                                  kind="torn_heartbeat")
+                continue
             updated_at = float(doc.get("time", 0.0))
             age_s = max(now - updated_at, 0.0)
             stage = str(doc.get("stage", ""))

@@ -35,7 +35,8 @@ from repro.errors import MetricsError
 #: Every subsystem that publishes instruments.  Exporters iterate this
 #: order (then sort within) so output is deterministic.
 SUBSYSTEMS = ("dma", "iommu", "net", "mem", "dkasan", "perfcache",
-              "spade", "campaign", "coverage", "sim", "faults", "serve")
+              "spade", "campaign", "coverage", "sim", "faults", "serve",
+              "durability")
 
 #: Subsystems whose instruments describe *one* workload/request run
 #: (a booted kernel and the analysis over it) rather than cumulative

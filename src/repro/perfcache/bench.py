@@ -293,12 +293,9 @@ def run_benchmarks(*, scale: float = 1.0, corpus_seed: int = 2021,
 
 
 def write_report(report: dict, path: str = DEFAULT_OUTPUT) -> None:
-    parent = os.path.dirname(path)
-    if parent:
-        os.makedirs(parent, exist_ok=True)
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(report, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    from repro import durability
+    durability.atomic_write_json(path, report, indent=2,
+                                 sort_keys=True, trailing_newline=True)
 
 
 def format_report(report: dict) -> str:

@@ -16,9 +16,9 @@ signature matches the current run's.
 
 from __future__ import annotations
 
-import json
-import os
 from dataclasses import dataclass
+
+from repro import durability
 
 HISTORY_SCHEMA = 1
 
@@ -171,39 +171,34 @@ def history_record(report: dict) -> dict:
 
 
 def append_history(path: str, record: dict) -> None:
-    parent = os.path.dirname(path)
-    if parent:
-        os.makedirs(parent, exist_ok=True)
-    with open(path, "a", encoding="utf-8") as handle:
-        handle.write(json.dumps(record, sort_keys=True) + "\n")
+    """Journaled append: newline-guarded and checksummed, so a bench
+    run killed mid-append can never corrupt the *next* run's record,
+    and ``bench --check`` can tell a torn tail from a bit flip."""
+    durability.append_jsonl(path, record)
 
 
 def load_history(path: str, *, signature: str | None = None) -> list[dict]:
-    """Records from *path*, oldest first; torn lines are skipped.
+    """Records from *path*, oldest first.
 
-    With *signature*, only records from comparable configurations are
-    returned.
+    A torn **trailing** line (the writer was killed mid-append) is
+    healed with one :class:`UserWarning` naming its byte offset --
+    the same tolerance ``trace.export.load_jsonl`` applies -- instead
+    of failing the ``bench --check`` gate; other corrupt lines are
+    skipped. With *signature*, only records from comparable
+    configurations are returned.
     """
     records = []
     try:
-        with open(path, encoding="utf-8") as handle:
-            for line in handle:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    record = json.loads(line)
-                except ValueError:
-                    continue
-                if not isinstance(record, dict) \
-                        or record.get("schema") != HISTORY_SCHEMA:
-                    continue
-                if signature is not None \
-                        and record.get("signature") != signature:
-                    continue
-                records.append(record)
+        rows = durability.replay_jsonl(path, warn=True)
     except OSError:
         return []
+    for _lineno, record in rows:
+        if record.get("schema") != HISTORY_SCHEMA:
+            continue
+        if signature is not None \
+                and record.get("signature") != signature:
+            continue
+        records.append(record)
     return records
 
 

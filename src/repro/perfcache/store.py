@@ -27,11 +27,10 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-import tempfile
 import warnings
 from dataclasses import dataclass, field
 
-from repro import faults
+from repro import durability, faults
 
 #: bump to invalidate every on-disk entry at once (wire-format changes)
 CACHE_SCHEMA = 1
@@ -239,20 +238,9 @@ class PerfCache:
             if "perfcache.write" in faults.active_sites \
                     and faults.fires("perfcache.write"):
                 raise faults.InjectedCacheError("perfcache.write")
-            os.makedirs(os.path.dirname(path), exist_ok=True)
             self._write_marker()
-            fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path),
-                                       suffix=".tmp")
-            try:
-                with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                    json.dump(record, handle, separators=(",", ":"))
-                os.replace(tmp, path)
-            except BaseException:
-                try:
-                    os.unlink(tmp)
-                except OSError:
-                    pass
-                raise
+            durability.atomic_write_json(path, record,
+                                         separators=(",", ":"))
         except (OSError, TypeError, ValueError) as exc:
             self.stats.write_errors += 1
             if isinstance(exc, OSError) \
@@ -262,9 +250,9 @@ class PerfCache:
     def _write_marker(self) -> None:
         marker = os.path.join(self.directory, MARKER_NAME)
         if not os.path.exists(marker):
-            with open(marker, "w", encoding="utf-8") as handle:
-                json.dump({"schema": CACHE_SCHEMA,
-                           "tool": "repro-dma perfcache"}, handle)
+            durability.atomic_write_json(
+                marker, {"schema": CACHE_SCHEMA,
+                         "tool": "repro-dma perfcache"})
 
     # -- persisted stats (surfaced by ``repro-dma cache stats``) --------------
 
@@ -276,21 +264,11 @@ class PerfCache:
             return False
         root = os.path.join(self.directory, STATS_DIR)
         try:
-            os.makedirs(root, exist_ok=True)
             self._write_marker()
-            fd, tmp = tempfile.mkstemp(dir=root, suffix=".tmp")
-            try:
-                with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                    json.dump({"schema": CACHE_SCHEMA,
-                               "pid": os.getpid(),
-                               "stats": self.stats.to_json()}, handle)
-                os.replace(tmp, os.path.join(root, self._stats_name))
-            except BaseException:
-                try:
-                    os.unlink(tmp)
-                except OSError:
-                    pass
-                raise
+            durability.atomic_write_json(
+                os.path.join(root, self._stats_name),
+                {"schema": CACHE_SCHEMA, "pid": os.getpid(),
+                 "stats": self.stats.to_json()})
         except (OSError, TypeError, ValueError):
             return False
         return True

@@ -333,11 +333,6 @@ def merge_into_bench(report: dict, path: str) -> None:
     except (OSError, ValueError):
         pass
     doc["serve"] = report
-    parent = os.path.dirname(path)
-    if parent:
-        os.makedirs(parent, exist_ok=True)
-    tmp = f"{path}.tmp-{os.getpid()}"
-    with open(tmp, "w", encoding="utf-8") as handle:
-        json.dump(doc, handle, indent=2, sort_keys=True)
-        handle.write("\n")
-    os.replace(tmp, path)
+    from repro import durability
+    durability.atomic_write_json(path, doc, indent=2, sort_keys=True,
+                                 trailing_newline=True)

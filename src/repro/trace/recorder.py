@@ -28,7 +28,7 @@ from repro.errors import TraceError
 #: categories are rejected at emit time so filters cannot silently
 #: miss a misspelled subsystem.
 CATEGORIES = ("dma", "iommu", "net", "mem", "dkasan", "attack", "sim",
-              "fault")
+              "fault", "durability")
 
 #: Default ring capacity: enough for the full Fig. 6/7 benches while
 #: staying a few MiB even with verbose args.
